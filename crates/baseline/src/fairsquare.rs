@@ -1,0 +1,325 @@
+//! The FairSquare-substitute: fairness verification by axis-aligned
+//! volume bounding.
+//!
+//! FairSquare computes the Eq. (7) conditional probabilities by symbolic
+//! volume computation over weighted hyperrectangles, refining until the
+//! `1 − ε` judgment is decided. This substitute reproduces that loop:
+//! it maintains boxes over the feature space, evaluates the decision tree
+//! on each box with interval reasoning, splits ambiguous boxes along the
+//! tree's own thresholds, and accumulates certified lower/upper bounds on
+//! the hire probabilities of each group. Runtime grows with the number of
+//! tree predicates — the Table 2 scaling behaviour.
+
+use std::time::Instant;
+
+use sppl_core::event::Event;
+use sppl_core::transform::Transform;
+use sppl_core::var::Var;
+use sppl_core::{Spe, SpplError};
+use sppl_models::fairness::TreeNode;
+use sppl_sets::Interval;
+
+/// Feature box: ranges for `age`, `education`, `capital_gain`.
+#[derive(Debug, Clone, Copy)]
+struct FeatureBox {
+    age: (f64, f64),
+    education: (f64, f64),
+    capital_gain: (f64, f64),
+}
+
+impl FeatureBox {
+    fn full(qualified_age: f64) -> FeatureBox {
+        FeatureBox {
+            age: (qualified_age, f64::INFINITY),
+            education: (f64::NEG_INFINITY, f64::INFINITY),
+            capital_gain: (f64::NEG_INFINITY, f64::INFINITY),
+        }
+    }
+
+    fn get(&self, feature: &str) -> (f64, f64) {
+        match feature {
+            "age" => self.age,
+            "education" => self.education,
+            "capital_gain" => self.capital_gain,
+            other => unreachable!("unknown feature {other}"),
+        }
+    }
+
+    fn with(&self, feature: &str, range: (f64, f64)) -> FeatureBox {
+        let mut out = *self;
+        match feature {
+            "age" => out.age = range,
+            "education" => out.education = range,
+            "capital_gain" => out.capital_gain = range,
+            other => unreachable!("unknown feature {other}"),
+        }
+        out
+    }
+
+    fn event(&self, sex: f64) -> Event {
+        let iv = |(lo, hi): (f64, f64)| {
+            Interval::new(lo, false, hi, false).expect("nonempty box range")
+        };
+        Event::and(vec![
+            Event::eq_real(Transform::id(Var::new("sex")), sex),
+            Event::in_interval(Transform::id(Var::new("age")), iv(self.age)),
+            Event::in_interval(Transform::id(Var::new("education")), iv(self.education)),
+            Event::in_interval(
+                Transform::id(Var::new("capital_gain")),
+                iv(self.capital_gain),
+            ),
+        ])
+    }
+}
+
+/// Evaluates the tree over a box; `None` when the decision is ambiguous.
+fn eval_box(node: &TreeNode, sex: f64, bx: &FeatureBox) -> Option<bool> {
+    match node {
+        TreeNode::Leaf { hire } => Some(*hire),
+        TreeNode::Split { feature, threshold, left, right } => {
+            if *feature == "sex" {
+                return if sex == 1.0 {
+                    eval_box(left, sex, bx)
+                } else {
+                    eval_box(right, sex, bx)
+                };
+            }
+            let (lo, hi) = bx.get(feature);
+            if hi <= *threshold {
+                eval_box(left, sex, bx)
+            } else if lo >= *threshold {
+                eval_box(right, sex, bx)
+            } else {
+                let l = eval_box(left, sex, &bx.with(feature, (lo, *threshold)))?;
+                let r = eval_box(right, sex, &bx.with(feature, (*threshold, hi)))?;
+                if l == r {
+                    Some(l)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Finds a split plane that straddles the box (exists when `eval_box` is
+/// ambiguous).
+fn ambiguous_split(node: &TreeNode, sex: f64, bx: &FeatureBox) -> Option<(&'static str, f64)> {
+    match node {
+        TreeNode::Leaf { .. } => None,
+        TreeNode::Split { feature, threshold, left, right } => {
+            if *feature == "sex" {
+                let branch = if sex == 1.0 { left } else { right };
+                return ambiguous_split(branch, sex, bx);
+            }
+            let (lo, hi) = bx.get(feature);
+            if hi <= *threshold {
+                ambiguous_split(left, sex, bx)
+            } else if lo >= *threshold {
+                ambiguous_split(right, sex, bx)
+            } else {
+                Some((feature, *threshold))
+            }
+        }
+    }
+}
+
+/// Verification outcome with cost counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairsquareResult {
+    /// The fairness judgment.
+    pub fair: bool,
+    /// Whether the bounds actually decided the judgment.
+    pub converged: bool,
+    /// Final lower/upper bounds on the Eq. (7) ratio.
+    pub ratio_bounds: (f64, f64),
+    /// Number of boxes processed.
+    pub boxes: usize,
+    /// Elapsed seconds.
+    pub seconds: f64,
+}
+
+/// The volume-bounding verifier.
+#[derive(Debug, Clone)]
+pub struct VolumeVerifier {
+    /// Judgment tolerance ε.
+    pub epsilon: f64,
+    /// Box budget.
+    pub max_boxes: usize,
+    /// Minimum age for the qualification predicate `age > 18`.
+    pub qualified_age: f64,
+}
+
+impl Default for VolumeVerifier {
+    fn default() -> Self {
+        VolumeVerifier { epsilon: 0.15, max_boxes: 50_000, qualified_age: 18.0 }
+    }
+}
+
+struct GroupState {
+    sex: f64,
+    group_mass: f64,
+    hire_lo: f64,
+    unknown: Vec<(f64, FeatureBox)>,
+    boxes: usize,
+}
+
+impl GroupState {
+    fn hire_bounds(&self) -> (f64, f64) {
+        let pending: f64 = self.unknown.iter().map(|(m, _)| m).sum();
+        (
+            self.hire_lo / self.group_mass,
+            (self.hire_lo + pending) / self.group_mass,
+        )
+    }
+}
+
+impl VolumeVerifier {
+    /// Runs the verifier against a compiled population+decision program
+    /// and the matching tree spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates probability-query errors from the population model.
+    pub fn verify(&self, spe: &Spe, tree: &TreeNode) -> Result<FairsquareResult, SpplError> {
+        let start = Instant::now();
+        let mut groups = Vec::new();
+        for sex in [1.0, 0.0] {
+            let bx = FeatureBox::full(self.qualified_age);
+            let mass = spe.prob(&bx.event(sex))?;
+            groups.push(GroupState {
+                sex,
+                group_mass: mass,
+                hire_lo: 0.0,
+                unknown: vec![(mass, bx)],
+                boxes: 1,
+            });
+        }
+        let threshold = 1.0 - self.epsilon;
+        loop {
+            // Refine the group with the widest bounds, on its largest box.
+            let total_boxes: usize = groups.iter().map(|g| g.boxes).sum();
+            if total_boxes > self.max_boxes {
+                break;
+            }
+            let (min_b, maj_b) = (groups[0].hire_bounds(), groups[1].hire_bounds());
+            let ratio_lo = if maj_b.1 > 0.0 { min_b.0 / maj_b.1 } else { f64::INFINITY };
+            let ratio_hi = if maj_b.0 > 0.0 { min_b.1 / maj_b.0 } else { f64::INFINITY };
+            if ratio_lo > threshold {
+                return Ok(self.result(true, true, (ratio_lo, ratio_hi), total_boxes, start));
+            }
+            if ratio_hi <= threshold {
+                return Ok(self.result(false, true, (ratio_lo, ratio_hi), total_boxes, start));
+            }
+            // Pick the group whose pending mass is larger.
+            let gi = if pending_mass(&groups[0]) >= pending_mass(&groups[1]) { 0 } else { 1 };
+            let group = &mut groups[gi];
+            // Largest pending box first.
+            group
+                .unknown
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite masses"));
+            let Some((_, bx)) = group.unknown.pop() else {
+                // This group is fully decided; try the other.
+                let other = &mut groups[1 - gi];
+                if other.unknown.is_empty() {
+                    break;
+                }
+                continue;
+            };
+            match eval_box(tree, group.sex, &bx) {
+                Some(true) => {
+                    let m = spe.prob(&bx.event(group.sex))?;
+                    group.hire_lo += m;
+                }
+                Some(false) => {}
+                None => {
+                    let (feature, thr) = ambiguous_split(tree, group.sex, &bx)
+                        .expect("ambiguous box must straddle a split");
+                    let (lo, hi) = bx.get(feature);
+                    for sub in [bx.with(feature, (lo, thr)), bx.with(feature, (thr, hi))] {
+                        let m = spe.prob(&sub.event(group.sex))?;
+                        if m > 0.0 {
+                            group.unknown.push((m, sub));
+                            group.boxes += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let (min_b, maj_b) = (groups[0].hire_bounds(), groups[1].hire_bounds());
+        let ratio_lo = if maj_b.1 > 0.0 { min_b.0 / maj_b.1 } else { f64::INFINITY };
+        let ratio_hi = if maj_b.0 > 0.0 { min_b.1 / maj_b.0 } else { f64::INFINITY };
+        let mid_fair = (ratio_lo + ratio_hi) / 2.0 > threshold;
+        let total_boxes: usize = groups.iter().map(|g| g.boxes).sum();
+        Ok(self.result(mid_fair, false, (ratio_lo, ratio_hi), total_boxes, start))
+    }
+
+    fn result(
+        &self,
+        fair: bool,
+        converged: bool,
+        ratio_bounds: (f64, f64),
+        boxes: usize,
+        start: Instant,
+    ) -> FairsquareResult {
+        FairsquareResult {
+            fair,
+            converged,
+            ratio_bounds,
+            boxes,
+            seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+fn pending_mass(g: &GroupState) -> f64 {
+    g.unknown.iter().map(|(m, _)| m).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sppl_core::Factory;
+    use sppl_models::fairness::{self, DecisionTree, Population};
+
+    #[test]
+    fn agrees_with_exact_judgment() {
+        let f = Factory::new();
+        for dt in [DecisionTree::Dt4, DecisionTree::Dt14] {
+            let task = fairness::task(dt, Population::Independent);
+            let spe = task.model.compile(&f).unwrap();
+            let exact = fairness::fairness_ratio(&spe).unwrap();
+            let verifier = VolumeVerifier::default();
+            let out = verifier.verify(&spe, &dt.spec()).unwrap();
+            assert!(out.converged, "{}: bounds {:?}", task.name, out.ratio_bounds);
+            assert_eq!(
+                out.fair,
+                fairness::is_fair(exact, task.epsilon),
+                "{}: exact={exact} bounds={:?}",
+                task.name,
+                out.ratio_bounds
+            );
+            // Exact ratio inside the certified bounds.
+            assert!(
+                out.ratio_bounds.0 <= exact + 1e-9 && exact <= out.ratio_bounds.1 + 1e-9,
+                "{}: {exact} outside {:?}",
+                task.name,
+                out.ratio_bounds
+            );
+        }
+    }
+
+    #[test]
+    fn box_evaluation_matches_pointwise() {
+        let tree = DecisionTree::Dt14.spec();
+        let bx = FeatureBox {
+            age: (30.0, 31.0),
+            education: (8.0, 8.5),
+            capital_gain: (1000.0, 1100.0),
+        };
+        if let Some(decided) = eval_box(&tree, 1.0, &bx) {
+            let point = tree.decide(1.0, 30.5, 8.2, 1050.0);
+            assert_eq!(decided, point);
+        }
+    }
+}

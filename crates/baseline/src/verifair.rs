@@ -1,0 +1,161 @@
+//! The VeriFair-substitute: probabilistic fairness verification by
+//! adaptive-concentration sampling.
+//!
+//! VeriFair estimates the Eq. (7) ratio with rejection sampling and a
+//! stopping rule that guarantees the judgment is correct with probability
+//! `1 − δ`; its runtime is therefore random and can be large when the
+//! ratio is close to the `1 − ε` threshold (Sec. 6.1's "unpredictable
+//! runtime").
+
+use std::time::Instant;
+
+use rand::Rng;
+
+use sppl_core::event::Event;
+use sppl_core::Spe;
+use sppl_models::fairness::{hired, minority, qualified};
+
+/// Verification outcome with cost counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerifairResult {
+    /// The fairness judgment (`true` = fair at tolerance ε).
+    pub fair: bool,
+    /// Whether the stopping rule actually triggered (false = hit the
+    /// sample budget and reported the current best guess).
+    pub converged: bool,
+    /// Point estimate of the Eq. (7) ratio.
+    pub ratio: f64,
+    /// Total prior samples drawn.
+    pub samples: u64,
+    /// Elapsed seconds.
+    pub seconds: f64,
+}
+
+/// Adaptive sampling verifier.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSampler {
+    /// Judgment error tolerance ε of Eq. (7).
+    pub epsilon: f64,
+    /// Failure probability δ of the stopping rule.
+    pub delta: f64,
+    /// Hard sample budget.
+    pub max_samples: u64,
+    /// Check the stopping rule every this many samples.
+    pub batch: u64,
+}
+
+impl Default for AdaptiveSampler {
+    fn default() -> Self {
+        AdaptiveSampler {
+            epsilon: 0.15,
+            delta: 1e-3,
+            max_samples: 2_000_000,
+            batch: 1_000,
+        }
+    }
+}
+
+impl AdaptiveSampler {
+    /// Runs the verifier on a compiled population+decision program.
+    pub fn verify<R: Rng + ?Sized>(&self, spe: &Spe, rng: &mut R) -> VerifairResult {
+        let start = Instant::now();
+        let h = hired();
+        let m = minority();
+        let q = qualified();
+        // Counters for the two conditional Bernoullis.
+        let mut n_min = 0u64; // minority ∧ qualified
+        let mut k_min = 0u64; // … ∧ hired
+        let mut n_maj = 0u64;
+        let mut k_maj = 0u64;
+        let mut total = 0u64;
+        let mut round = 0u32;
+        while total < self.max_samples {
+            for _ in 0..self.batch {
+                total += 1;
+                let s = spe.sample(rng);
+                let sat = |e: &Event| e.satisfied_by(s.as_map()) == Some(true);
+                if !sat(&q) {
+                    continue;
+                }
+                let hired_now = sat(&h);
+                if sat(&m) {
+                    n_min += 1;
+                    k_min += u64::from(hired_now);
+                } else {
+                    n_maj += 1;
+                    k_maj += u64::from(hired_now);
+                }
+            }
+            round += 1;
+            if n_min == 0 || n_maj == 0 {
+                continue;
+            }
+            // Hoeffding half-widths with a union bound over rounds.
+            let delta_round = self.delta / (4.0 * f64::from(round) * f64::from(round));
+            let hw = |n: u64| ((2.0 / delta_round).ln() / (2.0 * n as f64)).sqrt();
+            let p_min = k_min as f64 / n_min as f64;
+            let p_maj = k_maj as f64 / n_maj as f64;
+            let (lo_min, hi_min) = (p_min - hw(n_min), p_min + hw(n_min));
+            let (lo_maj, hi_maj) = (p_maj - hw(n_maj), p_maj + hw(n_maj));
+            let threshold = 1.0 - self.epsilon;
+            // Certainly fair: even the pessimistic ratio clears the bar.
+            if lo_maj > 0.0 && lo_min / hi_maj > threshold {
+                return VerifairResult {
+                    fair: true,
+                    converged: true,
+                    ratio: p_min / p_maj,
+                    samples: total,
+                    seconds: start.elapsed().as_secs_f64(),
+                };
+            }
+            // Certainly unfair: even the optimistic ratio misses it.
+            if lo_maj > 0.0 && hi_min / lo_maj <= threshold {
+                return VerifairResult {
+                    fair: false,
+                    converged: true,
+                    ratio: p_min / p_maj,
+                    samples: total,
+                    seconds: start.elapsed().as_secs_f64(),
+                };
+            }
+        }
+        let ratio = if n_maj > 0 && k_maj > 0 {
+            (k_min as f64 / n_min.max(1) as f64) / (k_maj as f64 / n_maj as f64)
+        } else {
+            f64::NAN
+        };
+        VerifairResult {
+            fair: ratio > 1.0 - self.epsilon,
+            converged: false,
+            ratio,
+            samples: total,
+            seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sppl_core::Factory;
+    use sppl_models::fairness::{self, DecisionTree, Population};
+
+    #[test]
+    fn agrees_with_exact_judgment_on_small_tree() {
+        let f = Factory::new();
+        let task = fairness::task(DecisionTree::Dt4, Population::Independent);
+        let spe = task.model.compile(&f).unwrap();
+        let exact = fairness::fairness_ratio(&spe).unwrap();
+        let exact_fair = fairness::is_fair(exact, task.epsilon);
+        let verifier = AdaptiveSampler {
+            max_samples: 400_000,
+            ..AdaptiveSampler::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2024);
+        let out = verifier.verify(&spe, &mut rng);
+        assert_eq!(out.fair, exact_fair, "exact={exact} sampled={}", out.ratio);
+        assert!(out.samples > 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Fig. 2: the Indian GPA problem — prior and posterior marginal
+//! distributions (CDF series) and the Fig. 2g posterior weights.
+
+use sppl_bench::timed;
+use sppl_core::condition::condition;
+use sppl_core::event::Event;
+use sppl_core::transform::Transform;
+use sppl_core::var::Var;
+use sppl_core::Factory;
+use sppl_models::indian_gpa;
+
+fn main() {
+    let factory = Factory::new();
+    let (model, t) = timed(|| indian_gpa::model().compile(&factory).expect("compiles"));
+    println!("translated in {}\n", sppl_bench::fmt_secs(t));
+
+    let nationality = |s: &str| Event::eq_str(Transform::id(Var::new("Nationality")), s);
+    let perfect = Event::eq_real(Transform::id(Var::new("Perfect")), 1.0);
+
+    println!("prior:     P[USA]={:.3}  P[Perfect]={:.3}",
+        model.prob(&nationality("USA")).unwrap(),
+        model.prob(&perfect).unwrap());
+
+    let (posterior, ct) = timed(|| {
+        condition(&factory, &model, &indian_gpa::condition_event()).expect("positive prob")
+    });
+    println!("posterior: P[USA]={:.3}  P[Perfect]={:.3}   (conditioned in {})",
+        posterior.prob(&nationality("USA")).unwrap(),
+        posterior.prob(&perfect).unwrap(),
+        sppl_bench::fmt_secs(ct));
+
+    println!("\nGPA CDF series (prior vs posterior), x = 0..12:");
+    println!("x, prior, posterior");
+    for (i, q) in indian_gpa::gpa_cdf_queries().into_iter().enumerate() {
+        if i % 10 != 0 {
+            continue;
+        }
+        println!(
+            "{:.1}, {:.4}, {:.4}",
+            i as f64 / 10.0,
+            model.prob(&q).unwrap(),
+            posterior.prob(&q).unwrap()
+        );
+    }
+}

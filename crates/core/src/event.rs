@@ -1,0 +1,364 @@
+//! The `Event` domain: predicates on (possibly transformed) variables
+//! (Lst. 1c / Lst. 9d), with negation (Lst. 14) and valuation.
+//!
+//! An event denotes a measurable subset of the multivariate outcome space.
+//! `Event::And(vec![])` is the trivially true event and `Event::Or(vec![])`
+//! the trivially false one.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use sppl_sets::{Interval, Outcome, OutcomeSet};
+
+use crate::transform::Transform;
+use crate::var::Var;
+
+/// A predicate on program variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// Containment `(t in v)`: the transform's value lies in the set.
+    In(Transform, OutcomeSet),
+    /// Conjunction; empty conjunction is `true`.
+    And(Vec<Event>),
+    /// Disjunction; empty disjunction is `false`.
+    Or(Vec<Event>),
+}
+
+impl Event {
+    /// The trivially true event.
+    pub fn always() -> Event {
+        Event::And(vec![])
+    }
+
+    /// The trivially false event.
+    pub fn never() -> Event {
+        Event::Or(vec![])
+    }
+
+    /// Containment in an arbitrary outcome set.
+    pub fn in_set(t: Transform, v: OutcomeSet) -> Event {
+        Event::In(t, v)
+    }
+
+    /// `t < r`.
+    pub fn lt(t: Transform, r: f64) -> Event {
+        Event::In(t, OutcomeSet::from(Interval::open(f64::NEG_INFINITY, r)))
+    }
+
+    /// `t <= r`.
+    pub fn le(t: Transform, r: f64) -> Event {
+        Event::In(
+            t,
+            OutcomeSet::from(Interval::below(r, true).expect("valid upper bound")),
+        )
+    }
+
+    /// `t > r`.
+    pub fn gt(t: Transform, r: f64) -> Event {
+        Event::In(t, OutcomeSet::from(Interval::open(r, f64::INFINITY)))
+    }
+
+    /// `t >= r`.
+    pub fn ge(t: Transform, r: f64) -> Event {
+        Event::In(
+            t,
+            OutcomeSet::from(Interval::above(r, true).expect("valid lower bound")),
+        )
+    }
+
+    /// `t == r` (a real point constraint).
+    pub fn eq_real(t: Transform, r: f64) -> Event {
+        Event::In(t, OutcomeSet::real_point(r))
+    }
+
+    /// `t == s` (a nominal constraint).
+    pub fn eq_str(t: Transform, s: &str) -> Event {
+        Event::In(t, OutcomeSet::strings([s]))
+    }
+
+    /// `a < t < b` style interval constraint.
+    pub fn in_interval(t: Transform, iv: Interval) -> Event {
+        Event::In(t, OutcomeSet::from(iv))
+    }
+
+    /// Flattening conjunction.
+    pub fn and(events: Vec<Event>) -> Event {
+        let mut out = Vec::new();
+        for e in events {
+            match e {
+                Event::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        if out.len() == 1 {
+            out.pop().expect("len checked")
+        } else {
+            Event::And(out)
+        }
+    }
+
+    /// Flattening disjunction.
+    pub fn or(events: Vec<Event>) -> Event {
+        let mut out = Vec::new();
+        for e in events {
+            match e {
+                Event::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        if out.len() == 1 {
+            out.pop().expect("len checked")
+        } else {
+            Event::Or(out)
+        }
+    }
+
+    /// The variables mentioned by the event (`vars`, Lst. 11).
+    pub fn vars(&self) -> BTreeSet<Var> {
+        match self {
+            Event::In(t, _) => t.vars(),
+            Event::And(es) | Event::Or(es) => {
+                es.iter().flat_map(Event::vars).collect()
+            }
+        }
+    }
+
+    /// Logical negation by De Morgan's laws (`negate`, Lst. 14).
+    pub fn negate(&self) -> Event {
+        match self {
+            Event::In(t, v) => Event::In(t.clone(), v.complement()),
+            Event::And(es) => Event::Or(es.iter().map(Event::negate).collect()),
+            Event::Or(es) => Event::And(es.iter().map(Event::negate).collect()),
+        }
+    }
+
+    /// Substitutes a variable with a transform in every literal
+    /// (the workhorse of `subsenv`, Lst. 13).
+    pub fn substitute(&self, var: &Var, replacement: &Transform) -> Event {
+        match self {
+            Event::In(t, v) => Event::In(t.substitute(var, replacement), v.clone()),
+            Event::And(es) => {
+                Event::And(es.iter().map(|e| e.substitute(var, replacement)).collect())
+            }
+            Event::Or(es) => {
+                Event::Or(es.iter().map(|e| e.substitute(var, replacement)).collect())
+            }
+        }
+    }
+
+    /// The valuation `E⟦e⟧ x` (Lst. 1c) for an event whose literals all
+    /// mention exactly the variable `var`: the set of outcomes of `var`
+    /// satisfying the predicate. Literals over *other* variables denote
+    /// the empty set along this dimension, matching the `Contains` rule.
+    pub fn outcomes_for(&self, var: &Var) -> OutcomeSet {
+        match self {
+            Event::In(t, v) => {
+                if t.vars().iter().all(|x| x == var) && !t.vars().is_empty() {
+                    t.preimage(v)
+                } else {
+                    OutcomeSet::empty()
+                }
+            }
+            Event::And(es) => {
+                let mut acc = OutcomeSet::all();
+                for e in es {
+                    acc = acc.intersection(&e.outcomes_for(var));
+                }
+                acc
+            }
+            Event::Or(es) => {
+                let mut acc = OutcomeSet::empty();
+                for e in es {
+                    acc = acc.union(&e.outcomes_for(var));
+                }
+                acc
+            }
+        }
+    }
+
+    /// Evaluates the predicate under a complete assignment of its
+    /// variables. Returns `None` if a needed variable is missing or a
+    /// transform is undefined at the assigned value.
+    pub fn satisfied_by(&self, assignment: &BTreeMap<Var, Outcome>) -> Option<bool> {
+        match self {
+            Event::In(t, v) => {
+                let vars = t.vars();
+                let var = vars.iter().next()?;
+                match assignment.get(var)? {
+                    Outcome::Real(r) => {
+                        let y = t.eval(*r)?;
+                        Some(if y.is_infinite() {
+                            v.reals().contains(y)
+                        } else {
+                            v.contains_real(y)
+                        })
+                    }
+                    Outcome::Str(s) => {
+                        if matches!(t, Transform::Id(_)) {
+                            Some(v.contains_str(s))
+                        } else {
+                            Some(false)
+                        }
+                    }
+                }
+            }
+            Event::And(es) => {
+                for e in es {
+                    if !e.satisfied_by(assignment)? {
+                        return Some(false);
+                    }
+                }
+                Some(true)
+            }
+            Event::Or(es) => {
+                for e in es {
+                    if e.satisfied_by(assignment)? {
+                        return Some(true);
+                    }
+                }
+                Some(false)
+            }
+        }
+    }
+
+    /// A 64-bit structural fingerprint, used as a memoization key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::In(t, v) => write!(f, "({t:?} in {v})"),
+            Event::And(es) if es.is_empty() => write!(f, "true"),
+            Event::Or(es) if es.is_empty() => write!(f, "false"),
+            Event::And(es) => {
+                let parts: Vec<String> = es.iter().map(|e| e.to_string()).collect();
+                write!(f, "({})", parts.join(" ∧ "))
+            }
+            Event::Or(es) => {
+                let parts: Vec<String> = es.iter().map(|e| e.to_string()).collect();
+                write!(f, "({})", parts.join(" ∨ "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Var {
+        Var::new("X")
+    }
+
+    fn y() -> Var {
+        Var::new("Y")
+    }
+
+    #[test]
+    fn negation_involution_on_literals() {
+        let e = Event::lt(Transform::id(x()), 3.0);
+        let back = e.negate().negate();
+        // Same denotation (canonical sets), same structure.
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn de_morgan_shape() {
+        let e = Event::and(vec![
+            Event::lt(Transform::id(x()), 1.0),
+            Event::gt(Transform::id(y()), 2.0),
+        ]);
+        match e.negate() {
+            Event::Or(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outcomes_for_intersections() {
+        // (X > 0) ∧ (X < 2) over X.
+        let e = Event::and(vec![
+            Event::gt(Transform::id(x()), 0.0),
+            Event::lt(Transform::id(x()), 2.0),
+        ]);
+        let v = e.outcomes_for(&x());
+        assert!(v.contains_real(1.0));
+        assert!(!v.contains_real(0.0) && !v.contains_real(2.0));
+    }
+
+    #[test]
+    fn outcomes_for_foreign_literal_is_empty() {
+        let e = Event::gt(Transform::id(y()), 0.0);
+        assert!(e.outcomes_for(&x()).is_empty());
+    }
+
+    #[test]
+    fn transformed_outcomes() {
+        // X² ≤ 4 over X gives [-2, 2].
+        let e = Event::le(Transform::id(x()).pow_int(2), 4.0);
+        let v = e.outcomes_for(&x());
+        assert!(v.contains_real(-2.0) && v.contains_real(2.0) && v.contains_real(0.0));
+        assert!(!v.contains_real(2.1));
+    }
+
+    #[test]
+    fn satisfied_by_assignments() {
+        let e = Event::and(vec![
+            Event::gt(Transform::id(x()), 0.0),
+            Event::eq_str(Transform::id(y()), "hot"),
+        ]);
+        let mut a = BTreeMap::new();
+        a.insert(x(), Outcome::Real(1.0));
+        a.insert(y(), Outcome::from("hot"));
+        assert_eq!(e.satisfied_by(&a), Some(true));
+        a.insert(y(), Outcome::from("cold"));
+        assert_eq!(e.satisfied_by(&a), Some(false));
+        a.remove(&y());
+        assert_eq!(e.satisfied_by(&a), None);
+    }
+
+    #[test]
+    fn truth_constants() {
+        let a = BTreeMap::new();
+        assert_eq!(Event::always().satisfied_by(&a), Some(true));
+        assert_eq!(Event::never().satisfied_by(&a), Some(false));
+        assert!(Event::always().outcomes_for(&x()).reals().is_all());
+    }
+
+    #[test]
+    fn flattening_builders() {
+        let e = Event::and(vec![
+            Event::and(vec![Event::lt(Transform::id(x()), 1.0)]),
+            Event::gt(Transform::id(y()), 0.0),
+        ]);
+        match e {
+            Event::And(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected flattened And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fingerprints_differ() {
+        let a = Event::lt(Transform::id(x()), 1.0);
+        let b = Event::lt(Transform::id(x()), 2.0);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), Event::lt(Transform::id(x()), 1.0).fingerprint());
+    }
+
+    #[test]
+    fn vars_collects_across_nesting() {
+        let e = Event::or(vec![
+            Event::lt(Transform::id(x()), 1.0),
+            Event::and(vec![Event::gt(Transform::id(y()), 0.0)]),
+        ]);
+        let vs = e.vars();
+        assert!(vs.contains(&x()) && vs.contains(&y()));
+    }
+}

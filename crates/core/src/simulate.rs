@@ -1,0 +1,196 @@
+//! Ancestral sampling from a sum-product expression.
+//!
+//! Follows the sampler reading of the graph described in Sec. 2.1: a sum
+//! node visits one random child (by weight), a product node visits every
+//! child, and a leaf draws from its primitive distribution via the
+//! truncated integral probability transform (Prop. A.1). Derived
+//! variables are computed deterministically from the leaf value.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+
+use sppl_sets::Outcome;
+
+use crate::spe::{Node, Spe};
+use crate::var::Var;
+
+/// A joint sample of every variable in an expression's scope.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Sample {
+    values: BTreeMap<Var, Outcome>,
+}
+
+impl Sample {
+    /// The sampled outcome of a variable.
+    pub fn get(&self, var: &Var) -> Option<&Outcome> {
+        self.values.get(var)
+    }
+
+    /// The sampled real value of a variable (`None` for strings or
+    /// missing variables).
+    pub fn real(&self, var: &Var) -> Option<f64> {
+        self.values.get(var).and_then(Outcome::as_real)
+    }
+
+    /// The sampled string of a variable.
+    pub fn str(&self, var: &Var) -> Option<&str> {
+        self.values.get(var).and_then(Outcome::as_str)
+    }
+
+    /// Iterates over `(variable, outcome)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &Outcome)> {
+        self.values.iter()
+    }
+
+    /// Consumes the sample into a map (e.g. to use as a
+    /// [`constrain`](crate::density::constrain) assignment).
+    pub fn into_map(self) -> BTreeMap<Var, Outcome> {
+        self.values
+    }
+
+    /// Borrowed view as a map.
+    pub fn as_map(&self) -> &BTreeMap<Var, Outcome> {
+        &self.values
+    }
+}
+
+impl Spe {
+    /// Draws one joint sample of all variables in scope.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Sample {
+        let mut out = Sample::default();
+        sample_into(self, rng, &mut out);
+        out
+    }
+
+    /// Draws `n` independent joint samples.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Sample> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+fn sample_into<R: Rng + ?Sized>(spe: &Spe, rng: &mut R, out: &mut Sample) {
+    match spe.node() {
+        Node::Leaf { var, dist, env, .. } => {
+            let value = dist.sample(rng);
+            if !env.is_empty() {
+                let base = value
+                    .as_real()
+                    .expect("leaves with derived variables sample real values");
+                for (v, t) in env.entries() {
+                    let y = t
+                        .eval(base)
+                        .expect("derived transform defined on the leaf's support");
+                    out.values.insert(v.clone(), Outcome::Real(y));
+                }
+            }
+            out.values.insert(var.clone(), value);
+        }
+        Node::Sum { children, .. } => {
+            let mut u: f64 = rng.gen();
+            let last = children.len() - 1;
+            for (i, (child, lw)) in children.iter().enumerate() {
+                let w = lw.exp();
+                if u < w || i == last {
+                    sample_into(child, rng, out);
+                    return;
+                }
+                u -= w;
+            }
+        }
+        Node::Product { children, .. } => {
+            for child in children {
+                sample_into(child, rng, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::spe::{Env, Factory};
+    use crate::transform::Transform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sppl_dists::{Cdf, DistReal, DistStr, Distribution};
+    use sppl_sets::Interval;
+
+    #[test]
+    fn sample_covers_scope_and_env() {
+        let f = Factory::new();
+        let x = Var::new("X");
+        let z = Var::new("Z");
+        let leaf = f
+            .leaf_env(
+                x.clone(),
+                Distribution::Real(
+                    DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap(),
+                ),
+                Env::new().with(z.clone(), Transform::id(x.clone()).pow_int(2)),
+            )
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = leaf.sample(&mut rng);
+        let xv = s.real(&x).unwrap();
+        let zv = s.real(&z).unwrap();
+        assert!((zv - xv * xv).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_frequencies() {
+        let f = Factory::new();
+        let a = f.leaf(
+            Var::new("N"),
+            Distribution::Str(DistStr::new([("a", 1.0)]).unwrap()),
+        );
+        let b = f.leaf(
+            Var::new("N"),
+            Distribution::Str(DistStr::new([("b", 1.0)]).unwrap()),
+        );
+        let mix = f.sum(vec![(a, 0.2f64.ln()), (b, 0.8f64.ln())]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let hits = (0..n)
+            .filter(|_| {
+                let s = mix.sample(&mut rng);
+                s.str(&Var::new("N")) == Some("a")
+            })
+            .count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.2).abs() < 0.02, "{freq}");
+    }
+
+    #[test]
+    fn sample_frequency_matches_prob() {
+        // Monte-Carlo agreement between `sample` and `prob` on a product.
+        let f = Factory::new();
+        let x = f.leaf(
+            Var::new("X"),
+            Distribution::Real(DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap()),
+        );
+        let y = f.leaf(
+            Var::new("Y"),
+            Distribution::Real(
+                DistReal::new(Cdf::uniform(0.0, 2.0), Interval::closed(0.0, 2.0)).unwrap(),
+            ),
+        );
+        let p = f.product(vec![x, y]).unwrap();
+        let e = Event::and(vec![
+            Event::le(Transform::id(Var::new("X")), 0.5),
+            Event::ge(Transform::id(Var::new("Y")), 1.0),
+        ]);
+        let exact = p.prob(&e).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 20_000;
+        let hits = (0..n)
+            .filter(|_| {
+                let s = p.sample(&mut rng);
+                e.satisfied_by(s.as_map()) == Some(true)
+            })
+            .count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - exact).abs() < 0.02, "{freq} vs {exact}");
+    }
+}

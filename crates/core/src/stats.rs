@@ -1,0 +1,223 @@
+//! Graph-size statistics for sum-product expressions — the metrics behind
+//! the paper's Table 1 (effect of factorization and deduplication).
+//!
+//! Two sizes matter:
+//!
+//! * the **physical** node count of the hash-consed DAG (what the
+//!   optimized representation stores in memory), and
+//! * the **tree-expanded** node count — the size the expression would have
+//!   if no subexpression were shared. For models like the hierarchical
+//!   HMM this is astronomically large (≈10¹⁶ in the paper), so it is
+//!   computed analytically with memoized `f64` arithmetic rather than by
+//!   materializing the tree.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::spe::{Node, Spe};
+
+/// Size statistics of an SPE graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphStats {
+    /// Number of physically distinct nodes (DAG size).
+    pub physical_nodes: usize,
+    /// Number of edges in the DAG (counting multiplicity of shared
+    /// children).
+    pub physical_edges: usize,
+    /// Node count of the fully tree-expanded expression.
+    pub tree_nodes: f64,
+    /// Longest root-to-leaf path length (nodes).
+    pub depth: usize,
+}
+
+impl GraphStats {
+    /// The paper's "compression ratio": tree-expanded size over physical
+    /// size.
+    pub fn compression_ratio(&self) -> f64 {
+        self.tree_nodes / self.physical_nodes as f64
+    }
+}
+
+/// Computes all [`GraphStats`] in one traversal family.
+pub fn graph_stats(spe: &Spe) -> GraphStats {
+    GraphStats {
+        physical_nodes: physical_node_count(spe),
+        physical_edges: physical_edge_count(spe),
+        tree_nodes: tree_node_count(spe),
+        depth: depth(spe),
+    }
+}
+
+/// Number of physically distinct nodes reachable from the root.
+pub fn physical_node_count(spe: &Spe) -> usize {
+    let mut seen = HashSet::new();
+    let mut stack = vec![spe.clone()];
+    while let Some(node) = stack.pop() {
+        if seen.insert(node.ptr_id()) {
+            stack.extend(node.children());
+        }
+    }
+    seen.len()
+}
+
+/// Number of parent→child edges, visiting each physical node once.
+pub fn physical_edge_count(spe: &Spe) -> usize {
+    let mut seen = HashSet::new();
+    let mut stack = vec![spe.clone()];
+    let mut edges = 0;
+    while let Some(node) = stack.pop() {
+        if seen.insert(node.ptr_id()) {
+            let children = node.children();
+            edges += children.len();
+            stack.extend(children);
+        }
+    }
+    edges
+}
+
+/// Tree-expanded node count (counting shared subtrees with multiplicity),
+/// computed with a memoized recursion so exponentially large trees are
+/// measured without being materialized.
+pub fn tree_node_count(spe: &Spe) -> f64 {
+    fn go(node: &Spe, memo: &mut HashMap<usize, f64>) -> f64 {
+        if let Some(&v) = memo.get(&node.ptr_id()) {
+            return v;
+        }
+        let v = 1.0
+            + node
+                .children()
+                .iter()
+                .map(|c| go(c, memo))
+                .sum::<f64>();
+        memo.insert(node.ptr_id(), v);
+        v
+    }
+    go(spe, &mut HashMap::new())
+}
+
+/// Longest root-to-leaf path, in nodes.
+pub fn depth(spe: &Spe) -> usize {
+    fn go(node: &Spe, memo: &mut HashMap<usize, usize>) -> usize {
+        if let Some(&v) = memo.get(&node.ptr_id()) {
+            return v;
+        }
+        let v = 1 + node
+            .children()
+            .iter()
+            .map(|c| go(c, memo))
+            .max()
+            .unwrap_or(0);
+        memo.insert(node.ptr_id(), v);
+        v
+    }
+    go(spe, &mut HashMap::new())
+}
+
+/// Counts nodes by kind (leaves, sums, products) over the physical DAG.
+pub fn node_kind_counts(spe: &Spe) -> (usize, usize, usize) {
+    let mut seen = HashSet::new();
+    let mut stack = vec![spe.clone()];
+    let (mut leaves, mut sums, mut products) = (0, 0, 0);
+    while let Some(node) = stack.pop() {
+        if seen.insert(node.ptr_id()) {
+            match node.node() {
+                Node::Leaf { .. } => leaves += 1,
+                Node::Sum { .. } => sums += 1,
+                Node::Product { .. } => products += 1,
+            }
+            stack.extend(node.children());
+        }
+    }
+    (leaves, sums, products)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spe::Factory;
+    use crate::var::Var;
+    use sppl_dists::{Cdf, DistReal, Distribution};
+    use sppl_sets::Interval;
+
+    fn normal(f: &Factory, name: &str, mu: f64) -> Spe {
+        f.leaf(
+            Var::new(name),
+            Distribution::Real(DistReal::new(Cdf::normal(mu, 1.0), Interval::all()).unwrap()),
+        )
+    }
+
+    #[test]
+    fn leaf_stats() {
+        let f = Factory::new();
+        let x = normal(&f, "X", 0.0);
+        let s = graph_stats(&x);
+        assert_eq!(s.physical_nodes, 1);
+        assert_eq!(s.physical_edges, 0);
+        assert_eq!(s.tree_nodes, 1.0);
+        assert_eq!(s.depth, 1);
+    }
+
+    #[test]
+    fn shared_subtree_compresses() {
+        let f = Factory::new();
+        let shared = f
+            .product(vec![normal(&f, "A", 0.0), normal(&f, "B", 0.0)])
+            .unwrap();
+        // Two sums each containing the shared product (via distinct
+        // sibling leaves so the sums differ).
+        let s1 = f
+            .sum(vec![
+                (f.product(vec![shared.clone(), normal(&f, "C", 0.0)]).unwrap(), 0.5f64.ln()),
+                (f.product(vec![shared.clone(), normal(&f, "C", 9.0)]).unwrap(), 0.5f64.ln()),
+            ])
+            .unwrap();
+        let stats = graph_stats(&s1);
+        // Factorization hoists `shared`, so physical < tree is not even
+        // needed; just check consistency.
+        assert!(stats.tree_nodes >= stats.physical_nodes as f64);
+        assert!(stats.compression_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn dedup_off_blows_up_tree_ratio() {
+        let off = Factory::with_options(crate::spe::FactoryOptions {
+            dedup: false,
+            factorize: false,
+            memoize: false,
+        });
+        let on = Factory::new();
+        // Build the same chain twice under both factories.
+        fn chain(f: &Factory, depth: usize) -> Spe {
+            let mut acc = f.leaf(
+                Var::new("L0"),
+                Distribution::Atomic { loc: 0.0 },
+            );
+            for i in 1..depth {
+                let a = f.leaf(Var::new(format!("L{i}")), Distribution::Atomic { loc: 0.0 });
+                let b = f.leaf(Var::new(format!("L{i}")), Distribution::Atomic { loc: 1.0 });
+                let s = f
+                    .sum(vec![(a, 0.5f64.ln()), (b, 0.5f64.ln())])
+                    .unwrap();
+                acc = f.product(vec![acc, s]).unwrap();
+            }
+            acc
+        }
+        let c_on = chain(&on, 6);
+        let c_off = chain(&off, 6);
+        // Same tree size either way; physical smaller (or equal) with dedup.
+        assert_eq!(tree_node_count(&c_on), tree_node_count(&c_off));
+        assert!(physical_node_count(&c_on) <= physical_node_count(&c_off));
+    }
+
+    #[test]
+    fn kind_counts_sum() {
+        let f = Factory::new();
+        let s = f
+            .sum(vec![
+                (normal(&f, "X", 0.0), 0.5f64.ln()),
+                (normal(&f, "X", 5.0), 0.5f64.ln()),
+            ])
+            .unwrap();
+        let (leaves, sums, products) = node_kind_counts(&s);
+        assert_eq!((leaves, sums, products), (2, 1, 0));
+    }
+}

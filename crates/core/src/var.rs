@@ -1,0 +1,66 @@
+//! Interned variable names.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A program variable (a dimension of the multivariate distribution).
+///
+/// Cheap to clone (reference-counted string), totally ordered by name so it
+/// can key `BTreeMap`s (scopes, assignments).
+///
+/// ```
+/// use sppl_core::Var;
+/// let x = Var::new("X");
+/// assert_eq!(x.name(), "X");
+/// assert_eq!(x, Var::new("X"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Creates (or reuses) a variable with the given name.
+    pub fn new<S: AsRef<str>>(name: S) -> Var {
+        Var(Arc::from(name.as_ref()))
+    }
+
+    /// An array element variable `base[index]`.
+    pub fn indexed<S: AsRef<str>>(base: S, index: usize) -> Var {
+        Var(Arc::from(format!("{}[{}]", base.as_ref(), index).as_str()))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Var {
+        Var::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_and_ordering() {
+        assert_eq!(Var::new("a"), Var::new("a"));
+        assert!(Var::new("a") < Var::new("b"));
+        assert_eq!(Var::indexed("Z", 3).name(), "Z[3]");
+    }
+
+    #[test]
+    fn usable_as_map_key() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(Var::new("x"), 1);
+        assert_eq!(m[&Var::new("x")], 1);
+    }
+}

@@ -1,0 +1,609 @@
+//! The base CDF family (the paper's `CDF ⊂ Real → [0,1]` domain, Lst. 9e).
+//!
+//! Every member is càdlàg with limits 0 at −∞ and 1 at +∞. Discrete
+//! members are supported on the integers; continuous members have a
+//! density. Quantiles implement `F⁻¹(u) = inf{r | u ≤ F(r)}`.
+
+use sppl_num::roots::solve_monotone;
+use sppl_num::special::{
+    beta_inc, clamp_unit, gamma_p, ln_choose, ln_gamma, std_normal_cdf, std_normal_pdf,
+    std_normal_quantile,
+};
+
+/// A base cumulative distribution function.
+///
+/// Construct with the family helpers ([`Cdf::normal`], [`Cdf::poisson`], …)
+/// which validate parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cdf {
+    /// Normal (Gaussian) with mean `mu` and standard deviation `sigma > 0`.
+    Normal { mu: f64, sigma: f64 },
+    /// Continuous uniform on `[a, b]`, `a < b`.
+    Uniform { a: f64, b: f64 },
+    /// Exponential with rate `rate > 0` (support `[0, ∞)`).
+    Exponential { rate: f64 },
+    /// Gamma with shape `k > 0` and scale `θ > 0` (support `[0, ∞)`).
+    Gamma { shape: f64, scale: f64 },
+    /// Beta with parameters `a, b > 0` and an optional scale (support
+    /// `[0, scale]`); `scale = 1` is the standard beta.
+    Beta { a: f64, b: f64, scale: f64 },
+    /// Cauchy with location and scale.
+    Cauchy { loc: f64, scale: f64 },
+    /// Laplace (double exponential) with location and scale.
+    Laplace { loc: f64, scale: f64 },
+    /// Logistic with location and scale.
+    Logistic { loc: f64, scale: f64 },
+    /// Student's t with `df > 0` degrees of freedom.
+    StudentT { df: f64 },
+    /// Poisson with mean `mu > 0` (integer support `{0, 1, …}`).
+    Poisson { mu: f64 },
+    /// Binomial with `n` trials and success probability `p`.
+    Binomial { n: u64, p: f64 },
+    /// Geometric: number of failures before the first success,
+    /// support `{0, 1, …}`.
+    Geometric { p: f64 },
+    /// Discrete uniform on the integers `{lo, …, hi}`.
+    DiscreteUniform { lo: i64, hi: i64 },
+}
+
+impl Cdf {
+    /// Normal CDF. Panics if `sigma <= 0`.
+    pub fn normal(mu: f64, sigma: f64) -> Cdf {
+        assert!(sigma > 0.0, "normal requires sigma > 0, got {sigma}");
+        Cdf::Normal { mu, sigma }
+    }
+
+    /// Uniform CDF on `[a, b]`. Panics unless `a < b` and both finite.
+    pub fn uniform(a: f64, b: f64) -> Cdf {
+        assert!(a < b && a.is_finite() && b.is_finite(), "uniform requires a < b");
+        Cdf::Uniform { a, b }
+    }
+
+    /// Exponential CDF. Panics if `rate <= 0`.
+    pub fn exponential(rate: f64) -> Cdf {
+        assert!(rate > 0.0, "exponential requires rate > 0");
+        Cdf::Exponential { rate }
+    }
+
+    /// Gamma CDF. Panics unless `shape > 0` and `scale > 0`.
+    pub fn gamma(shape: f64, scale: f64) -> Cdf {
+        assert!(shape > 0.0 && scale > 0.0, "gamma requires positive parameters");
+        Cdf::Gamma { shape, scale }
+    }
+
+    /// Standard Beta CDF. Panics unless `a > 0`, `b > 0`.
+    pub fn beta(a: f64, b: f64) -> Cdf {
+        Cdf::beta_scaled(a, b, 1.0)
+    }
+
+    /// Beta CDF scaled to `[0, scale]`.
+    pub fn beta_scaled(a: f64, b: f64, scale: f64) -> Cdf {
+        assert!(a > 0.0 && b > 0.0 && scale > 0.0, "beta requires positive parameters");
+        Cdf::Beta { a, b, scale }
+    }
+
+    /// Cauchy CDF. Panics if `scale <= 0`.
+    pub fn cauchy(loc: f64, scale: f64) -> Cdf {
+        assert!(scale > 0.0, "cauchy requires scale > 0");
+        Cdf::Cauchy { loc, scale }
+    }
+
+    /// Laplace CDF. Panics if `scale <= 0`.
+    pub fn laplace(loc: f64, scale: f64) -> Cdf {
+        assert!(scale > 0.0, "laplace requires scale > 0");
+        Cdf::Laplace { loc, scale }
+    }
+
+    /// Logistic CDF. Panics if `scale <= 0`.
+    pub fn logistic(loc: f64, scale: f64) -> Cdf {
+        assert!(scale > 0.0, "logistic requires scale > 0");
+        Cdf::Logistic { loc, scale }
+    }
+
+    /// Student's t CDF. Panics if `df <= 0`.
+    pub fn student_t(df: f64) -> Cdf {
+        assert!(df > 0.0, "student_t requires df > 0");
+        Cdf::StudentT { df }
+    }
+
+    /// Poisson CDF. Panics if `mu <= 0`.
+    pub fn poisson(mu: f64) -> Cdf {
+        assert!(mu > 0.0, "poisson requires mu > 0, got {mu}");
+        Cdf::Poisson { mu }
+    }
+
+    /// Binomial CDF. Panics unless `p ∈ [0, 1]`.
+    pub fn binomial(n: u64, p: f64) -> Cdf {
+        assert!((0.0..=1.0).contains(&p), "binomial requires p in [0,1]");
+        Cdf::Binomial { n, p }
+    }
+
+    /// Geometric CDF. Panics unless `p ∈ (0, 1]`.
+    pub fn geometric(p: f64) -> Cdf {
+        assert!(p > 0.0 && p <= 1.0, "geometric requires p in (0,1]");
+        Cdf::Geometric { p }
+    }
+
+    /// Discrete uniform CDF on `{lo, …, hi}`. Panics if `lo > hi`.
+    pub fn discrete_uniform(lo: i64, hi: i64) -> Cdf {
+        assert!(lo <= hi, "discrete_uniform requires lo <= hi");
+        Cdf::DiscreteUniform { lo, hi }
+    }
+
+    /// True when the distribution is supported on the integers.
+    pub fn is_discrete(&self) -> bool {
+        matches!(
+            self,
+            Cdf::Poisson { .. }
+                | Cdf::Binomial { .. }
+                | Cdf::Geometric { .. }
+                | Cdf::DiscreteUniform { .. }
+        )
+    }
+
+    /// Natural support `(lo, hi)` as (possibly infinite) bounds; for
+    /// discrete families the integer endpoints, both inclusive.
+    pub fn support(&self) -> (f64, f64) {
+        match *self {
+            Cdf::Normal { .. }
+            | Cdf::Cauchy { .. }
+            | Cdf::Laplace { .. }
+            | Cdf::Logistic { .. }
+            | Cdf::StudentT { .. } => (f64::NEG_INFINITY, f64::INFINITY),
+            Cdf::Uniform { a, b } => (a, b),
+            Cdf::Exponential { .. } | Cdf::Gamma { .. } => (0.0, f64::INFINITY),
+            Cdf::Beta { scale, .. } => (0.0, scale),
+            Cdf::Poisson { .. } | Cdf::Geometric { .. } => (0.0, f64::INFINITY),
+            Cdf::Binomial { n, .. } => (0.0, n as f64),
+            Cdf::DiscreteUniform { lo, hi } => (lo as f64, hi as f64),
+        }
+    }
+
+    /// The CDF value `F(x) = P[X ≤ x]`. Càdlàg for discrete families.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x == f64::INFINITY {
+            return 1.0;
+        }
+        if x == f64::NEG_INFINITY {
+            return 0.0;
+        }
+        let p = match *self {
+            Cdf::Normal { mu, sigma } => std_normal_cdf((x - mu) / sigma),
+            Cdf::Uniform { a, b } => ((x - a) / (b - a)).clamp(0.0, 1.0),
+            Cdf::Exponential { rate } => {
+                if x < 0.0 {
+                    0.0
+                } else {
+                    -(-rate * x).exp_m1()
+                }
+            }
+            Cdf::Gamma { shape, scale } => {
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    gamma_p(shape, x / scale)
+                }
+            }
+            Cdf::Beta { a, b, scale } => {
+                if x <= 0.0 {
+                    0.0
+                } else if x >= scale {
+                    1.0
+                } else {
+                    beta_inc(a, b, x / scale)
+                }
+            }
+            Cdf::Cauchy { loc, scale } => {
+                0.5 + ((x - loc) / scale).atan() / std::f64::consts::PI
+            }
+            Cdf::Laplace { loc, scale } => {
+                let z = (x - loc) / scale;
+                if z < 0.0 {
+                    0.5 * z.exp()
+                } else {
+                    1.0 - 0.5 * (-z).exp()
+                }
+            }
+            Cdf::Logistic { loc, scale } => 1.0 / (1.0 + (-(x - loc) / scale).exp()),
+            Cdf::StudentT { df } => {
+                if x == 0.0 {
+                    0.5
+                } else {
+                    let t2 = x * x;
+                    let ib = beta_inc(df / 2.0, 0.5, df / (df + t2));
+                    if x > 0.0 {
+                        1.0 - 0.5 * ib
+                    } else {
+                        0.5 * ib
+                    }
+                }
+            }
+            Cdf::Poisson { mu } => {
+                let k = x.floor();
+                if k < 0.0 {
+                    0.0
+                } else {
+                    // P[X <= k] = Q(k+1, mu)
+                    1.0 - gamma_p(k + 1.0, mu)
+                }
+            }
+            Cdf::Binomial { n, p } => {
+                let k = x.floor();
+                if k < 0.0 {
+                    0.0
+                } else if k >= n as f64 {
+                    1.0
+                } else if p == 0.0 {
+                    1.0
+                } else if p == 1.0 {
+                    0.0
+                } else {
+                    // P[X <= k] = I_{1-p}(n-k, k+1)
+                    beta_inc(n as f64 - k, k + 1.0, 1.0 - p)
+                }
+            }
+            Cdf::Geometric { p } => {
+                let k = x.floor();
+                if k < 0.0 {
+                    0.0
+                } else {
+                    1.0 - (1.0 - p).powf(k + 1.0)
+                }
+            }
+            Cdf::DiscreteUniform { lo, hi } => {
+                let k = x.floor();
+                let n = (hi - lo + 1) as f64;
+                ((k - lo as f64 + 1.0) / n).clamp(0.0, 1.0)
+            }
+        };
+        clamp_unit(p)
+    }
+
+    /// Quantile `F⁻¹(u) = inf{r | u ≤ F(r)}` for `u ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u ∉ [0, 1]`.
+    pub fn quantile(&self, u: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&u), "quantile domain is [0,1], got {u}");
+        if self.is_discrete() {
+            return self.integer_quantile(u);
+        }
+        let (lo, hi) = self.support();
+        if u == 0.0 {
+            return lo;
+        }
+        if u == 1.0 {
+            return hi;
+        }
+        match *self {
+            Cdf::Normal { mu, sigma } => mu + sigma * std_normal_quantile(u),
+            Cdf::Uniform { a, b } => a + u * (b - a),
+            Cdf::Exponential { rate } => -(-u).ln_1p() / rate,
+            Cdf::Cauchy { loc, scale } => {
+                loc + scale * (std::f64::consts::PI * (u - 0.5)).tan()
+            }
+            Cdf::Laplace { loc, scale } => {
+                if u < 0.5 {
+                    loc + scale * (2.0 * u).ln()
+                } else {
+                    loc - scale * (2.0 * (1.0 - u)).ln()
+                }
+            }
+            Cdf::Logistic { loc, scale } => loc + scale * (u / (1.0 - u)).ln(),
+            // Gamma, Beta, StudentT: numeric inversion of a monotone CDF.
+            _ => solve_monotone(|x| self.cdf(x), u, lo, hi)
+                .expect("CDF inversion failed — non-monotone CDF?"),
+        }
+    }
+
+    /// Smallest integer `k` with `F(k) >= u`.
+    fn integer_quantile(&self, u: f64) -> f64 {
+        let (lo, hi) = self.support();
+        if u == 0.0 {
+            return lo;
+        }
+        // Bracket [a, b] with F(a - 1) < u <= F(b) by geometric expansion.
+        let mut a = lo;
+        let mut b = if hi.is_finite() { hi } else { lo.max(1.0) };
+        while b.is_finite() && self.cdf(b) < u {
+            let next = (b + 1.0) * 2.0;
+            if !next.is_finite() {
+                return f64::INFINITY;
+            }
+            b = next;
+        }
+        // Binary search over integers.
+        while b - a > 0.5 {
+            let mid = ((a + b) / 2.0).floor();
+            if self.cdf(mid) >= u {
+                b = mid;
+            } else {
+                a = mid + 1.0;
+            }
+            if a >= b {
+                break;
+            }
+        }
+        a.max(lo)
+    }
+
+    /// Probability density (continuous) or unnormalized point derivative.
+    /// For discrete families use [`Cdf::pmf`].
+    pub fn pdf(&self, x: f64) -> f64 {
+        debug_assert!(!self.is_discrete(), "pdf called on a discrete CDF");
+        match *self {
+            Cdf::Normal { mu, sigma } => std_normal_pdf((x - mu) / sigma) / sigma,
+            Cdf::Uniform { a, b } => {
+                if (a..=b).contains(&x) {
+                    1.0 / (b - a)
+                } else {
+                    0.0
+                }
+            }
+            Cdf::Exponential { rate } => {
+                if x < 0.0 {
+                    0.0
+                } else {
+                    rate * (-rate * x).exp()
+                }
+            }
+            Cdf::Gamma { shape, scale } => {
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    let z = x / scale;
+                    ((shape - 1.0) * z.ln() - z - ln_gamma(shape)).exp() / scale
+                }
+            }
+            Cdf::Beta { a, b, scale } => {
+                let z = x / scale;
+                if !(0.0..=1.0).contains(&z) {
+                    0.0
+                } else {
+                    let ln_b = ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b);
+                    ((a - 1.0) * z.ln() + (b - 1.0) * (1.0 - z).ln() - ln_b).exp() / scale
+                }
+            }
+            Cdf::Cauchy { loc, scale } => {
+                let z = (x - loc) / scale;
+                1.0 / (std::f64::consts::PI * scale * (1.0 + z * z))
+            }
+            Cdf::Laplace { loc, scale } => {
+                (-(x - loc).abs() / scale).exp() / (2.0 * scale)
+            }
+            Cdf::Logistic { loc, scale } => {
+                let e = (-(x - loc) / scale).exp();
+                e / (scale * (1.0 + e) * (1.0 + e))
+            }
+            Cdf::StudentT { df } => {
+                let ln_c = ln_gamma((df + 1.0) / 2.0)
+                    - ln_gamma(df / 2.0)
+                    - 0.5 * (df * std::f64::consts::PI).ln();
+                (ln_c - (df + 1.0) / 2.0 * (1.0 + x * x / df).ln()).exp()
+            }
+            _ => unreachable!("discrete families handled by pmf"),
+        }
+    }
+
+    /// Probability mass at integer `k` for discrete families.
+    pub fn pmf(&self, k: f64) -> f64 {
+        debug_assert!(self.is_discrete(), "pmf called on a continuous CDF");
+        if !sppl_num::float::is_integer(k) {
+            return 0.0;
+        }
+        match *self {
+            Cdf::Poisson { mu } => {
+                if k < 0.0 {
+                    0.0
+                } else {
+                    (k * mu.ln() - mu - ln_gamma(k + 1.0)).exp()
+                }
+            }
+            Cdf::Binomial { n, p } => {
+                if k < 0.0 || k > n as f64 {
+                    0.0
+                } else if p == 0.0 {
+                    if k == 0.0 { 1.0 } else { 0.0 }
+                } else if p == 1.0 {
+                    if k == n as f64 { 1.0 } else { 0.0 }
+                } else {
+                    (ln_choose(n, k as u64) + k * p.ln() + (n as f64 - k) * (1.0 - p).ln())
+                        .exp()
+                }
+            }
+            Cdf::Geometric { p } => {
+                if k < 0.0 {
+                    0.0
+                } else {
+                    p * (1.0 - p).powf(k)
+                }
+            }
+            Cdf::DiscreteUniform { lo, hi } => {
+                if k < lo as f64 || k > hi as f64 {
+                    0.0
+                } else {
+                    1.0 / (hi - lo + 1) as f64
+                }
+            }
+            _ => unreachable!("continuous families handled by pdf"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sppl_num::float::approx_eq;
+
+    #[test]
+    fn normal_cdf_values() {
+        let n = Cdf::normal(1.0, 2.0);
+        assert!(approx_eq(n.cdf(1.0), 0.5, 1e-12));
+        assert!(approx_eq(n.cdf(3.0), 0.8413447460685429, 1e-10));
+        assert_eq!(n.cdf(f64::NEG_INFINITY), 0.0);
+        assert_eq!(n.cdf(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn uniform_cdf_quantile() {
+        let u = Cdf::uniform(2.0, 6.0);
+        assert_eq!(u.cdf(4.0), 0.5);
+        assert_eq!(u.quantile(0.25), 3.0);
+        assert_eq!(u.cdf(1.0), 0.0);
+        assert_eq!(u.cdf(7.0), 1.0);
+    }
+
+    #[test]
+    fn exponential_roundtrip() {
+        let e = Cdf::exponential(2.0);
+        for &u in &[0.1, 0.5, 0.9] {
+            assert!(approx_eq(e.cdf(e.quantile(u)), u, 1e-12));
+        }
+    }
+
+    #[test]
+    fn gamma_cdf_is_exponential_at_shape_one() {
+        let g = Cdf::gamma(1.0, 0.5); // == exponential(2)
+        let e = Cdf::exponential(2.0);
+        for &x in &[0.1, 1.0, 3.0] {
+            assert!(approx_eq(g.cdf(x), e.cdf(x), 1e-12));
+        }
+    }
+
+    #[test]
+    fn gamma_quantile_numeric() {
+        let g = Cdf::gamma(3.0, 1.0);
+        for &u in &[0.05, 0.5, 0.95] {
+            let x = g.quantile(u);
+            assert!(approx_eq(g.cdf(x), u, 1e-9), "u={u} x={x}");
+        }
+    }
+
+    #[test]
+    fn beta_cdf_uniform_case() {
+        let b = Cdf::beta(1.0, 1.0);
+        assert!(approx_eq(b.cdf(0.3), 0.3, 1e-12));
+        let scaled = Cdf::beta_scaled(1.0, 1.0, 7.0);
+        assert!(approx_eq(scaled.cdf(3.5), 0.5, 1e-12));
+    }
+
+    #[test]
+    fn student_t_symmetry() {
+        let t = Cdf::student_t(5.0);
+        assert!(approx_eq(t.cdf(0.0), 0.5, 1e-12));
+        for &x in &[0.5, 1.3, 2.7] {
+            assert!(approx_eq(t.cdf(x) + t.cdf(-x), 1.0, 1e-10));
+        }
+    }
+
+    #[test]
+    fn student_t_matches_cauchy_at_df_one() {
+        let t = Cdf::student_t(1.0);
+        let c = Cdf::cauchy(0.0, 1.0);
+        for &x in &[-2.0, -0.5, 0.7, 3.0] {
+            assert!(approx_eq(t.cdf(x), c.cdf(x), 1e-9), "x={x}");
+        }
+    }
+
+    #[test]
+    fn poisson_cdf_matches_pmf_sum() {
+        let p = Cdf::poisson(3.5);
+        let mut acc = 0.0;
+        for k in 0..15 {
+            acc += p.pmf(k as f64);
+            assert!(
+                approx_eq(p.cdf(k as f64), acc, 1e-10),
+                "k={k}: {} vs {}",
+                p.cdf(k as f64),
+                acc
+            );
+        }
+        // Càdlàg between integers.
+        assert_eq!(p.cdf(2.5), p.cdf(2.0));
+        assert_eq!(p.cdf(-0.5), 0.0);
+    }
+
+    #[test]
+    fn binomial_cdf_matches_pmf_sum() {
+        let b = Cdf::binomial(10, 0.3);
+        let mut acc = 0.0;
+        for k in 0..=10 {
+            acc += b.pmf(k as f64);
+            assert!(approx_eq(b.cdf(k as f64), acc, 1e-10), "k={k}");
+        }
+        assert!(approx_eq(acc, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn binomial_degenerate_p() {
+        let b0 = Cdf::binomial(5, 0.0);
+        assert_eq!(b0.pmf(0.0), 1.0);
+        assert_eq!(b0.cdf(0.0), 1.0);
+        let b1 = Cdf::binomial(5, 1.0);
+        assert_eq!(b1.pmf(5.0), 1.0);
+        assert_eq!(b1.cdf(4.0), 0.0);
+    }
+
+    #[test]
+    fn geometric_cdf() {
+        let g = Cdf::geometric(0.25);
+        assert!(approx_eq(g.cdf(0.0), 0.25, 1e-12));
+        assert!(approx_eq(g.pmf(2.0), 0.25 * 0.75 * 0.75, 1e-12));
+    }
+
+    #[test]
+    fn discrete_uniform_cdf() {
+        let d = Cdf::discrete_uniform(1, 4);
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert_eq!(d.cdf(2.0), 0.5);
+        assert_eq!(d.cdf(4.0), 1.0);
+        assert_eq!(d.pmf(3.0), 0.25);
+        assert_eq!(d.pmf(3.5), 0.0);
+    }
+
+    #[test]
+    fn integer_quantile_is_inf_of_upper_set() {
+        let p = Cdf::poisson(4.0);
+        for &u in &[0.01, 0.3, 0.77, 0.999] {
+            let k = p.quantile(u);
+            assert!(p.cdf(k) >= u);
+            assert!(k == 0.0 || p.cdf(k - 1.0) < u);
+        }
+        let b = Cdf::binomial(20, 0.5);
+        assert_eq!(b.quantile(1.0), 20.0);
+        assert_eq!(b.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn pmf_zero_on_non_integers() {
+        assert_eq!(Cdf::poisson(2.0).pmf(1.5), 0.0);
+    }
+
+    #[test]
+    fn continuous_quantile_roundtrips() {
+        for cdf in [
+            Cdf::normal(-2.0, 0.7),
+            Cdf::laplace(1.0, 2.0),
+            Cdf::logistic(0.0, 1.5),
+            Cdf::cauchy(3.0, 0.5),
+            Cdf::beta(2.0, 5.0),
+            Cdf::student_t(7.0),
+        ] {
+            for &u in &[0.05, 0.35, 0.5, 0.82, 0.99] {
+                let x = cdf.quantile(u);
+                assert!(
+                    approx_eq(cdf.cdf(x), u, 1e-8),
+                    "{cdf:?} u={u} x={x} cdf={}",
+                    cdf.cdf(x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_sigma_panics() {
+        Cdf::normal(0.0, 0.0);
+    }
+}

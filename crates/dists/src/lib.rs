@@ -1,0 +1,34 @@
+//! Primitive probability distributions for SPPL (Lst. 1e / Lst. 9e).
+//!
+//! The paper's calculus builds multivariate distributions out of three
+//! primitive families, each a *restriction* of a base cumulative
+//! distribution function (CDF) to a sub-support:
+//!
+//! * [`DistReal`] — a continuous real distribution restricted to an
+//!   interval of positive measure,
+//! * [`DistInt`] — an integer-valued distribution restricted to an integer
+//!   range,
+//! * [`DistStr`] — a nominal (categorical) distribution over strings,
+//! * plus [`Distribution::Atomic`], a point mass on a real location (the
+//!   `atom(r)` primitive of the surface language and the result of
+//!   conditioning a `DistInt` on a single integer).
+//!
+//! Base CDFs live in the [`Cdf`] enum; restricted distributions are
+//! sampled with the truncated integral probability transform of
+//! Prop. A.1: draw `u ~ Uniform(F(lo), F(hi))` and return `F⁻¹(u)`.
+//!
+//! # Example
+//!
+//! ```
+//! use sppl_dists::{Cdf, DistReal};
+//! use sppl_sets::Interval;
+//! let d = DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap();
+//! let p = d.measure_interval(&Interval::closed(-1.0, 1.0));
+//! assert!((p - 0.6826894921370859).abs() < 1e-9);
+//! ```
+
+mod cdf;
+mod dist;
+
+pub use cdf::Cdf;
+pub use dist::{DistInt, DistReal, DistStr, Distribution};

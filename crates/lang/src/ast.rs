@@ -1,0 +1,216 @@
+//! Abstract syntax of the SPPL surface language (Lst. 2).
+
+use crate::diagnostics::Span;
+
+/// A complete program: a sequence of commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Top-level commands in order.
+    pub commands: Vec<Command>,
+}
+
+/// Assignment / sampling targets: a scalar variable or an array element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// A scalar program variable.
+    Var(String),
+    /// `name[index]` with an arbitrary (constant-evaluable) index.
+    Indexed(String, Expr),
+}
+
+/// A command (statement) of the language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `x = E` — a deterministic assignment (constant or derived
+    /// random variable) or `x = array(E)` (array declaration).
+    Assign {
+        /// The assigned variable or element.
+        target: Target,
+        /// Right-hand side.
+        expr: Expr,
+        /// Source position.
+        span: Span,
+    },
+    /// `x ~ E` — sample from a distribution.
+    Sample {
+        /// The sampled variable or element.
+        target: Target,
+        /// Distribution expression.
+        expr: Expr,
+        /// Source position.
+        span: Span,
+    },
+    /// `skip` — no-op.
+    Skip,
+    /// `if E { C } elif E { C } ... else { C }`.
+    If {
+        /// `(guard, body)` pairs, first match wins.
+        arms: Vec<(Expr, Vec<Command>)>,
+        /// The `else` body, if present.
+        otherwise: Option<Vec<Command>>,
+        /// Source position.
+        span: Span,
+    },
+    /// `condition(E)` — restrict executions to those satisfying `E`.
+    Condition {
+        /// The conditioning predicate.
+        expr: Expr,
+        /// Source position.
+        span: Span,
+    },
+    /// `for x in range(E1, E2) { C }` — bounded iteration (unrolled).
+    For {
+        /// Loop variable (a compile-time constant in the body).
+        var: String,
+        /// Inclusive lower bound (defaults to 0 when absent in source).
+        lo: Expr,
+        /// Exclusive upper bound.
+        hi: Expr,
+        /// Loop body.
+        body: Vec<Command>,
+        /// Source position.
+        span: Span,
+    },
+    /// `switch E cases (x in E') { C }` — the macro of Eq. 4.
+    Switch {
+        /// The scrutinized expression (a random variable).
+        subject: Expr,
+        /// The binder substituted into the body for each case value.
+        binder: String,
+        /// The list of case values.
+        values: Expr,
+        /// Case body (instantiated once per value).
+        body: Vec<Command>,
+        /// Source position.
+        span: Span,
+    },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `**`
+    Pow,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Numeric negation.
+    Neg,
+    /// Logical negation (`not`).
+    Not,
+}
+
+/// Comparison operators (chainable: `a < b <= c`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `in`
+    In,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64, Span),
+    /// String literal.
+    Str(String, Span),
+    /// Boolean literal.
+    Bool(bool, Span),
+    /// Variable reference.
+    Ident(String, Span),
+    /// List literal `[e, …]`.
+    List(Vec<Expr>, Span),
+    /// Dict literal `{k: v, …}` (used by `choice` and `discrete`).
+    Dict(Vec<(Expr, Expr)>, Span),
+    /// Indexing `e[i]`.
+    Index(Box<Expr>, Box<Expr>, Span),
+    /// Function call `f(args, k=v, …)`.
+    Call {
+        /// Function name.
+        func: String,
+        /// Positional arguments.
+        args: Vec<Expr>,
+        /// Keyword arguments.
+        kwargs: Vec<(String, Expr)>,
+        /// Source position.
+        span: Span,
+    },
+    /// Method call `e.m(args)` (e.g. `bin.mean()`).
+    MethodCall {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source position.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>, Span),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>, Span),
+    /// Chained comparison `e0 op1 e1 op2 e2 …`.
+    Compare(Box<Expr>, Vec<(CmpOp, Expr)>, Span),
+}
+
+impl Expr {
+    /// The expression's source position.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Num(_, s)
+            | Expr::Str(_, s)
+            | Expr::Bool(_, s)
+            | Expr::Ident(_, s)
+            | Expr::List(_, s)
+            | Expr::Dict(_, s)
+            | Expr::Index(_, _, s)
+            | Expr::Call { span: s, .. }
+            | Expr::MethodCall { span: s, .. }
+            | Expr::Unary(_, _, s)
+            | Expr::Binary(_, _, _, s)
+            | Expr::Compare(_, _, s) => *s,
+        }
+    }
+}
+
+impl Command {
+    /// The command's source position (skip has none).
+    pub fn span(&self) -> Span {
+        match self {
+            Command::Assign { span, .. }
+            | Command::Sample { span, .. }
+            | Command::If { span, .. }
+            | Command::Condition { span, .. }
+            | Command::For { span, .. }
+            | Command::Switch { span, .. } => *span,
+            Command::Skip => Span::unknown(),
+        }
+    }
+}

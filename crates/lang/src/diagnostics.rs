@@ -1,0 +1,73 @@
+//! Source spans and user-facing diagnostics.
+
+use std::fmt;
+
+/// A half-open region of the source text, tracked as 1-based line/column
+/// of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line number (0 when unknown).
+    pub line: usize,
+    /// 1-based column number (0 when unknown).
+    pub col: usize,
+}
+
+impl Span {
+    /// A span at a known position.
+    pub fn new(line: usize, col: usize) -> Span {
+        Span { line, col }
+    }
+
+    /// A placeholder for errors with no source location (e.g. raised
+    /// by the inference engine during translation).
+    pub fn unknown() -> Span {
+        Span { line: 0, col: 0 }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "<unknown>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+/// A compilation error with a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// Where the problem was detected.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl LangError {
+    /// Creates an error at a position.
+    pub fn new<S: Into<String>>(span: Span, message: S) -> LangError {
+        LangError { span, message: message.into() }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = LangError::new(Span::new(3, 7), "unexpected token");
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+        let u = LangError::new(Span::unknown(), "boom");
+        assert!(u.to_string().starts_with("<unknown>"));
+    }
+}

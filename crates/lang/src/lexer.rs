@@ -1,0 +1,459 @@
+//! Hand-written lexer for the SPPL surface syntax.
+//!
+//! Statements are newline-terminated (like Python), but newlines inside
+//! parentheses, brackets, or braces-as-dict are insignificant; `#` starts
+//! a line comment. Both `'…'` and `"…"` string literals are accepted.
+
+use crate::diagnostics::{LangError, Span};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or non-reserved word.
+    Ident(String),
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (quotes stripped).
+    Str(String),
+    /// Reserved keyword.
+    Kw(Kw),
+    /// Punctuation / operator.
+    Sym(Sym),
+    /// Statement separator (newline or `;`).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+/// Reserved keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    If,
+    Elif,
+    Else,
+    For,
+    In,
+    Range,
+    Switch,
+    Cases,
+    Condition,
+    Skip,
+    And,
+    Or,
+    Not,
+    True,
+    False,
+}
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Dot,
+    Tilde,
+    Assign,
+    EqEq,
+    NotEq,
+    Le,
+    Lt,
+    Ge,
+    Gt,
+    Plus,
+    Minus,
+    Star,
+    StarStar,
+    Slash,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind.
+    pub tok: Tok,
+    /// Start position.
+    pub span: Span,
+}
+
+/// Tokenizes a source string.
+///
+/// # Errors
+///
+/// Returns [`LangError`] on unterminated strings, malformed numbers, or
+/// unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
+    let mut out: Vec<Token> = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut depth = 0usize; // () and [] nesting: newlines insignificant inside
+
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            out.push(Token { tok: $tok, span: Span::new($l, $c) })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (l0, c0) = (line, col);
+        match c {
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '\n' => {
+                if depth == 0 {
+                    if !matches!(out.last().map(|t| &t.tok), Some(Tok::Newline) | None) {
+                        push!(Tok::Newline, l0, c0);
+                    }
+                }
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                    col += 1;
+                }
+            }
+            ';' => {
+                push!(Tok::Newline, l0, c0);
+                i += 1;
+                col += 1;
+            }
+            '(' => {
+                depth += 1;
+                push!(Tok::Sym(Sym::LParen), l0, c0);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                push!(Tok::Sym(Sym::RParen), l0, c0);
+                i += 1;
+                col += 1;
+            }
+            '[' => {
+                depth += 1;
+                push!(Tok::Sym(Sym::LBracket), l0, c0);
+                i += 1;
+                col += 1;
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                push!(Tok::Sym(Sym::RBracket), l0, c0);
+                i += 1;
+                col += 1;
+            }
+            '{' => {
+                push!(Tok::Sym(Sym::LBrace), l0, c0);
+                i += 1;
+                col += 1;
+            }
+            '}' => {
+                push!(Tok::Sym(Sym::RBrace), l0, c0);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push!(Tok::Sym(Sym::Comma), l0, c0);
+                i += 1;
+                col += 1;
+            }
+            ':' => {
+                push!(Tok::Sym(Sym::Colon), l0, c0);
+                i += 1;
+                col += 1;
+            }
+            '.' => {
+                // Could be the start of a number like `.5`.
+                if i + 1 < chars.len() && chars[i + 1].is_ascii_digit() {
+                    let (n, len) = lex_number(&chars[i..], l0, c0)?;
+                    push!(Tok::Num(n), l0, c0);
+                    i += len;
+                    col += len;
+                } else {
+                    push!(Tok::Sym(Sym::Dot), l0, c0);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '~' => {
+                push!(Tok::Sym(Sym::Tilde), l0, c0);
+                i += 1;
+                col += 1;
+            }
+            '=' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    push!(Tok::Sym(Sym::EqEq), l0, c0);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Sym(Sym::Assign), l0, c0);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    push!(Tok::Sym(Sym::NotEq), l0, c0);
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(LangError::new(Span::new(l0, c0), "unexpected `!`"));
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    push!(Tok::Sym(Sym::Le), l0, c0);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Sym(Sym::Lt), l0, c0);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    push!(Tok::Sym(Sym::Ge), l0, c0);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Sym(Sym::Gt), l0, c0);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '+' => {
+                push!(Tok::Sym(Sym::Plus), l0, c0);
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                push!(Tok::Sym(Sym::Minus), l0, c0);
+                i += 1;
+                col += 1;
+            }
+            '*' => {
+                if chars.get(i + 1) == Some(&'*') {
+                    push!(Tok::Sym(Sym::StarStar), l0, c0);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Sym(Sym::Star), l0, c0);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '/' => {
+                push!(Tok::Sym(Sym::Slash), l0, c0);
+                i += 1;
+                col += 1;
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match chars.get(j) {
+                        None | Some('\n') => {
+                            return Err(LangError::new(
+                                Span::new(l0, c0),
+                                "unterminated string literal",
+                            ))
+                        }
+                        Some(&ch) if ch == quote => break,
+                        Some(&ch) => {
+                            s.push(ch);
+                            j += 1;
+                        }
+                    }
+                }
+                let len = j + 1 - i;
+                push!(Tok::Str(s), l0, c0);
+                i += len;
+                col += len;
+            }
+            d if d.is_ascii_digit() => {
+                let (n, len) = lex_number(&chars[i..], l0, c0)?;
+                push!(Tok::Num(n), l0, c0);
+                i += len;
+                col += len;
+            }
+            a if a.is_alphabetic() || a == '_' => {
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let word: String = chars[i..j].iter().collect();
+                let len = j - i;
+                let tok = match word.as_str() {
+                    "if" => Tok::Kw(Kw::If),
+                    "elif" => Tok::Kw(Kw::Elif),
+                    "else" => Tok::Kw(Kw::Else),
+                    "for" => Tok::Kw(Kw::For),
+                    "in" => Tok::Kw(Kw::In),
+                    "range" => Tok::Kw(Kw::Range),
+                    "switch" => Tok::Kw(Kw::Switch),
+                    "cases" => Tok::Kw(Kw::Cases),
+                    "condition" => Tok::Kw(Kw::Condition),
+                    "skip" => Tok::Kw(Kw::Skip),
+                    "and" => Tok::Kw(Kw::And),
+                    "or" => Tok::Kw(Kw::Or),
+                    "not" => Tok::Kw(Kw::Not),
+                    "true" | "True" => Tok::Kw(Kw::True),
+                    "false" | "False" => Tok::Kw(Kw::False),
+                    _ => Tok::Ident(word),
+                };
+                push!(tok, l0, c0);
+                i += len;
+                col += len;
+            }
+            other => {
+                return Err(LangError::new(
+                    Span::new(l0, c0),
+                    format!("unexpected character {other:?}"),
+                ))
+            }
+        }
+    }
+    if !matches!(out.last().map(|t| &t.tok), Some(Tok::Newline) | None) {
+        out.push(Token { tok: Tok::Newline, span: Span::new(line, col) });
+    }
+    out.push(Token { tok: Tok::Eof, span: Span::new(line, col) });
+    Ok(out)
+}
+
+fn lex_number(chars: &[char], line: usize, col: usize) -> Result<(f64, usize), LangError> {
+    let mut j = 0;
+    let mut seen_dot = false;
+    let mut seen_exp = false;
+    while j < chars.len() {
+        let c = chars[j];
+        if c.is_ascii_digit() {
+            j += 1;
+        } else if c == '.' && !seen_dot && !seen_exp {
+            // Don't swallow a method-call dot like `2.sqrt()` — but SPPL
+            // numbers never have methods, so `.` followed by a digit only.
+            if chars.get(j + 1).is_some_and(|d| d.is_ascii_digit()) || j == 0 {
+                seen_dot = true;
+                j += 1;
+            } else {
+                break;
+            }
+        } else if (c == 'e' || c == 'E') && !seen_exp && j > 0 {
+            seen_exp = true;
+            j += 1;
+            if matches!(chars.get(j), Some('+') | Some('-')) {
+                j += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    let text: String = chars[..j].iter().collect();
+    text.parse::<f64>()
+        .map(|n| (n, j))
+        .map_err(|_| LangError::new(Span::new(line, col), format!("malformed number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_statement() {
+        let toks = kinds("X ~ normal(0, 1)");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("X".into()),
+                Tok::Sym(Sym::Tilde),
+                Tok::Ident("normal".into()),
+                Tok::Sym(Sym::LParen),
+                Tok::Num(0.0),
+                Tok::Sym(Sym::Comma),
+                Tok::Num(1.0),
+                Tok::Sym(Sym::RParen),
+                Tok::Newline,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn newlines_inside_parens_ignored() {
+        let toks = kinds("f(1,\n 2)");
+        assert!(!toks[..toks.len() - 2].contains(&Tok::Newline));
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let toks = kinds("X = 1 # the mean\nY = 2");
+        let count = toks.iter().filter(|t| matches!(t, Tok::Num(_))).count();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("0.5")[0], Tok::Num(0.5));
+        assert_eq!(kinds(".25")[0], Tok::Num(0.25));
+        assert_eq!(kinds("1e-3")[0], Tok::Num(0.001));
+        assert_eq!(kinds("2E2")[0], Tok::Num(200.0));
+    }
+
+    #[test]
+    fn strings_both_quotes() {
+        assert_eq!(kinds("'abc'")[0], Tok::Str("abc".into()));
+        assert_eq!(kinds("\"x y\"")[0], Tok::Str("x y".into()));
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        let toks = kinds("a <= b ** 2 != c");
+        assert!(toks.contains(&Tok::Sym(Sym::Le)));
+        assert!(toks.contains(&Tok::Sym(Sym::StarStar)));
+        assert!(toks.contains(&Tok::Sym(Sym::NotEq)));
+    }
+
+    #[test]
+    fn keywords_vs_idents() {
+        let toks = kinds("if iffy");
+        assert_eq!(toks[0], Tok::Kw(Kw::If));
+        assert_eq!(toks[1], Tok::Ident("iffy".into()));
+    }
+
+    #[test]
+    fn method_dot() {
+        let toks = kinds("m.mean()");
+        assert!(toks.contains(&Tok::Sym(Sym::Dot)));
+    }
+
+    #[test]
+    fn semicolon_is_newline() {
+        let toks = kinds("skip; skip");
+        let newlines = toks.iter().filter(|t| matches!(t, Tok::Newline)).count();
+        assert_eq!(newlines, 2);
+    }
+
+    #[test]
+    fn error_position() {
+        let err = lex("X = @").unwrap_err();
+        assert_eq!(err.span, Span::new(1, 5));
+    }
+}

@@ -1,0 +1,646 @@
+//! Recursive-descent parser for the SPPL surface syntax (Lst. 2).
+
+use crate::ast::{BinOp, CmpOp, Command, Expr, Program, Target, UnOp};
+use crate::diagnostics::{LangError, Span};
+use crate::lexer::{lex, Kw, Sym, Tok, Token};
+
+/// Parses a full program.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] with the position of the first syntax error.
+pub fn parse(source: &str) -> Result<Program, LangError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { toks: tokens, pos: 0 };
+    let commands = p.commands_until_eof()?;
+    Ok(Program { commands })
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|t| &t.tok)
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_sym(&mut self, s: Sym) -> Result<(), LangError> {
+        if self.peek() == &Tok::Sym(s) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.expected(&format!("`{s:?}`")))
+        }
+    }
+
+    fn eat_kw(&mut self, k: Kw) -> Result<(), LangError> {
+        if self.peek() == &Tok::Kw(k) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.expected(&format!("keyword `{k:?}`")))
+        }
+    }
+
+    fn expected(&self, what: &str) -> LangError {
+        LangError::new(self.span(), format!("expected {what}, found {:?}", self.peek()))
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Tok::Newline) {
+            self.bump();
+        }
+    }
+
+    fn end_of_command(&mut self) -> Result<(), LangError> {
+        match self.peek() {
+            Tok::Newline => {
+                self.skip_newlines();
+                Ok(())
+            }
+            Tok::Eof | Tok::Sym(Sym::RBrace) => Ok(()),
+            _ => Err(self.expected("end of statement")),
+        }
+    }
+
+    fn commands_until_eof(&mut self) -> Result<Vec<Command>, LangError> {
+        let mut out = Vec::new();
+        self.skip_newlines();
+        while !matches!(self.peek(), Tok::Eof) {
+            out.push(self.command()?);
+            self.skip_newlines();
+        }
+        Ok(out)
+    }
+
+    fn block(&mut self) -> Result<Vec<Command>, LangError> {
+        self.skip_newlines();
+        self.eat_sym(Sym::LBrace)?;
+        let mut out = Vec::new();
+        self.skip_newlines();
+        while self.peek() != &Tok::Sym(Sym::RBrace) {
+            if matches!(self.peek(), Tok::Eof) {
+                return Err(self.expected("`}`"));
+            }
+            out.push(self.command()?);
+            self.skip_newlines();
+        }
+        self.eat_sym(Sym::RBrace)?;
+        Ok(out)
+    }
+
+    fn command(&mut self) -> Result<Command, LangError> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Kw(Kw::Skip) => {
+                self.bump();
+                self.end_of_command()?;
+                Ok(Command::Skip)
+            }
+            Tok::Kw(Kw::Condition) => {
+                self.bump();
+                self.eat_sym(Sym::LParen)?;
+                let expr = self.expr()?;
+                self.eat_sym(Sym::RParen)?;
+                self.end_of_command()?;
+                Ok(Command::Condition { expr, span })
+            }
+            Tok::Kw(Kw::If) => {
+                self.bump();
+                let mut arms = Vec::new();
+                let guard = self.expr()?;
+                let body = self.block()?;
+                arms.push((guard, body));
+                let mut otherwise = None;
+                loop {
+                    self.skip_newlines();
+                    match self.peek() {
+                        Tok::Kw(Kw::Elif) => {
+                            self.bump();
+                            let g = self.expr()?;
+                            let b = self.block()?;
+                            arms.push((g, b));
+                        }
+                        Tok::Kw(Kw::Else) => {
+                            self.bump();
+                            otherwise = Some(self.block()?);
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                Ok(Command::If { arms, otherwise, span })
+            }
+            Tok::Kw(Kw::For) => {
+                self.bump();
+                let var = self.ident()?;
+                self.eat_kw(Kw::In)?;
+                self.eat_kw(Kw::Range)?;
+                self.eat_sym(Sym::LParen)?;
+                let first = self.expr()?;
+                let (lo, hi) = if self.peek() == &Tok::Sym(Sym::Comma) {
+                    self.bump();
+                    let second = self.expr()?;
+                    (first, second)
+                } else {
+                    (Expr::Num(0.0, span), first)
+                };
+                self.eat_sym(Sym::RParen)?;
+                let body = self.block()?;
+                Ok(Command::For { var, lo, hi, body, span })
+            }
+            Tok::Kw(Kw::Switch) => {
+                self.bump();
+                let subject = self.expr()?;
+                self.eat_kw(Kw::Cases)?;
+                self.eat_sym(Sym::LParen)?;
+                let binder = self.ident()?;
+                self.eat_kw(Kw::In)?;
+                let values = self.expr()?;
+                self.eat_sym(Sym::RParen)?;
+                let body = self.block()?;
+                Ok(Command::Switch { subject, binder, values, body, span })
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                let target = if self.peek() == &Tok::Sym(Sym::LBracket) {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.eat_sym(Sym::RBracket)?;
+                    Target::Indexed(name, idx)
+                } else {
+                    Target::Var(name)
+                };
+                match self.peek() {
+                    Tok::Sym(Sym::Assign) => {
+                        self.bump();
+                        let expr = self.expr()?;
+                        self.end_of_command()?;
+                        Ok(Command::Assign { target, expr, span })
+                    }
+                    Tok::Sym(Sym::Tilde) => {
+                        self.bump();
+                        let expr = self.expr()?;
+                        self.end_of_command()?;
+                        Ok(Command::Sample { target, expr, span })
+                    }
+                    _ => Err(self.expected("`=` or `~`")),
+                }
+            }
+            other => Err(LangError::new(
+                span,
+                format!("expected a statement, found {other:?}"),
+            )),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.expected("identifier")),
+        }
+    }
+
+    // ----- expressions, lowest to highest precedence -----
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &Tok::Kw(Kw::Or) {
+            let span = self.span();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.not_expr()?;
+        while self.peek() == &Tok::Kw(Kw::And) {
+            let span = self.span();
+            self.bump();
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, LangError> {
+        if self.peek() == &Tok::Kw(Kw::Not) {
+            let span = self.span();
+            self.bump();
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(inner), span));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, LangError> {
+        let span = self.span();
+        let first = self.arith()?;
+        let mut chain: Vec<(CmpOp, Expr)> = Vec::new();
+        loop {
+            let op = match self.peek() {
+                Tok::Sym(Sym::Lt) => CmpOp::Lt,
+                Tok::Sym(Sym::Le) => CmpOp::Le,
+                Tok::Sym(Sym::Gt) => CmpOp::Gt,
+                Tok::Sym(Sym::Ge) => CmpOp::Ge,
+                Tok::Sym(Sym::EqEq) => CmpOp::Eq,
+                Tok::Sym(Sym::NotEq) => CmpOp::Ne,
+                Tok::Kw(Kw::In) => CmpOp::In,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.arith()?;
+            chain.push((op, rhs));
+        }
+        if chain.is_empty() {
+            Ok(first)
+        } else {
+            Ok(Expr::Compare(Box::new(first), chain, span))
+        }
+    }
+
+    fn arith(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Sym(Sym::Plus) => BinOp::Add,
+                Tok::Sym(Sym::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Sym(Sym::Star) => BinOp::Mul,
+                Tok::Sym(Sym::Slash) => BinOp::Div,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.factor()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr, LangError> {
+        if self.peek() == &Tok::Sym(Sym::Minus) {
+            let span = self.span();
+            self.bump();
+            let inner = self.factor()?;
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(inner), span));
+        }
+        self.power()
+    }
+
+    fn power(&mut self) -> Result<Expr, LangError> {
+        let base = self.postfix()?;
+        if self.peek() == &Tok::Sym(Sym::StarStar) {
+            let span = self.span();
+            self.bump();
+            // Right-associative; exponent may be negated.
+            let exp = self.factor()?;
+            return Ok(Expr::Binary(BinOp::Pow, Box::new(base), Box::new(exp), span));
+        }
+        Ok(base)
+    }
+
+    fn postfix(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.atom()?;
+        loop {
+            match self.peek() {
+                Tok::Sym(Sym::LParen) => {
+                    // Call syntax is only valid on a bare identifier.
+                    let Expr::Ident(name, span) = e.clone() else {
+                        return Err(self.expected("method or operator (only named functions are callable)"));
+                    };
+                    self.bump();
+                    let (args, kwargs) = self.call_args()?;
+                    e = Expr::Call { func: name, args, kwargs, span };
+                }
+                Tok::Sym(Sym::LBracket) => {
+                    let span = self.span();
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.eat_sym(Sym::RBracket)?;
+                    e = Expr::Index(Box::new(e), Box::new(idx), span);
+                }
+                Tok::Sym(Sym::Dot) => {
+                    let span = self.span();
+                    self.bump();
+                    let method = self.ident()?;
+                    self.eat_sym(Sym::LParen)?;
+                    let (args, kwargs) = self.call_args()?;
+                    if !kwargs.is_empty() {
+                        return Err(LangError::new(span, "methods take no keyword arguments"));
+                    }
+                    e = Expr::MethodCall { recv: Box::new(e), method, args, span };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn call_args(&mut self) -> Result<(Vec<Expr>, Vec<(String, Expr)>), LangError> {
+        let mut args = Vec::new();
+        let mut kwargs = Vec::new();
+        if self.peek() == &Tok::Sym(Sym::RParen) {
+            self.bump();
+            return Ok((args, kwargs));
+        }
+        loop {
+            // keyword argument: IDENT '=' expr
+            if let (Tok::Ident(name), Some(Tok::Sym(Sym::Assign))) =
+                (self.peek().clone(), self.peek2())
+            {
+                self.bump();
+                self.bump();
+                let v = self.expr()?;
+                kwargs.push((name, v));
+            } else {
+                if !kwargs.is_empty() {
+                    return Err(self.expected("keyword argument (positional after keyword)"));
+                }
+                args.push(self.expr()?);
+            }
+            match self.peek() {
+                Tok::Sym(Sym::Comma) => {
+                    self.bump();
+                }
+                Tok::Sym(Sym::RParen) => {
+                    self.bump();
+                    break;
+                }
+                _ => return Err(self.expected("`,` or `)`")),
+            }
+        }
+        Ok((args, kwargs))
+    }
+
+    fn atom(&mut self) -> Result<Expr, LangError> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Num(n) => {
+                self.bump();
+                Ok(Expr::Num(n, span))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s, span))
+            }
+            Tok::Kw(Kw::True) => {
+                self.bump();
+                Ok(Expr::Bool(true, span))
+            }
+            Tok::Kw(Kw::False) => {
+                self.bump();
+                Ok(Expr::Bool(false, span))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(Expr::Ident(name, span))
+            }
+            Tok::Kw(Kw::Range) => {
+                // `range(n)` in expression position (switch case lists).
+                self.bump();
+                self.eat_sym(Sym::LParen)?;
+                let (args, _) = self.call_args()?;
+                Ok(Expr::Call { func: "range".into(), args, kwargs: vec![], span })
+            }
+            Tok::Sym(Sym::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat_sym(Sym::RParen)?;
+                Ok(e)
+            }
+            Tok::Sym(Sym::LBracket) => {
+                self.bump();
+                let mut items = Vec::new();
+                if self.peek() != &Tok::Sym(Sym::RBracket) {
+                    loop {
+                        items.push(self.expr()?);
+                        match self.peek() {
+                            Tok::Sym(Sym::Comma) => {
+                                self.bump();
+                            }
+                            Tok::Sym(Sym::RBracket) => break,
+                            _ => return Err(self.expected("`,` or `]`")),
+                        }
+                    }
+                }
+                self.eat_sym(Sym::RBracket)?;
+                Ok(Expr::List(items, span))
+            }
+            Tok::Sym(Sym::LBrace) => {
+                self.bump();
+                let mut items = Vec::new();
+                if self.peek() != &Tok::Sym(Sym::RBrace) {
+                    loop {
+                        let k = self.expr()?;
+                        self.eat_sym(Sym::Colon)?;
+                        let v = self.expr()?;
+                        items.push((k, v));
+                        match self.peek() {
+                            Tok::Sym(Sym::Comma) => {
+                                self.bump();
+                            }
+                            Tok::Sym(Sym::RBrace) => break,
+                            _ => return Err(self.expected("`,` or `}`")),
+                        }
+                    }
+                }
+                self.eat_sym(Sym::RBrace)?;
+                Ok(Expr::Dict(items, span))
+            }
+            other => Err(LangError::new(span, format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Command {
+        let p = parse(src).unwrap();
+        assert_eq!(p.commands.len(), 1, "{:?}", p.commands);
+        p.commands.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn sample_statement() {
+        match one("X ~ normal(0, 1)") {
+            Command::Sample { target: Target::Var(n), expr: Expr::Call { func, args, .. }, .. } => {
+                assert_eq!(n, "X");
+                assert_eq!(func, "normal");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn kwargs() {
+        match one("P ~ bernoulli(p=0.1)") {
+            Command::Sample { expr: Expr::Call { kwargs, .. }, .. } => {
+                assert_eq!(kwargs.len(), 1);
+                assert_eq!(kwargs[0].0, "p");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_statements() {
+        match one("Z[0] ~ bernoulli(p=0.5)") {
+            Command::Sample { target: Target::Indexed(n, _), .. } => assert_eq!(n, "Z"),
+            other => panic!("{other:?}"),
+        }
+        match one("Z = array(10)") {
+            Command::Assign { expr: Expr::Call { func, .. }, .. } => assert_eq!(func, "array"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_elif_else() {
+        let src = "if (X < 0) { Y ~ normal(0,1) } elif (X < 1) { Y ~ normal(1,1) } else { Y ~ normal(2,1) }";
+        match one(src) {
+            Command::If { arms, otherwise, .. } => {
+                assert_eq!(arms.len(), 2);
+                assert!(otherwise.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_and_switch() {
+        let src = "for t in range(1, 10) { switch Z cases (z in [0, 1]) { X ~ normal(z, 1) } }";
+        match one(src) {
+            Command::For { var, body, .. } => {
+                assert_eq!(var, "t");
+                assert!(matches!(body[0], Command::Switch { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn chained_comparison() {
+        match one("condition(0 < X < 10)") {
+            Command::Condition { expr: Expr::Compare(_, chain, _), .. } => {
+                assert_eq!(chain.len(), 2);
+                assert_eq!(chain[0].0, CmpOp::Lt);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        // 1 + 2 * 3 ** 2 parses as 1 + (2 * (3 ** 2)).
+        match one("X = 1 + 2 * 3 ** 2") {
+            Command::Assign { expr: Expr::Binary(BinOp::Add, _, rhs, _), .. } => {
+                match *rhs {
+                    Expr::Binary(BinOp::Mul, _, ref inner, _) => {
+                        assert!(matches!(**inner, Expr::Binary(BinOp::Pow, _, _, _)));
+                    }
+                    ref other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dict_literal() {
+        match one("N ~ choice({'a': 0.5, 'b': 0.5})") {
+            Command::Sample { expr: Expr::Call { args, .. }, .. } => {
+                assert!(matches!(args[0], Expr::Dict(ref kv, _) if kv.len() == 2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn method_call() {
+        match one("X ~ poisson(m.mean())") {
+            Command::Sample { expr: Expr::Call { args, .. }, .. } => {
+                assert!(matches!(args[0], Expr::MethodCall { ref method, .. } if method == "mean"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_in_switch_values() {
+        match one("switch N cases (n in range(5)) { skip }") {
+            Command::Switch { values: Expr::Call { func, .. }, .. } => {
+                assert_eq!(func, "range");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_statements() {
+        let p = parse("X ~ normal(0,1)\nY = X + 1\ncondition(Y > 0)").unwrap();
+        assert_eq!(p.commands.len(), 3);
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("X ~ ~").unwrap_err();
+        assert_eq!(err.span.line, 1);
+        let err2 = parse("if (X > 0) { Y ~ normal(0,1)").unwrap_err();
+        assert!(err2.message.contains('}'));
+    }
+
+    #[test]
+    fn negative_exponent_and_unary() {
+        match one("X = -Y ** 2") {
+            // -Y**2 parses as -(Y**2), Python-style.
+            Command::Assign { expr: Expr::Unary(UnOp::Neg, inner, _), .. } => {
+                assert!(matches!(*inner, Expr::Binary(BinOp::Pow, _, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

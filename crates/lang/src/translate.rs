@@ -1,0 +1,1371 @@
+//! Translation from SPPL programs to sum-product expressions — the
+//! `→SPE` relation of Lst. 3, with the restriction checks R1–R4.
+//!
+//! The translator threads a state through the command sequence:
+//!
+//! * `spe` — the sum-product expression over the random variables sampled
+//!   so far (the paper's "current S"),
+//! * `consts` — compile-time constants (loop indices, parameter tables,
+//!   switch binders),
+//! * `arrays` — declared random-variable arrays,
+//! * `rvs` — names of defined random variables (for R1/R2 checks).
+//!
+//! The `(IfElse)` rule conditions the current expression on the guard and
+//! its negation, translates each branch, and mixes the results with the
+//! guard probabilities; `for` unrolls; `switch` desugars per Eq. 4.
+
+use std::collections::{BTreeSet, HashMap};
+
+use sppl_core::condition::condition;
+use sppl_core::event::Event;
+use sppl_core::spe::{Factory, Node, Spe};
+use sppl_core::transform::Transform;
+use sppl_core::var::Var;
+use sppl_dists::{Cdf, DistInt, DistReal, DistStr, Distribution};
+use sppl_num::Polynomial;
+use sppl_sets::{Interval, OutcomeSet};
+
+use crate::ast::{BinOp, CmpOp, Command, Expr, Program, Target, UnOp};
+use crate::diagnostics::{LangError, Span};
+
+/// Translates a parsed program into a sum-product expression.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] on restriction violations (R1–R4), undefined
+/// variables, non-constant distribution parameters, or inference failures
+/// (e.g. a `condition` with probability zero).
+pub fn translate(factory: &Factory, program: &Program) -> Result<Spe, LangError> {
+    let mut t = Translator::new(factory);
+    t.exec_all(&program.commands)?;
+    t.finish()
+}
+
+/// A compile-time constant value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A real number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// A list of constants.
+    List(Vec<Value>),
+    /// A `binspace` bin `[lo, hi)` (closed at `hi` when `last`).
+    Bin {
+        /// Lower edge.
+        lo: f64,
+        /// Upper edge.
+        hi: f64,
+        /// Whether this is the final (closed) bin.
+        last: bool,
+    },
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Bool(_) => "boolean",
+            Value::List(_) => "list",
+            Value::Bin { .. } => "bin",
+        }
+    }
+}
+
+/// Result of evaluating an expression in the current state.
+#[derive(Debug, Clone)]
+enum Evaluated {
+    /// A compile-time constant.
+    Const(Value),
+    /// A (transform of a) random variable.
+    Rv(Transform),
+    /// A distribution object (right-hand side of `~`).
+    Dist(DistSpec),
+    /// A predicate.
+    Event(Event),
+}
+
+/// A distribution expression: either a primitive distribution or a numeric
+/// categorical (`discrete({v: w, …})`), which lowers to a mixture of
+/// atoms at sampling time.
+#[derive(Debug, Clone)]
+enum DistSpec {
+    Simple(Distribution),
+    NumericMixture(Vec<(f64, f64)>),
+}
+
+#[derive(Debug, Clone)]
+struct State {
+    spe: Option<Spe>,
+    consts: HashMap<String, Value>,
+    arrays: HashMap<String, usize>,
+    rvs: BTreeSet<String>,
+}
+
+/// The stateful program translator. Use [`translate`] for the common
+/// one-shot case; the struct is public so callers can inspect the state
+/// (e.g. to enumerate defined variables).
+pub struct Translator<'f> {
+    factory: &'f Factory,
+    state: State,
+}
+
+fn err<S: Into<String>>(span: Span, msg: S) -> LangError {
+    LangError::new(span, msg.into())
+}
+
+impl<'f> Translator<'f> {
+    /// Creates a translator with an empty state.
+    pub fn new(factory: &'f Factory) -> Translator<'f> {
+        Translator {
+            factory,
+            state: State {
+                spe: None,
+                consts: HashMap::new(),
+                arrays: HashMap::new(),
+                rvs: BTreeSet::new(),
+            },
+        }
+    }
+
+    /// Runs a sequence of commands.
+    pub fn exec_all(&mut self, commands: &[Command]) -> Result<(), LangError> {
+        for c in commands {
+            self.exec(c)?;
+        }
+        Ok(())
+    }
+
+    /// The translated expression, if any random variable was sampled.
+    pub fn finish(self) -> Result<Spe, LangError> {
+        self.state.spe.ok_or_else(|| {
+            err(Span::unknown(), "program defines no random variables")
+        })
+    }
+
+    /// The names of the random variables defined so far.
+    pub fn random_variables(&self) -> impl Iterator<Item = &str> {
+        self.state.rvs.iter().map(String::as_str)
+    }
+
+    fn exec(&mut self, cmd: &Command) -> Result<(), LangError> {
+        match cmd {
+            Command::Skip => Ok(()),
+            Command::Assign { target, expr, span } => self.exec_assign(target, expr, *span),
+            Command::Sample { target, expr, span } => self.exec_sample(target, expr, *span),
+            Command::Condition { expr, span } => {
+                let ev = self.eval_event(expr)?;
+                let spe = self.state.spe.as_ref().ok_or_else(|| {
+                    err(*span, "condition before any random variable is defined")
+                })?;
+                let conditioned = condition(self.factory, spe, &ev)
+                    .map_err(|e| err(*span, format!("condition failed: {e}")))?;
+                self.state.spe = Some(conditioned);
+                Ok(())
+            }
+            Command::If { arms, otherwise, span } => {
+                let mut branches: Vec<(Event, Vec<Command>, Option<(String, Value)>)> =
+                    Vec::new();
+                let mut negations: Vec<Event> = Vec::new();
+                for (guard, body) in arms {
+                    let raw = self.eval_event(guard)?;
+                    let mut parts = negations.clone();
+                    parts.push(raw.clone());
+                    branches.push((Event::and(parts), body.clone(), None));
+                    negations.push(raw.negate());
+                }
+                let else_body = otherwise.clone().unwrap_or_default();
+                branches.push((Event::and(negations), else_body, None));
+                self.exec_branches(branches, *span)
+            }
+            Command::For { var, lo, hi, body, span } => {
+                let lo = self.eval_integer(lo)?;
+                let hi = self.eval_integer(hi)?;
+                if hi < lo {
+                    return Err(err(*span, format!("empty range({lo}, {hi})")));
+                }
+                let saved = self.state.consts.get(var).cloned();
+                for i in lo..hi {
+                    self.state.consts.insert(var.clone(), Value::Num(i as f64));
+                    self.exec_all(body)?;
+                }
+                match saved {
+                    Some(v) => self.state.consts.insert(var.clone(), v),
+                    None => self.state.consts.remove(var),
+                };
+                Ok(())
+            }
+            Command::Switch { subject, binder, values, body, span } => {
+                let subject_eval = self.eval(subject)?;
+                let values = match self.eval(values)? {
+                    Evaluated::Const(Value::List(vs)) => vs,
+                    other => {
+                        return Err(err(
+                            *span,
+                            format!("switch cases must be a constant list, got {other:?}"),
+                        ))
+                    }
+                };
+                match subject_eval {
+                    Evaluated::Const(v) => {
+                        // Static dispatch: run the matching case only.
+                        for case in &values {
+                            if static_case_matches(&v, case) {
+                                let saved = self.state.consts.get(binder).cloned();
+                                self.state.consts.insert(binder.clone(), case.clone());
+                                self.exec_all(body)?;
+                                match saved {
+                                    Some(s) => self.state.consts.insert(binder.clone(), s),
+                                    None => self.state.consts.remove(binder),
+                                };
+                                return Ok(());
+                            }
+                        }
+                        Err(err(*span, "no switch case matches the constant subject"))
+                    }
+                    Evaluated::Rv(t) => {
+                        let mut branches = Vec::new();
+                        let mut negations = Vec::new();
+                        for case in values {
+                            let guard = case_event(&t, &case, *span)?;
+                            negations.push(guard.negate());
+                            branches.push((
+                                guard,
+                                body.clone(),
+                                Some((binder.clone(), case)),
+                            ));
+                        }
+                        // Implicit empty else catches uncovered support.
+                        branches.push((Event::and(negations), vec![], None));
+                        self.exec_branches(branches, *span)
+                    }
+                    other => Err(err(
+                        *span,
+                        format!("switch subject must be a random variable, got {other:?}"),
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Shared machinery of `(IfElse)` (Lst. 3) for `if`/`elif`/`else` and
+    /// desugared `switch`: condition the current expression on each branch
+    /// event, translate the branch body, and mix by branch probability.
+    fn exec_branches(
+        &mut self,
+        branches: Vec<(Event, Vec<Command>, Option<(String, Value)>)>,
+        span: Span,
+    ) -> Result<(), LangError> {
+        let mut survivors: Vec<(State, f64)> = Vec::new();
+        for (event, body, binding) in &branches {
+            let ln_p = self.branch_logprob(event, span)?;
+            if ln_p == f64::NEG_INFINITY {
+                continue;
+            }
+            let mut child = self.state.clone();
+            if let Some(spe) = &self.state.spe {
+                if !is_always(event) {
+                    child.spe = Some(
+                        condition(self.factory, spe, event)
+                            .map_err(|e| err(span, format!("branch condition failed: {e}")))?,
+                    );
+                }
+            }
+            if let Some((name, value)) = binding {
+                child.consts.insert(name.clone(), value.clone());
+            }
+            let mut sub = Translator { factory: self.factory, state: child };
+            sub.exec_all(body)?;
+            let mut done = sub.state;
+            if let Some((name, _)) = binding {
+                done.consts.remove(name);
+            }
+            survivors.push((done, ln_p));
+        }
+        match survivors.len() {
+            0 => Err(err(span, "all branches have probability zero")),
+            1 => {
+                let (state, _) = survivors.pop_checked();
+                self.state = state;
+                Ok(())
+            }
+            _ => {
+                // R2: all branches must define the same random variables.
+                let rvs = survivors[0].0.rvs.clone();
+                for (s, _) in &survivors[1..] {
+                    if s.rvs != rvs {
+                        let missing: Vec<String> = rvs
+                            .symmetric_difference(&s.rvs)
+                            .cloned()
+                            .collect();
+                        return Err(err(
+                            span,
+                            format!(
+                                "branches must define identical variables (R2); \
+                                 differing: {}",
+                                missing.join(", ")
+                            ),
+                        ));
+                    }
+                }
+                let parts: Result<Vec<(Spe, f64)>, LangError> = survivors
+                    .iter()
+                    .map(|(s, w)| {
+                        s.spe
+                            .clone()
+                            .map(|spe| (spe, *w))
+                            .ok_or_else(|| err(span, "branching before any random variable"))
+                    })
+                    .collect();
+                let mixed = self
+                    .factory
+                    .sum(parts?)
+                    .map_err(|e| err(span, format!("branch mixture failed: {e}")))?;
+                let consts = std::mem::take(&mut self.state.consts);
+                let arrays = std::mem::take(&mut self.state.arrays);
+                self.state = State { spe: Some(mixed), consts, arrays, rvs };
+                Ok(())
+            }
+        }
+    }
+
+    /// Probability of a branch event under the current expression
+    /// (handles the no-variables-yet corner where only static guards are
+    /// possible).
+    fn branch_logprob(&self, event: &Event, span: Span) -> Result<f64, LangError> {
+        if is_always(event) {
+            return Ok(0.0);
+        }
+        if is_never(event) {
+            return Ok(f64::NEG_INFINITY);
+        }
+        match &self.state.spe {
+            Some(spe) => self
+                .factory
+                .logprob(spe, event)
+                .map_err(|e| err(span, format!("guard probability failed: {e}"))),
+            None => Err(err(span, "guard references random variables before any exist")),
+        }
+    }
+
+    fn exec_assign(&mut self, target: &Target, expr: &Expr, span: Span) -> Result<(), LangError> {
+        // Array declaration: `X = array(n)`.
+        if let Expr::Call { func, args, .. } = expr {
+            if func == "array" {
+                let Target::Var(name) = target else {
+                    return Err(err(span, "array declaration target must be a scalar name"));
+                };
+                if args.len() != 1 {
+                    return Err(err(span, "array(n) takes exactly one argument"));
+                }
+                let n = self.eval_integer(&args[0])?;
+                if n < 0 {
+                    return Err(err(span, "array size must be nonnegative"));
+                }
+                self.state.arrays.insert(name.clone(), n as usize);
+                return Ok(());
+            }
+        }
+        let name = self.resolve_target(target, span)?;
+        match self.eval(expr)? {
+            Evaluated::Const(v) => {
+                if self.state.rvs.contains(&name) {
+                    return Err(err(
+                        span,
+                        format!("cannot rebind random variable {name} as a constant (R1)"),
+                    ));
+                }
+                self.state.consts.insert(name, v);
+                Ok(())
+            }
+            Evaluated::Rv(t) => {
+                self.check_fresh(&name, span)?;
+                let base = t.the_var().ok_or_else(|| {
+                    err(span, format!("transform must involve exactly one variable (R3)"))
+                })?;
+                let spe = self.state.spe.clone().ok_or_else(|| {
+                    err(span, "transform references a variable before any are defined")
+                })?;
+                let attached = attach_derived(self.factory, &spe, &Var::new(&name), &base, &t)
+                    .map_err(|e| err(span, format!("cannot attach transform: {e}")))?;
+                self.state.spe = Some(attached);
+                self.state.rvs.insert(name);
+                Ok(())
+            }
+            Evaluated::Dist(_) => Err(err(
+                span,
+                "distributions are sampled with `~`, not assigned with `=`",
+            )),
+            Evaluated::Event(_) => Err(err(
+                span,
+                "events cannot be assigned to variables; use condition(...)",
+            )),
+        }
+    }
+
+    fn exec_sample(&mut self, target: &Target, expr: &Expr, span: Span) -> Result<(), LangError> {
+        let name = self.resolve_target(target, span)?;
+        self.check_fresh(&name, span)?;
+        let spec = match self.eval(expr)? {
+            Evaluated::Dist(d) => d,
+            other => {
+                return Err(err(
+                    span,
+                    format!("right-hand side of `~` must be a distribution, got {other:?}"),
+                ))
+            }
+        };
+        let var = Var::new(&name);
+        let leaf = match spec {
+            DistSpec::Simple(dist) => self.factory.leaf(var, dist),
+            DistSpec::NumericMixture(locs) => {
+                let parts: Vec<(Spe, f64)> = locs
+                    .iter()
+                    .map(|(loc, w)| {
+                        (
+                            self.factory
+                                .leaf(var.clone(), Distribution::Atomic { loc: *loc }),
+                            w.ln(),
+                        )
+                    })
+                    .collect();
+                self.factory
+                    .sum(parts)
+                    .map_err(|e| err(span, format!("invalid discrete distribution: {e}")))?
+            }
+        };
+        self.state.spe = Some(match self.state.spe.take() {
+            None => leaf,
+            Some(spe) => self
+                .factory
+                .product(vec![spe, leaf])
+                .map_err(|e| err(span, format!("cannot extend model: {e}")))?,
+        });
+        self.state.rvs.insert(name);
+        Ok(())
+    }
+
+    fn check_fresh(&self, name: &str, span: Span) -> Result<(), LangError> {
+        if self.state.rvs.contains(name) {
+            return Err(err(span, format!("variable {name} is already defined (R1)")));
+        }
+        if self.state.consts.contains_key(name) {
+            return Err(err(span, format!("variable {name} shadows a constant")));
+        }
+        Ok(())
+    }
+
+    fn resolve_target(&mut self, target: &Target, span: Span) -> Result<String, LangError> {
+        match target {
+            Target::Var(name) => Ok(name.clone()),
+            Target::Indexed(name, idx) => {
+                let size = *self.state.arrays.get(name).ok_or_else(|| {
+                    err(span, format!("array {name} is not declared (use {name} = array(n))"))
+                })?;
+                let i = self.eval_integer(idx)?;
+                if i < 0 || i as usize >= size {
+                    return Err(err(
+                        span,
+                        format!("index {i} out of bounds for array {name} of size {size}"),
+                    ));
+                }
+                Ok(format!("{name}[{i}]"))
+            }
+        }
+    }
+
+    fn eval_integer(&mut self, expr: &Expr) -> Result<i64, LangError> {
+        match self.eval(expr)? {
+            Evaluated::Const(Value::Num(n)) if n.fract() == 0.0 => Ok(n as i64),
+            other => Err(err(
+                expr.span(),
+                format!("expected a constant integer, got {other:?}"),
+            )),
+        }
+    }
+
+    fn eval_event(&mut self, expr: &Expr) -> Result<Event, LangError> {
+        let v = self.eval(expr)?;
+        self.coerce_event(v, expr.span())
+    }
+
+    fn coerce_event(&self, v: Evaluated, span: Span) -> Result<Event, LangError> {
+        match v {
+            Evaluated::Event(e) => Ok(e),
+            Evaluated::Const(Value::Bool(b)) => {
+                Ok(if b { Event::always() } else { Event::never() })
+            }
+            Evaluated::Const(Value::Num(n)) => {
+                Ok(if n != 0.0 { Event::always() } else { Event::never() })
+            }
+            // Truthiness of a random variable: nonzero.
+            Evaluated::Rv(t) => Ok(Event::eq_real(t, 0.0).negate()),
+            other => Err(err(span, format!("expected a predicate, got {other:?}"))),
+        }
+    }
+
+    // ----- expression evaluation -----
+
+    fn eval(&mut self, expr: &Expr) -> Result<Evaluated, LangError> {
+        match expr {
+            Expr::Num(n, _) => Ok(Evaluated::Const(Value::Num(*n))),
+            Expr::Str(s, _) => Ok(Evaluated::Const(Value::Str(s.clone()))),
+            Expr::Bool(b, _) => Ok(Evaluated::Const(Value::Bool(*b))),
+            Expr::Ident(name, span) => self.eval_ident(name, *span),
+            Expr::List(items, _) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    match self.eval(item)? {
+                        Evaluated::Const(v) => out.push(v),
+                        other => {
+                            return Err(err(
+                                item.span(),
+                                format!("list elements must be constants, got {other:?}"),
+                            ))
+                        }
+                    }
+                }
+                Ok(Evaluated::Const(Value::List(out)))
+            }
+            Expr::Dict(_, span) => Err(err(
+                *span,
+                "dict literals are only valid as the argument of choice(...) or discrete(...)",
+            )),
+            Expr::Index(recv, idx, span) => self.eval_index(recv, idx, *span),
+            Expr::Call { func, args, kwargs, span } => self.eval_call(func, args, kwargs, *span),
+            Expr::MethodCall { recv, method, args, span } => {
+                self.eval_method(recv, method, args, *span)
+            }
+            Expr::Unary(op, inner, span) => {
+                let v = self.eval(inner)?;
+                match (op, v) {
+                    (UnOp::Neg, Evaluated::Const(Value::Num(n))) => {
+                        Ok(Evaluated::Const(Value::Num(-n)))
+                    }
+                    (UnOp::Neg, Evaluated::Rv(t)) => Ok(Evaluated::Rv(t.neg())),
+                    (UnOp::Not, v) => {
+                        Ok(Evaluated::Event(self.coerce_event(v, *span)?.negate()))
+                    }
+                    (op, v) => Err(err(*span, format!("cannot apply {op:?} to {v:?}"))),
+                }
+            }
+            Expr::Binary(op, lhs, rhs, span) => {
+                let a = self.eval(lhs)?;
+                let b = self.eval(rhs)?;
+                self.eval_binary(*op, a, b, *span)
+            }
+            Expr::Compare(first, chain, span) => self.eval_compare(first, chain, *span),
+        }
+    }
+
+    fn eval_ident(&self, name: &str, span: Span) -> Result<Evaluated, LangError> {
+        if let Some(v) = self.state.consts.get(name) {
+            return Ok(Evaluated::Const(v.clone()));
+        }
+        if self.state.rvs.contains(name) {
+            return Ok(Evaluated::Rv(Transform::id(Var::new(name))));
+        }
+        Err(err(span, format!("undefined variable {name}")))
+    }
+
+    fn eval_index(&mut self, recv: &Expr, idx: &Expr, span: Span) -> Result<Evaluated, LangError> {
+        // Array-of-random-variables access: `Z[i]` where Z is declared.
+        if let Expr::Ident(name, _) = recv {
+            if self.state.arrays.contains_key(name) {
+                let element =
+                    self.resolve_target(&Target::Indexed(name.clone(), idx.clone()), span)?;
+                if self.state.rvs.contains(&element) {
+                    return Ok(Evaluated::Rv(Transform::id(Var::new(&element))));
+                }
+                return Err(err(span, format!("array element {element} is not yet sampled")));
+            }
+        }
+        // Constant list indexing (possibly nested).
+        let list = match self.eval(recv)? {
+            Evaluated::Const(Value::List(vs)) => vs,
+            other => {
+                return Err(err(
+                    span,
+                    format!("cannot index into {other:?} (expected list or declared array)"),
+                ))
+            }
+        };
+        let i = self.eval_integer(idx)?;
+        if i < 0 || i as usize >= list.len() {
+            return Err(err(span, format!("index {i} out of bounds (len {})", list.len())));
+        }
+        Ok(Evaluated::Const(list[i as usize].clone()))
+    }
+
+    fn eval_method(
+        &mut self,
+        recv: &Expr,
+        method: &str,
+        args: &[Expr],
+        span: Span,
+    ) -> Result<Evaluated, LangError> {
+        let r = self.eval(recv)?;
+        match (r, method) {
+            (Evaluated::Const(Value::Bin { lo, hi, .. }), "mean") => {
+                Ok(Evaluated::Const(Value::Num((lo + hi) / 2.0)))
+            }
+            (Evaluated::Const(Value::Bin { lo, .. }), "lo") => {
+                Ok(Evaluated::Const(Value::Num(lo)))
+            }
+            (Evaluated::Const(Value::Bin { hi, .. }), "hi") => {
+                Ok(Evaluated::Const(Value::Num(hi)))
+            }
+            (Evaluated::Const(Value::List(vs)), "len") => {
+                Ok(Evaluated::Const(Value::Num(vs.len() as f64)))
+            }
+            (r, m) => {
+                let _ = args;
+                Err(err(span, format!("unknown method .{m}() on {r:?}")))
+            }
+        }
+    }
+
+    fn eval_binary(
+        &self,
+        op: BinOp,
+        a: Evaluated,
+        b: Evaluated,
+        span: Span,
+    ) -> Result<Evaluated, LangError> {
+        use Evaluated::{Const, Event as Ev, Rv};
+        match op {
+            BinOp::And | BinOp::Or => {
+                let ea = self.coerce_event(a, span)?;
+                let eb = self.coerce_event(b, span)?;
+                Ok(Ev(match op {
+                    BinOp::And => Event::and(vec![ea, eb]),
+                    _ => Event::or(vec![ea, eb]),
+                }))
+            }
+            _ => match (a, b) {
+                (Const(Value::Num(x)), Const(Value::Num(y))) => {
+                    let v = match op {
+                        BinOp::Add => x + y,
+                        BinOp::Sub => x - y,
+                        BinOp::Mul => x * y,
+                        BinOp::Div => {
+                            if y == 0.0 {
+                                return Err(err(span, "division by zero"));
+                            }
+                            x / y
+                        }
+                        BinOp::Pow => x.powf(y),
+                        _ => unreachable!(),
+                    };
+                    Ok(Const(Value::Num(v)))
+                }
+                (Rv(t), Const(Value::Num(c))) => self.rv_const_op(op, t, c, false, span),
+                (Const(Value::Num(c)), Rv(t)) => self.rv_const_op(op, t, c, true, span),
+                (Rv(ta), Rv(tb)) => self.rv_rv_op(op, ta, tb, span),
+                (a, b) => Err(err(
+                    span,
+                    format!("unsupported operands for {op:?}: {a:?} and {b:?}"),
+                )),
+            },
+        }
+    }
+
+    /// Arithmetic between a random transform and a constant; `flipped`
+    /// means the constant is on the left.
+    fn rv_const_op(
+        &self,
+        op: BinOp,
+        t: Transform,
+        c: f64,
+        flipped: bool,
+        span: Span,
+    ) -> Result<Evaluated, LangError> {
+        let out = match (op, flipped) {
+            (BinOp::Add, _) => t.add_const(c),
+            (BinOp::Sub, false) => t.add_const(-c),
+            (BinOp::Sub, true) => t.neg().add_const(c),
+            (BinOp::Mul, _) => t.mul_const(c),
+            (BinOp::Div, false) => {
+                if c == 0.0 {
+                    return Err(err(span, "division by zero"));
+                }
+                t.mul_const(1.0 / c)
+            }
+            (BinOp::Div, true) => t.recip().mul_const(c),
+            (BinOp::Pow, false) => {
+                // t ** c
+                if c >= 0.0 && c.fract() == 0.0 {
+                    t.pow_int(c as u32)
+                } else if c == 0.5 {
+                    t.sqrt()
+                } else if c == -1.0 {
+                    t.recip()
+                } else if c < 0.0 && c.fract() == 0.0 {
+                    t.pow_int((-c) as u32).recip()
+                } else if c > 0.0 && (1.0 / c).fract().abs() < 1e-12 {
+                    t.root((1.0 / c) as u32)
+                } else {
+                    return Err(err(
+                        span,
+                        format!("unsupported exponent {c}: use integers, 0.5, or 1/n"),
+                    ));
+                }
+            }
+            (BinOp::Pow, true) => {
+                // c ** t
+                if c <= 0.0 || c == 1.0 {
+                    return Err(err(span, format!("exponential base must be positive and ≠ 1, got {c}")));
+                }
+                t.exp_base(c)
+            }
+            (BinOp::And | BinOp::Or, _) => unreachable!(),
+        };
+        Ok(Evaluated::Rv(out))
+    }
+
+    /// Arithmetic between two random transforms: supported exactly when
+    /// both are polynomials of the *same* inner transform (hence still
+    /// univariate, satisfying R3).
+    fn rv_rv_op(
+        &self,
+        op: BinOp,
+        ta: Transform,
+        tb: Transform,
+        span: Span,
+    ) -> Result<Evaluated, LangError> {
+        let (ia, pa) = poly_view(&ta);
+        let (ib, pb) = poly_view(&tb);
+        if ia != ib {
+            let va = ta.vars();
+            let vb = tb.vars();
+            if va != vb {
+                return Err(err(
+                    span,
+                    "multivariate transforms are not expressible (R3): \
+                     operands mention different variables",
+                ));
+            }
+            return Err(err(
+                span,
+                "cannot combine these transforms exactly; rewrite as a polynomial \
+                 of a single subexpression",
+            ));
+        }
+        let p = match op {
+            BinOp::Add => pa.add(&pb),
+            BinOp::Sub => pa.sub(&pb),
+            BinOp::Mul => pa.mul(&pb),
+            BinOp::Div | BinOp::Pow => {
+                return Err(err(
+                    span,
+                    format!("{op:?} between two random expressions is not supported (R3)"),
+                ))
+            }
+            BinOp::And | BinOp::Or => unreachable!(),
+        };
+        Ok(Evaluated::Rv(Transform::poly(ia.clone(), p)))
+    }
+
+    fn eval_compare(
+        &mut self,
+        first: &Expr,
+        chain: &[(CmpOp, Expr)],
+        span: Span,
+    ) -> Result<Evaluated, LangError> {
+        let mut operands = vec![self.eval(first)?];
+        for (_, e) in chain {
+            operands.push(self.eval(e)?);
+        }
+        let mut events: Vec<Event> = Vec::new();
+        let mut statically_false = false;
+        for (i, (op, _)) in chain.iter().enumerate() {
+            match compare_pair(*op, &operands[i], &operands[i + 1], span)? {
+                CompareResult::Event(e) => events.push(e),
+                CompareResult::Static(true) => {}
+                CompareResult::Static(false) => statically_false = true,
+            }
+        }
+        if statically_false {
+            return Ok(Evaluated::Event(Event::never()));
+        }
+        if events.is_empty() {
+            // Entirely constant comparison.
+            return Ok(Evaluated::Const(Value::Bool(true)));
+        }
+        Ok(Evaluated::Event(Event::and(events)))
+    }
+
+    fn eval_call(
+        &mut self,
+        func: &str,
+        args: &[Expr],
+        kwargs: &[(String, Expr)],
+        span: Span,
+    ) -> Result<Evaluated, LangError> {
+        // Math functions over constants or random transforms.
+        if let "exp" | "ln" | "log" | "sqrt" | "abs" = func {
+            if args.len() != 1 || !kwargs.is_empty() {
+                return Err(err(span, format!("{func}(x) takes exactly one argument")));
+            }
+            return match self.eval(&args[0])? {
+                Evaluated::Const(Value::Num(x)) => {
+                    let v = match func {
+                        "exp" => x.exp(),
+                        "ln" | "log" => x.ln(),
+                        "sqrt" => x.sqrt(),
+                        "abs" => x.abs(),
+                        _ => unreachable!(),
+                    };
+                    Ok(Evaluated::Const(Value::Num(v)))
+                }
+                Evaluated::Rv(t) => {
+                    let out = match func {
+                        "exp" => t.exp(),
+                        "ln" | "log" => t.ln(),
+                        "sqrt" => t.sqrt(),
+                        "abs" => t.abs(),
+                        _ => unreachable!(),
+                    };
+                    Ok(Evaluated::Rv(out))
+                }
+                other => Err(err(span, format!("{func} expects a number, got {other:?}"))),
+            };
+        }
+        match func {
+            "range" => {
+                let lo;
+                let hi;
+                match args.len() {
+                    1 => {
+                        lo = 0;
+                        hi = self.eval_integer(&args[0])?;
+                    }
+                    2 => {
+                        lo = self.eval_integer(&args[0])?;
+                        hi = self.eval_integer(&args[1])?;
+                    }
+                    _ => return Err(err(span, "range takes one or two arguments")),
+                }
+                Ok(Evaluated::Const(Value::List(
+                    (lo..hi).map(|i| Value::Num(i as f64)).collect(),
+                )))
+            }
+            "binspace" => {
+                let mut pos = Vec::new();
+                for a in args {
+                    pos.push(self.eval_number(a)?);
+                }
+                let mut n = None;
+                for (k, v) in kwargs {
+                    if k == "n" {
+                        n = Some(self.eval_number(v)? as usize);
+                    } else {
+                        return Err(err(span, format!("unknown keyword {k} for binspace")));
+                    }
+                }
+                let (lo, hi) = match pos.as_slice() {
+                    [a, b] => (*a, *b),
+                    _ => return Err(err(span, "binspace(lo, hi, n=k) requires two bounds")),
+                };
+                let n = n.ok_or_else(|| err(span, "binspace requires n=k"))?;
+                if n == 0 || hi <= lo {
+                    return Err(err(span, "binspace requires n >= 1 and lo < hi"));
+                }
+                let step = (hi - lo) / n as f64;
+                let bins = (0..n)
+                    .map(|i| Value::Bin {
+                        lo: lo + step * i as f64,
+                        hi: if i + 1 == n { hi } else { lo + step * (i + 1) as f64 },
+                        last: i + 1 == n,
+                    })
+                    .collect();
+                Ok(Evaluated::Const(Value::List(bins)))
+            }
+            "array" => Err(err(span, "array(n) is only valid as `name = array(n)`")),
+            _ => self.eval_distribution(func, args, kwargs, span),
+        }
+    }
+
+    fn eval_number(&mut self, e: &Expr) -> Result<f64, LangError> {
+        match self.eval(e)? {
+            Evaluated::Const(Value::Num(n)) => Ok(n),
+            other => Err(err(
+                e.span(),
+                format!("expected a constant number (R4), got {other:?}"),
+            )),
+        }
+    }
+
+    /// Distribution constructors. Parameters must be compile-time
+    /// constants (restriction R4).
+    fn eval_distribution(
+        &mut self,
+        func: &str,
+        args: &[Expr],
+        kwargs: &[(String, Expr)],
+        span: Span,
+    ) -> Result<Evaluated, LangError> {
+        // Gather numeric parameters by position and keyword.
+        let mut pos: Vec<f64> = Vec::new();
+        let mut dict_arg: Option<Vec<(Value, f64)>> = None;
+        for a in args {
+            if let Expr::Dict(items, _) = a {
+                let mut pairs = Vec::new();
+                for (k, v) in items {
+                    let key = match self.eval(k)? {
+                        Evaluated::Const(c) => c,
+                        other => {
+                            return Err(err(k.span(), format!("dict key must be constant: {other:?}")))
+                        }
+                    };
+                    let w = self.eval_number(v)?;
+                    pairs.push((key, w));
+                }
+                dict_arg = Some(pairs);
+            } else {
+                pos.push(self.eval_number(a)?);
+            }
+        }
+        let mut named: HashMap<&str, f64> = HashMap::new();
+        for (k, v) in kwargs {
+            named.insert(k.as_str(), self.eval_number(v)?);
+        }
+        let get = |named: &HashMap<&str, f64>, pos: &[f64], names: &[&str], i: usize| -> Option<f64> {
+            names.iter().find_map(|n| named.get(n).copied()).or_else(|| pos.get(i).copied())
+        };
+
+        let dist = match func {
+            "normal" | "gaussian" => {
+                let mu = get(&named, &pos, &["mu", "loc", "mean"], 0)
+                    .ok_or_else(|| err(span, "normal requires a mean"))?;
+                let sigma = get(&named, &pos, &["sigma", "scale", "std"], 1)
+                    .ok_or_else(|| err(span, "normal requires a scale"))?;
+                if sigma <= 0.0 {
+                    return Err(err(span, format!("normal scale must be positive, got {sigma}")));
+                }
+                real_dist(Cdf::normal(mu, sigma))
+            }
+            "uniform" => {
+                let a = get(&named, &pos, &["a", "lo", "loc"], 0)
+                    .ok_or_else(|| err(span, "uniform requires a lower bound"))?;
+                let b = get(&named, &pos, &["b", "hi"], 1)
+                    .ok_or_else(|| err(span, "uniform requires an upper bound"))?;
+                if b <= a {
+                    return Err(err(span, format!("uniform requires lo < hi, got [{a}, {b}]")));
+                }
+                Distribution::Real(
+                    DistReal::new(Cdf::uniform(a, b), Interval::closed(a, b))
+                        .expect("uniform restriction has positive mass"),
+                )
+            }
+            "exponential" => {
+                let rate = get(&named, &pos, &["rate", "lam", "lambda_"], 0)
+                    .ok_or_else(|| err(span, "exponential requires a rate"))?;
+                if rate <= 0.0 {
+                    return Err(err(span, "exponential rate must be positive"));
+                }
+                real_dist(Cdf::exponential(rate))
+            }
+            "gamma" => {
+                let shape = get(&named, &pos, &["shape", "a", "k"], 0)
+                    .ok_or_else(|| err(span, "gamma requires a shape"))?;
+                let scale = get(&named, &pos, &["scale", "theta"], 1).unwrap_or(1.0);
+                if shape <= 0.0 || scale <= 0.0 {
+                    return Err(err(span, "gamma parameters must be positive"));
+                }
+                real_dist(Cdf::gamma(shape, scale))
+            }
+            "beta" => {
+                let a = get(&named, &pos, &["a", "alpha"], 0)
+                    .ok_or_else(|| err(span, "beta requires a"))?;
+                let b = get(&named, &pos, &["b", "beta"], 1)
+                    .ok_or_else(|| err(span, "beta requires b"))?;
+                let scale = get(&named, &pos, &["scale"], 2).unwrap_or(1.0);
+                if a <= 0.0 || b <= 0.0 || scale <= 0.0 {
+                    return Err(err(span, "beta parameters must be positive"));
+                }
+                real_dist(Cdf::beta_scaled(a, b, scale))
+            }
+            "cauchy" => {
+                let loc = get(&named, &pos, &["loc"], 0).ok_or_else(|| err(span, "cauchy requires loc"))?;
+                let scale = get(&named, &pos, &["scale"], 1).ok_or_else(|| err(span, "cauchy requires scale"))?;
+                if scale <= 0.0 {
+                    return Err(err(span, "cauchy scale must be positive"));
+                }
+                real_dist(Cdf::cauchy(loc, scale))
+            }
+            "laplace" => {
+                let loc = get(&named, &pos, &["loc"], 0).ok_or_else(|| err(span, "laplace requires loc"))?;
+                let scale = get(&named, &pos, &["scale"], 1).ok_or_else(|| err(span, "laplace requires scale"))?;
+                if scale <= 0.0 {
+                    return Err(err(span, "laplace scale must be positive"));
+                }
+                real_dist(Cdf::laplace(loc, scale))
+            }
+            "logistic" => {
+                let loc = get(&named, &pos, &["loc"], 0).ok_or_else(|| err(span, "logistic requires loc"))?;
+                let scale = get(&named, &pos, &["scale"], 1).ok_or_else(|| err(span, "logistic requires scale"))?;
+                if scale <= 0.0 {
+                    return Err(err(span, "logistic scale must be positive"));
+                }
+                real_dist(Cdf::logistic(loc, scale))
+            }
+            "student_t" | "studentt" => {
+                let df = get(&named, &pos, &["df"], 0).ok_or_else(|| err(span, "student_t requires df"))?;
+                if df <= 0.0 {
+                    return Err(err(span, "student_t df must be positive"));
+                }
+                real_dist(Cdf::student_t(df))
+            }
+            "bernoulli" => {
+                let p = get(&named, &pos, &["p"], 0)
+                    .ok_or_else(|| err(span, "bernoulli requires p"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(err(span, format!("bernoulli p must be in [0,1], got {p}")));
+                }
+                int_dist(Cdf::binomial(1, p), span)?
+            }
+            "binomial" => {
+                let n = get(&named, &pos, &["n"], 0)
+                    .ok_or_else(|| err(span, "binomial requires n"))?;
+                let p = get(&named, &pos, &["p"], 1)
+                    .ok_or_else(|| err(span, "binomial requires p"))?;
+                if n < 0.0 || n.fract() != 0.0 {
+                    return Err(err(span, "binomial n must be a nonnegative integer"));
+                }
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(err(span, "binomial p must be in [0,1]"));
+                }
+                int_dist(Cdf::binomial(n as u64, p), span)?
+            }
+            "poisson" => {
+                let mu = get(&named, &pos, &["mu", "lam", "rate", "mean"], 0)
+                    .ok_or_else(|| err(span, "poisson requires a mean"))?;
+                if mu <= 0.0 {
+                    return Err(err(span, format!("poisson mean must be positive, got {mu}")));
+                }
+                int_dist(Cdf::poisson(mu), span)?
+            }
+            "geometric" => {
+                let p = get(&named, &pos, &["p"], 0)
+                    .ok_or_else(|| err(span, "geometric requires p"))?;
+                if p <= 0.0 || p > 1.0 {
+                    return Err(err(span, "geometric p must be in (0,1]"));
+                }
+                int_dist(Cdf::geometric(p), span)?
+            }
+            "randint" | "discrete_uniform" => {
+                let lo = get(&named, &pos, &["lo"], 0)
+                    .ok_or_else(|| err(span, "randint requires lo"))?;
+                let hi = get(&named, &pos, &["hi"], 1)
+                    .ok_or_else(|| err(span, "randint requires hi"))?;
+                if lo.fract() != 0.0 || hi.fract() != 0.0 || hi < lo {
+                    return Err(err(span, "randint requires integer lo <= hi"));
+                }
+                int_dist(Cdf::discrete_uniform(lo as i64, hi as i64), span)?
+            }
+            "atomic" | "atom" => {
+                let loc = get(&named, &pos, &["loc"], 0)
+                    .ok_or_else(|| err(span, "atomic requires a location"))?;
+                Distribution::Atomic { loc }
+            }
+            "choice" => {
+                let pairs = dict_arg
+                    .ok_or_else(|| err(span, "choice requires a dict {value: weight}"))?;
+                let mut items = Vec::new();
+                for (k, w) in pairs {
+                    match k {
+                        Value::Str(s) => items.push((s, w)),
+                        other => {
+                            return Err(err(
+                                span,
+                                format!("choice keys must be strings, got {}", other.type_name()),
+                            ))
+                        }
+                    }
+                }
+                Distribution::Str(DistStr::new(items).ok_or_else(|| {
+                    err(span, "choice weights must include a positive entry")
+                })?)
+            }
+            "discrete" => {
+                // Numeric categorical: lowers to a mixture of atoms.
+                let pairs = dict_arg
+                    .ok_or_else(|| err(span, "discrete requires a dict {value: weight}"))?;
+                let mut locs = Vec::new();
+                for (k, w) in pairs {
+                    match k {
+                        Value::Num(n) => {
+                            if w > 0.0 {
+                                locs.push((n, w));
+                            }
+                        }
+                        other => {
+                            return Err(err(
+                                span,
+                                format!("discrete keys must be numbers, got {}", other.type_name()),
+                            ))
+                        }
+                    }
+                }
+                let total: f64 = locs.iter().map(|(_, w)| w).sum();
+                if total <= 0.0 {
+                    return Err(err(span, "discrete weights must include a positive entry"));
+                }
+                for (_, w) in &mut locs {
+                    *w /= total;
+                }
+                return Ok(Evaluated::Dist(DistSpec::NumericMixture(locs)));
+            }
+            other => return Err(err(span, format!("unknown function or distribution `{other}`"))),
+        };
+        Ok(Evaluated::Dist(DistSpec::Simple(dist)))
+    }
+}
+
+fn real_dist(cdf: Cdf) -> Distribution {
+    let (lo, hi) = cdf.support();
+    let iv = Interval::new(lo, lo.is_finite(), hi, hi.is_finite())
+        .unwrap_or_else(Interval::all);
+    Distribution::Real(DistReal::new(cdf, iv).expect("full support has positive mass"))
+}
+
+fn int_dist(cdf: Cdf, span: Span) -> Result<Distribution, LangError> {
+    let (lo, hi) = cdf.support();
+    DistInt::new(cdf, lo, hi)
+        .map(Distribution::Int)
+        .ok_or_else(|| err(span, "integer distribution has empty support"))
+}
+
+/// Splits a transform into `(inner, polynomial)` so that
+/// `t = polynomial(inner)`.
+fn poly_view(t: &Transform) -> (&Transform, Polynomial) {
+    match t {
+        Transform::Poly(inner, p) => (inner, p.clone()),
+        other => (other, Polynomial::identity()),
+    }
+}
+
+enum CompareResult {
+    Event(Event),
+    Static(bool),
+}
+
+fn compare_pair(
+    op: CmpOp,
+    lhs: &Evaluated,
+    rhs: &Evaluated,
+    span: Span,
+) -> Result<CompareResult, LangError> {
+    use Evaluated::{Const, Rv};
+    match (lhs, rhs) {
+        (Const(a), Const(b)) => static_compare(op, a, b, span).map(CompareResult::Static),
+        (Rv(t), Const(v)) => rv_compare(op, t, v, false, span),
+        (Const(v), Rv(t)) => rv_compare(op, t, v, true, span),
+        (Rv(_), Rv(_)) => Err(err(
+            span,
+            "comparisons between two random expressions are not expressible (R3)",
+        )),
+        (a, b) => Err(err(span, format!("cannot compare {a:?} with {b:?}"))),
+    }
+}
+
+fn static_compare(op: CmpOp, a: &Value, b: &Value, span: Span) -> Result<bool, LangError> {
+    match (a, b) {
+        (Value::Num(x), Value::Num(y)) => Ok(match op {
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::In => return Err(err(span, "`in` requires a list on the right")),
+        }),
+        (Value::Str(x), Value::Str(y)) => match op {
+            CmpOp::Eq => Ok(x == y),
+            CmpOp::Ne => Ok(x != y),
+            _ => Err(err(span, "strings only support == and !=")),
+        },
+        (Value::Bool(x), Value::Bool(y)) => match op {
+            CmpOp::Eq => Ok(x == y),
+            CmpOp::Ne => Ok(x != y),
+            _ => Err(err(span, "booleans only support == and !=")),
+        },
+        (v, Value::List(items)) if op == CmpOp::In => {
+            Ok(items.iter().any(|i| i == v))
+        }
+        (Value::Num(x), Value::Bin { lo, hi, last }) if op == CmpOp::In => {
+            Ok(*x >= *lo && (*x < *hi || (*last && *x <= *hi)))
+        }
+        (a, b) => Err(err(
+            span,
+            format!("cannot compare {} with {}", a.type_name(), b.type_name()),
+        )),
+    }
+}
+
+/// Comparison of a random transform against a constant. `flipped` means
+/// the constant was on the left (`c < t` ⇔ `t > c`).
+fn rv_compare(
+    op: CmpOp,
+    t: &Transform,
+    v: &Value,
+    flipped: bool,
+    span: Span,
+) -> Result<CompareResult, LangError> {
+    let op = if flipped {
+        match op {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            other => other,
+        }
+    } else {
+        op
+    };
+    let ev = match (op, v) {
+        (CmpOp::Lt, Value::Num(r)) => Event::lt(t.clone(), *r),
+        (CmpOp::Le, Value::Num(r)) => Event::le(t.clone(), *r),
+        (CmpOp::Gt, Value::Num(r)) => Event::gt(t.clone(), *r),
+        (CmpOp::Ge, Value::Num(r)) => Event::ge(t.clone(), *r),
+        (CmpOp::Eq, Value::Num(r)) => Event::eq_real(t.clone(), *r),
+        (CmpOp::Ne, Value::Num(r)) => Event::eq_real(t.clone(), *r).negate(),
+        (CmpOp::Eq, Value::Str(s)) => Event::eq_str(t.clone(), s),
+        (CmpOp::Ne, Value::Str(s)) => Event::eq_str(t.clone(), s).negate(),
+        (CmpOp::Eq, Value::Bool(b)) => Event::eq_real(t.clone(), f64::from(*b)),
+        (CmpOp::Ne, Value::Bool(b)) => Event::eq_real(t.clone(), f64::from(*b)).negate(),
+        (CmpOp::In, Value::List(items)) => {
+            let set = values_to_set(items, span)?;
+            Event::in_set(t.clone(), set)
+        }
+        (CmpOp::In, Value::Bin { lo, hi, last }) => {
+            Event::in_set(t.clone(), bin_set(*lo, *hi, *last))
+        }
+        (op, v) => {
+            return Err(err(
+                span,
+                format!("unsupported comparison {op:?} against {}", v.type_name()),
+            ))
+        }
+    };
+    Ok(CompareResult::Event(ev))
+}
+
+fn values_to_set(items: &[Value], span: Span) -> Result<OutcomeSet, LangError> {
+    let mut out = OutcomeSet::empty();
+    for item in items {
+        let piece = match item {
+            Value::Num(n) => OutcomeSet::real_point(*n),
+            Value::Str(s) => OutcomeSet::strings([s.as_str()]),
+            Value::Bool(b) => OutcomeSet::real_point(f64::from(*b)),
+            Value::Bin { lo, hi, last } => bin_set(*lo, *hi, *last),
+            Value::List(_) => {
+                return Err(err(span, "nested lists are not valid membership sets"))
+            }
+        };
+        out = out.union(&piece);
+    }
+    Ok(out)
+}
+
+fn bin_set(lo: f64, hi: f64, last: bool) -> OutcomeSet {
+    let iv = if last {
+        Interval::closed(lo, hi)
+    } else {
+        Interval::closed_open(lo, hi)
+    };
+    OutcomeSet::from(iv)
+}
+
+fn static_case_matches(subject: &Value, case: &Value) -> bool {
+    match (subject, case) {
+        (Value::Num(x), Value::Bin { lo, hi, last }) => {
+            *x >= *lo && (*x < *hi || (*last && *x <= *hi))
+        }
+        (a, b) => a == b,
+    }
+}
+
+fn case_event(t: &Transform, case: &Value, span: Span) -> Result<Event, LangError> {
+    match case {
+        Value::Num(n) => Ok(Event::eq_real(t.clone(), *n)),
+        Value::Str(s) => Ok(Event::eq_str(t.clone(), s)),
+        Value::Bool(b) => Ok(Event::eq_real(t.clone(), f64::from(*b))),
+        Value::Bin { lo, hi, last } => Ok(Event::in_set(t.clone(), bin_set(*lo, *hi, *last))),
+        Value::List(_) => Err(err(span, "switch case values cannot be nested lists")),
+    }
+}
+
+fn is_always(e: &Event) -> bool {
+    matches!(e, Event::And(v) if v.is_empty())
+}
+
+fn is_never(e: &Event) -> bool {
+    matches!(e, Event::Or(v) if v.is_empty())
+}
+
+/// The `(Transform-*)` rules of Lst. 3: attach a derived variable
+/// `name := t(base)` to the leaf owning `base`.
+fn attach_derived(
+    factory: &Factory,
+    spe: &Spe,
+    name: &Var,
+    base: &Var,
+    t: &Transform,
+) -> Result<Spe, sppl_core::SpplError> {
+    match spe.node() {
+        Node::Leaf { var, dist, env, .. } => {
+            let resolved = if base == var {
+                t.clone()
+            } else if let Some(base_t) = env.get(base) {
+                t.substitute(base, base_t)
+            } else {
+                return Err(sppl_core::SpplError::UnknownVariable {
+                    var: base.name().into(),
+                });
+            };
+            let mut new_env = env.clone();
+            new_env = new_env.with(name.clone(), resolved);
+            factory.leaf_env(var.clone(), dist.clone(), new_env)
+        }
+        Node::Sum { children, .. } => {
+            let parts: Result<Vec<(Spe, f64)>, _> = children
+                .iter()
+                .map(|(c, w)| attach_derived(factory, c, name, base, t).map(|s| (s, *w)))
+                .collect();
+            factory.sum(parts?)
+        }
+        Node::Product { children, .. } => {
+            let mut out = Vec::with_capacity(children.len());
+            let mut attached = false;
+            for c in children {
+                if !attached && c.scope().contains(base) {
+                    out.push(attach_derived(factory, c, name, base, t)?);
+                    attached = true;
+                } else {
+                    out.push(c.clone());
+                }
+            }
+            if !attached {
+                return Err(sppl_core::SpplError::UnknownVariable {
+                    var: base.name().into(),
+                });
+            }
+            factory.product(out)
+        }
+    }
+}
+
+trait PopChecked<T> {
+    fn pop_checked(self) -> T;
+}
+
+impl<T> PopChecked<T> for Vec<T> {
+    fn pop_checked(mut self) -> T {
+        self.pop().expect("nonempty by construction")
+    }
+}

@@ -1,0 +1,348 @@
+//! Reverse translation `→SPPL` (Appx. E, Lst. 8): rendering any
+//! sum-product expression back into SPPL source code.
+//!
+//! * a `Product` becomes a command sequence,
+//! * a `Sum` becomes a fresh categorical "branch" variable plus an
+//!   `if/elif` chain (the extra variable does not change the probability
+//!   of any event over the original variables),
+//! * a `Leaf` becomes a `~` statement, a truncating `condition(...)` when
+//!   the support is restricted, and one `=` statement per derived
+//!   variable.
+//!
+//! Retranslating the produced source yields an expression with the same
+//! distribution over the original variables (Eq. 46), which is verified
+//! by the round-trip tests in `tests/`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use sppl_core::spe::{Node, Spe};
+use sppl_core::transform::Transform;
+use sppl_core::SpplError;
+use sppl_dists::{Cdf, Distribution};
+use sppl_num::Polynomial;
+
+/// Renders an SPE as SPPL source code.
+///
+/// # Errors
+///
+/// Returns [`SpplError::IllFormed`] for constructs with no source
+/// rendering (piecewise transforms, which the translator never produces).
+pub fn untranslate(spe: &Spe) -> Result<String, SpplError> {
+    let mut w = Writer {
+        out: String::new(),
+        indent: 0,
+        fresh: vec![BTreeMap::new()],
+        defined: BTreeSet::new(),
+    };
+    w.emit_array_decls(spe);
+    w.emit(spe)?;
+    Ok(w.out)
+}
+
+struct Writer {
+    out: String,
+    indent: usize,
+    /// Per-branch counters of hidden branch variables, keyed by the scope
+    /// they govern: sibling branches of a mixture allocate *identical*
+    /// names for structurally matching inner mixtures, which keeps the
+    /// retranslated program compliant with restriction R2.
+    fresh: Vec<BTreeMap<String, usize>>,
+    /// Hidden branch variables defined in the current branch body.
+    /// Structurally different sibling branches may define different
+    /// hidden variables; the parent pads the difference with degenerate
+    /// `choice({'c0': 1.0})` samples so retranslation satisfies R2.
+    defined: BTreeSet<String>,
+}
+
+impl Writer {
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn fresh_branch_var(&mut self, spe: &Spe) -> String {
+        let scope_key: String = spe
+            .scope()
+            .iter()
+            .map(|v| v.name().replace(['[', ']'], "_"))
+            .collect::<Vec<_>>()
+            .join("_");
+        let frame = self.fresh.last_mut().expect("frame stack nonempty");
+        let k = frame.entry(scope_key.clone()).or_insert(0);
+        let name = format!("hb_{scope_key}_{k}");
+        *k += 1;
+        name
+    }
+
+    /// Array-element variables (`Z[3]`) need `Z = array(n)` declarations
+    /// before use.
+    fn emit_array_decls(&mut self, spe: &Spe) {
+        let mut sizes: BTreeMap<String, usize> = BTreeMap::new();
+        for var in spe.scope() {
+            if let Some((base, idx)) = parse_indexed(var.name()) {
+                let e = sizes.entry(base).or_insert(0);
+                *e = (*e).max(idx + 1);
+            }
+        }
+        for (base, size) in sizes {
+            self.line(&format!("{base} = array({size})"));
+        }
+    }
+
+    fn emit(&mut self, spe: &Spe) -> Result<(), SpplError> {
+        match spe.node() {
+            Node::Product { children, .. } => {
+                for c in children {
+                    self.emit(c)?;
+                }
+                Ok(())
+            }
+            Node::Sum { children, .. } => {
+                let branch = self.fresh_branch_var(spe);
+                self.defined.insert(branch.clone());
+                let mut dict = String::new();
+                for (i, (_, lw)) in children.iter().enumerate() {
+                    if i > 0 {
+                        dict.push_str(", ");
+                    }
+                    let _ = write!(dict, "'c{i}': {}", fmt_f64(lw.exp()));
+                }
+                self.line(&format!("{branch} ~ choice({{{dict}}})"));
+                let base_frame = self.fresh.last().expect("frame stack nonempty").clone();
+                // Render each sibling from the same naming state, then pad
+                // hidden variables missing relative to the union (R2).
+                let mut bodies: Vec<(String, BTreeSet<String>)> = Vec::new();
+                for (child, _) in children {
+                    let mut sub = Writer {
+                        out: String::new(),
+                        indent: self.indent + 1,
+                        fresh: vec![base_frame.clone()],
+                        defined: BTreeSet::new(),
+                    };
+                    sub.emit(child)?;
+                    bodies.push((sub.out, sub.defined));
+                }
+                let union: BTreeSet<String> = bodies
+                    .iter()
+                    .flat_map(|(_, names)| names.iter().cloned())
+                    .collect();
+                // After padding, every name in the union is defined by all
+                // branches, hence (transitively) by this whole statement.
+                self.defined.extend(union.iter().cloned());
+                for (i, (body, names)) in bodies.iter().enumerate() {
+                    let kw = if i == 0 { "if" } else { "elif" };
+                    self.line(&format!("{kw} ({branch} == 'c{i}') {{"));
+                    self.out.push_str(body);
+                    self.indent += 1;
+                    for missing in union.difference(names) {
+                        self.line(&format!("{missing} ~ choice({{'c0': 1.0}})"));
+                    }
+                    self.indent -= 1;
+                    self.line("}");
+                }
+                Ok(())
+            }
+            Node::Leaf { var, dist, env, .. } => {
+                let name = var.name();
+                match dist {
+                    Distribution::Atomic { loc } => {
+                        self.line(&format!("{name} ~ atomic({})", fmt_f64(*loc)));
+                    }
+                    Distribution::Str(d) => {
+                        let mut dict = String::new();
+                        for (i, (s, w)) in d.items().iter().enumerate() {
+                            if i > 0 {
+                                dict.push_str(", ");
+                            }
+                            let _ = write!(dict, "'{s}': {}", fmt_f64(*w));
+                        }
+                        self.line(&format!("{name} ~ choice({{{dict}}})"));
+                    }
+                    Distribution::Real(d) => {
+                        if let Cdf::Uniform { .. } = d.cdf() {
+                            // Re-render the truncated support directly.
+                            self.line(&format!(
+                                "{name} ~ uniform({}, {})",
+                                fmt_f64(d.support().lo()),
+                                fmt_f64(d.support().hi())
+                            ));
+                        } else {
+                            self.line(&format!("{name} ~ {}", render_cdf(d.cdf())));
+                            let (nat_lo, nat_hi) = d.cdf().support();
+                            let sup = d.support();
+                            let mut conds = Vec::new();
+                            if sup.lo() > nat_lo {
+                                let op = if sup.lo_closed() { ">=" } else { ">" };
+                                conds.push(format!("({name} {op} {})", fmt_f64(sup.lo())));
+                            }
+                            if sup.hi() < nat_hi {
+                                let op = if sup.hi_closed() { "<=" } else { "<" };
+                                conds.push(format!("({name} {op} {})", fmt_f64(sup.hi())));
+                            }
+                            if !conds.is_empty() {
+                                self.line(&format!("condition({})", conds.join(" and ")));
+                            }
+                        }
+                    }
+                    Distribution::Int(d) => {
+                        self.line(&format!("{name} ~ {}", render_cdf(d.cdf())));
+                        let (nat_lo, nat_hi) = d.cdf().support();
+                        let mut conds = Vec::new();
+                        if d.lo() > nat_lo {
+                            conds.push(format!("({name} >= {})", fmt_f64(d.lo())));
+                        }
+                        if d.hi() < nat_hi {
+                            conds.push(format!("({name} <= {})", fmt_f64(d.hi())));
+                        }
+                        if !conds.is_empty() {
+                            self.line(&format!("condition({})", conds.join(" and ")));
+                        }
+                    }
+                }
+                for (derived, t) in env.entries() {
+                    let rendered = render_transform(t)?;
+                    self.line(&format!("{} = {rendered}", derived.name()));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn parse_indexed(name: &str) -> Option<(String, usize)> {
+    let open = name.find('[')?;
+    let close = name.strip_suffix(']')?;
+    let idx: usize = close[open + 1..].parse().ok()?;
+    Some((name[..open].to_string(), idx))
+}
+
+fn fmt_f64(x: f64) -> String {
+    if x == f64::INFINITY {
+        "1e308".into()
+    } else if x == f64::NEG_INFINITY {
+        "-1e308".into()
+    } else {
+        format!("{x:?}")
+    }
+}
+
+fn render_cdf(cdf: &Cdf) -> String {
+    match *cdf {
+        Cdf::Normal { mu, sigma } => format!("normal({}, {})", fmt_f64(mu), fmt_f64(sigma)),
+        Cdf::Uniform { a, b } => format!("uniform({}, {})", fmt_f64(a), fmt_f64(b)),
+        Cdf::Exponential { rate } => format!("exponential({})", fmt_f64(rate)),
+        Cdf::Gamma { shape, scale } => {
+            format!("gamma({}, {})", fmt_f64(shape), fmt_f64(scale))
+        }
+        Cdf::Beta { a, b, scale } => {
+            format!("beta({}, {}, {})", fmt_f64(a), fmt_f64(b), fmt_f64(scale))
+        }
+        Cdf::Cauchy { loc, scale } => format!("cauchy({}, {})", fmt_f64(loc), fmt_f64(scale)),
+        Cdf::Laplace { loc, scale } => {
+            format!("laplace({}, {})", fmt_f64(loc), fmt_f64(scale))
+        }
+        Cdf::Logistic { loc, scale } => {
+            format!("logistic({}, {})", fmt_f64(loc), fmt_f64(scale))
+        }
+        Cdf::StudentT { df } => format!("student_t({})", fmt_f64(df)),
+        Cdf::Poisson { mu } => format!("poisson({})", fmt_f64(mu)),
+        Cdf::Binomial { n, p } => format!("binomial({n}, {})", fmt_f64(p)),
+        Cdf::Geometric { p } => format!("geometric({})", fmt_f64(p)),
+        Cdf::DiscreteUniform { lo, hi } => format!("randint({lo}, {hi})"),
+    }
+}
+
+/// Renders a transform as a source expression (the `⇑` relation of
+/// Appx. E, e.g. Eq. 45).
+pub fn render_transform(t: &Transform) -> Result<String, SpplError> {
+    match t {
+        Transform::Id(v) => Ok(v.name().to_string()),
+        Transform::Reciprocal(inner) => Ok(format!("(1 / {})", render_transform(inner)?)),
+        Transform::Abs(inner) => Ok(format!("abs({})", render_transform(inner)?)),
+        Transform::Root(inner, n) => {
+            let i = render_transform(inner)?;
+            if *n == 2 {
+                Ok(format!("sqrt({i})"))
+            } else {
+                Ok(format!("({i}) ** (1/{n})"))
+            }
+        }
+        Transform::Exp(inner, base) => {
+            let i = render_transform(inner)?;
+            if (*base - std::f64::consts::E).abs() < 1e-12 {
+                Ok(format!("exp({i})"))
+            } else {
+                Ok(format!("{} ** ({i})", fmt_f64(*base)))
+            }
+        }
+        Transform::Log(inner, base) => {
+            let i = render_transform(inner)?;
+            if (*base - std::f64::consts::E).abs() < 1e-12 {
+                Ok(format!("ln({i})"))
+            } else {
+                // log_b(x) = ln(x) * (1/ln b) — same transform semantics.
+                Ok(format!("ln({i}) * {}", fmt_f64(1.0 / base.ln())))
+            }
+        }
+        Transform::Poly(inner, p) => Ok(render_poly(&render_transform(inner)?, p)),
+        Transform::Piecewise(_) => Err(SpplError::IllFormed {
+            message: "piecewise transforms have no source rendering".into(),
+        }),
+    }
+}
+
+fn render_poly(inner: &str, p: &Polynomial) -> String {
+    let mut terms = Vec::new();
+    for (i, &c) in p.coeffs().iter().enumerate() {
+        if c == 0.0 {
+            continue;
+        }
+        let term = match i {
+            0 => fmt_f64(c),
+            1 => format!("{} * ({inner})", fmt_f64(c)),
+            _ => format!("{} * ({inner}) ** {i}", fmt_f64(c)),
+        };
+        terms.push(term);
+    }
+    if terms.is_empty() {
+        "0.0".into()
+    } else {
+        format!("({})", terms.join(" + "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sppl_core::var::Var;
+
+    #[test]
+    fn render_transform_examples() {
+        // Eq. 45: Poly(Id(X), [1, 2, 3]) ⇑ 1 + 2*X + 3*X**2.
+        let t = Transform::poly(
+            Transform::id(Var::new("X")),
+            Polynomial::new(vec![1.0, 2.0, 3.0]),
+        );
+        let s = render_transform(&t).unwrap();
+        assert!(s.contains("1.0") && s.contains("2.0 * (X)") && s.contains("3.0 * (X) ** 2"));
+        let r = Transform::id(Var::new("Y")).sqrt();
+        assert_eq!(render_transform(&r).unwrap(), "sqrt(Y)");
+    }
+
+    #[test]
+    fn parse_indexed_names() {
+        assert_eq!(parse_indexed("Z[3]"), Some(("Z".into(), 3)));
+        assert_eq!(parse_indexed("Z"), None);
+        assert_eq!(parse_indexed("Z[x]"), None);
+    }
+
+    #[test]
+    fn fmt_round_trippable() {
+        assert_eq!(fmt_f64(0.5), "0.5");
+        assert_eq!(fmt_f64(10.0), "10.0");
+    }
+}

@@ -1,0 +1,90 @@
+//! The Indian GPA problem (Sec. 2.1, Fig. 2): the canonical mixed-type
+//! example with both continuous and atomic GPA values.
+
+use sppl_core::event::Event;
+use sppl_core::transform::Transform;
+use sppl_core::var::Var;
+use sppl_sets::Interval;
+
+use crate::Model;
+
+/// The Fig. 2a program.
+pub fn model() -> Model {
+    Model::new(
+        "IndianGPA",
+        "
+Nationality ~ choice({'India': 0.5, 'USA': 0.5})
+if (Nationality == 'India') {
+    Perfect ~ bernoulli(p=0.10)
+    if (Perfect == 1) { GPA ~ atomic(10) }
+    else { GPA ~ uniform(0, 10) }
+} else {
+    Perfect ~ bernoulli(p=0.15)
+    if (Perfect == 1) { GPA ~ atomic(4) }
+    else { GPA ~ uniform(0, 4) }
+}
+",
+    )
+}
+
+/// The conditioning event of Fig. 2f:
+/// `((Nationality == 'USA') and (GPA > 3)) or (8 < GPA < 10)`.
+pub fn condition_event() -> Event {
+    Event::or(vec![
+        Event::and(vec![
+            Event::eq_str(Transform::id(Var::new("Nationality")), "USA"),
+            Event::gt(Transform::id(Var::new("GPA")), 3.0),
+        ]),
+        Event::in_interval(
+            Transform::id(Var::new("GPA")),
+            Interval::open(8.0, 10.0),
+        ),
+    ])
+}
+
+/// The CDF grid queries of Fig. 2b: `GPA <= x/10` for `x = 0..=120`.
+pub fn gpa_cdf_queries() -> Vec<Event> {
+    (0..=120)
+        .map(|x| Event::le(Transform::id(Var::new("GPA")), x as f64 / 10.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sppl_core::condition::condition;
+    use sppl_core::Factory;
+
+    #[test]
+    fn posterior_matches_fig2g() {
+        let f = Factory::new();
+        let m = model().compile(&f).unwrap();
+        let post = condition(&f, &m, &condition_event()).unwrap();
+        let p_india = post
+            .prob(&Event::eq_str(Transform::id(Var::new("Nationality")), "India"))
+            .unwrap();
+        // Fig. 2g: root weights [.33, .67].
+        assert!((p_india - 0.09 / 0.271_25).abs() < 1e-9);
+        // Perfect=1 within USA branch reweighted to .41.
+        let p_perf_given_usa = post
+            .prob(&Event::and(vec![
+                Event::eq_str(Transform::id(Var::new("Nationality")), "USA"),
+                Event::eq_real(Transform::id(Var::new("Perfect")), 1.0),
+            ]))
+            .unwrap()
+            / (1.0 - p_india);
+        assert!((p_perf_given_usa - 0.15 / 0.3625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prior_cdf_has_atoms() {
+        let f = Factory::new();
+        let m = model().compile(&f).unwrap();
+        let qs = gpa_cdf_queries();
+        let at_4 = m.prob(&qs[40]).unwrap();
+        let below_4 = m.prob(&qs[39]).unwrap();
+        // Jump at GPA = 4 from the USA atom: 0.5 * 0.15.
+        assert!(at_4 - below_4 > 0.07, "jump {} too small", at_4 - below_4);
+        assert!((m.prob(&qs[120]).unwrap() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,233 @@
+//! Discrete Bayesian-network benchmarks used in the Table 1 compression
+//! measurements: Hiring [FairSquare], Alarm / Grass / Noisy-OR [R2], and
+//! the Heart Disease network [Spiegelhalter et al.], re-encoded from
+//! their published structure.
+
+use crate::Model;
+
+/// The FairSquare running example: ethnicity, college rank, years of
+/// experience, and a small hiring decision tree.
+pub fn hiring() -> Model {
+    Model::new(
+        "Hiring",
+        "
+ethnicity ~ bernoulli(p=0.33)
+if (ethnicity == 1) {
+    col_rank ~ normal(22.0, 8.0)
+} else {
+    col_rank ~ normal(17.0, 8.0)
+}
+y_exp ~ normal(10.0, 5.0)
+if (col_rank <= 5.0) {
+    hire ~ atomic(1)
+} elif (y_exp > 10.0) {
+    hire ~ atomic(1)
+} else {
+    hire ~ atomic(0)
+}
+",
+    )
+}
+
+/// The classic burglary/earthquake alarm network (R2 suite).
+pub fn alarm() -> Model {
+    Model::new(
+        "Alarm",
+        "
+burglary ~ bernoulli(p=0.001)
+earthquake ~ bernoulli(p=0.002)
+if (burglary == 1) {
+    if (earthquake == 1) { alarm ~ bernoulli(p=0.95) }
+    else { alarm ~ bernoulli(p=0.94) }
+} else {
+    if (earthquake == 1) { alarm ~ bernoulli(p=0.29) }
+    else { alarm ~ bernoulli(p=0.001) }
+}
+if (alarm == 1) { john_calls ~ bernoulli(p=0.9) }
+else { john_calls ~ bernoulli(p=0.05) }
+if (alarm == 1) { mary_calls ~ bernoulli(p=0.7) }
+else { mary_calls ~ bernoulli(p=0.01) }
+",
+    )
+}
+
+/// The sprinkler/rain/wet-grass network (R2 suite).
+pub fn grass() -> Model {
+    Model::new(
+        "Grass",
+        "
+cloudy ~ bernoulli(p=0.5)
+if (cloudy == 1) { sprinkler ~ bernoulli(p=0.1) }
+else { sprinkler ~ bernoulli(p=0.5) }
+if (cloudy == 1) { rain ~ bernoulli(p=0.8) }
+else { rain ~ bernoulli(p=0.2) }
+if (sprinkler == 1) {
+    if (rain == 1) { wet_grass ~ bernoulli(p=0.99) }
+    else { wet_grass ~ bernoulli(p=0.9) }
+} else {
+    if (rain == 1) { wet_grass ~ bernoulli(p=0.9) }
+    else { wet_grass ~ bernoulli(p=0.01) }
+}
+if (wet_grass == 1) { slippery ~ bernoulli(p=0.7) }
+else { slippery ~ bernoulli(p=0.0) }
+",
+    )
+}
+
+/// A noisy-OR network with `n_causes` independent causes and one effect
+/// whose activation probability grows with the number of active causes
+/// (R2 suite's NoisyOR, parameterized).
+pub fn noisy_or(n_causes: usize) -> Model {
+    let mut src = String::new();
+    for i in 0..n_causes {
+        src.push_str(&format!("cause_{i} ~ bernoulli(p=0.3)\n"));
+    }
+    // active = Σ cause_i is not expressible (multivariate transform), so
+    // expand the noisy-OR as nested conditionals: each active cause
+    // independently fails to trigger the effect with probability 0.4.
+    // effect | causes ~ bernoulli(1 - 0.6 * 0.4^k) for k active causes —
+    // encoded by a chain of binary switches.
+    fn chain(i: usize, n: usize, k: usize, src: &mut String, depth: usize) {
+        let pad = "    ".repeat(depth);
+        if i == n {
+            let p = 1.0 - 0.6 * 0.4f64.powi(k as i32);
+            src.push_str(&format!("{pad}effect ~ bernoulli(p={p:.6})\n"));
+            return;
+        }
+        src.push_str(&format!("{pad}if (cause_{i} == 1) {{\n"));
+        chain(i + 1, n, k + 1, src, depth + 1);
+        src.push_str(&format!("{pad}}} else {{\n"));
+        chain(i + 1, n, k, src, depth + 1);
+        src.push_str(&format!("{pad}}}\n"));
+    }
+    chain(0, n_causes, 0, &mut src, 0);
+    Model::new(format!("NoisyOR-{n_causes}"), src)
+}
+
+/// A Heart-Disease-style diagnosis network (Spiegelhalter et al. 1993),
+/// mixing discrete risk factors and continuous measurements.
+pub fn heart_disease() -> Model {
+    Model::new(
+        "HeartDisease",
+        "
+smoking ~ bernoulli(p=0.3)
+exercise ~ bernoulli(p=0.4)
+diet_poor ~ bernoulli(p=0.35)
+if (smoking == 1) {
+    if (diet_poor == 1) { bp ~ normal(150.0, 15.0) }
+    else { bp ~ normal(140.0, 14.0) }
+} else {
+    if (diet_poor == 1) { bp ~ normal(135.0, 13.0) }
+    else { bp ~ normal(120.0, 12.0) }
+}
+if (exercise == 1) { cholesterol ~ normal(190.0, 30.0) }
+else { cholesterol ~ normal(225.0, 38.0) }
+if (bp > 140.0) {
+    if (cholesterol > 240.0) { chd ~ bernoulli(p=0.5) }
+    else { chd ~ bernoulli(p=0.25) }
+} else {
+    if (cholesterol > 240.0) { chd ~ bernoulli(p=0.18) }
+    else { chd ~ bernoulli(p=0.05) }
+}
+if (chd == 1) { ecg_abnormal ~ bernoulli(p=0.7) }
+else { ecg_abnormal ~ bernoulli(p=0.1) }
+if (chd == 1) { angina ~ bernoulli(p=0.6) }
+else { angina ~ bernoulli(p=0.05) }
+if (chd == 1) { heart_rate ~ normal(88.0, 11.0) }
+else { heart_rate ~ normal(75.0, 9.0) }
+",
+    )
+}
+
+/// The seven Table 1 benchmark models.
+pub fn table1_models() -> Vec<Model> {
+    vec![
+        hiring(),
+        alarm(),
+        grass(),
+        noisy_or(6),
+        crate::psi_suite::clinical_trial(8, 8),
+        heart_disease(),
+        crate::hmm::hierarchical_hmm(20),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sppl_core::event::Event;
+    use sppl_core::transform::Transform;
+    use sppl_core::var::Var;
+    use sppl_core::Factory;
+
+    fn ev(name: &str) -> Transform {
+        Transform::id(Var::new(name))
+    }
+
+    #[test]
+    fn alarm_posterior_burglary_given_calls() {
+        // Classic textbook number: P[burglary | john ∧ mary] ≈ 0.284.
+        let f = Factory::new();
+        let m = alarm().compile(&f).unwrap();
+        let calls = Event::and(vec![
+            Event::eq_real(ev("john_calls"), 1.0),
+            Event::eq_real(ev("mary_calls"), 1.0),
+        ]);
+        let post = sppl_core::condition(&f, &m, &calls).unwrap();
+        let p = post.prob(&Event::eq_real(ev("burglary"), 1.0)).unwrap();
+        assert!((p - 0.284).abs() < 0.01, "P[b|j,m] = {p}");
+    }
+
+    #[test]
+    fn grass_rain_given_wet() {
+        let f = Factory::new();
+        let m = grass().compile(&f).unwrap();
+        let post = sppl_core::condition(
+            &f,
+            &m,
+            &Event::eq_real(ev("wet_grass"), 1.0),
+        )
+        .unwrap();
+        let p_rain = post.prob(&Event::eq_real(ev("rain"), 1.0)).unwrap();
+        let prior_rain = m.prob(&Event::eq_real(ev("rain"), 1.0)).unwrap();
+        assert!(p_rain > prior_rain, "explaining away: {p_rain} vs {prior_rain}");
+    }
+
+    #[test]
+    fn noisy_or_monotone_in_causes() {
+        let f = Factory::new();
+        let m = noisy_or(4).compile(&f).unwrap();
+        let effect = Event::eq_real(ev("effect"), 1.0);
+        let no_causes = Event::and(
+            (0..4)
+                .map(|i| Event::eq_real(ev(&format!("cause_{i}")), 0.0))
+                .collect(),
+        );
+        let post = sppl_core::condition(&f, &m, &no_causes).unwrap();
+        let p0 = post.prob(&effect).unwrap();
+        assert!((p0 - 0.4).abs() < 1e-9);
+        let prior = m.prob(&effect).unwrap();
+        assert!(prior > p0);
+    }
+
+    #[test]
+    fn heart_disease_risk_factors_matter() {
+        let f = Factory::new();
+        let m = heart_disease().compile(&f).unwrap();
+        let chd = Event::eq_real(ev("chd"), 1.0);
+        let smoker = sppl_core::condition(&f, &m, &Event::eq_real(ev("smoking"), 1.0)).unwrap();
+        let nonsmoker =
+            sppl_core::condition(&f, &m, &Event::eq_real(ev("smoking"), 0.0)).unwrap();
+        assert!(smoker.prob(&chd).unwrap() > nonsmoker.prob(&chd).unwrap());
+    }
+
+    #[test]
+    fn hiring_compiles() {
+        let f = Factory::new();
+        let m = hiring().compile(&f).unwrap();
+        let p = m
+            .prob(&Event::eq_real(ev("hire"), 1.0))
+            .unwrap();
+        assert!(p > 0.0 && p < 1.0);
+    }
+}

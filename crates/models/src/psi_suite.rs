@@ -1,0 +1,363 @@
+//! The Sec. 6.2 benchmark suite (Table 4): Digit Recognition, TrueSkill,
+//! Clinical Trial, Gamma Transforms, Student Interviews, and Markov
+//! Switching, each with dataset generators so the multi-stage workflow
+//! (translate once / condition per dataset / query per dataset) can be
+//! measured.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sppl_core::density::Assignment;
+use sppl_core::event::Event;
+use sppl_core::transform::Transform;
+use sppl_core::var::Var;
+use sppl_sets::Outcome;
+
+use crate::Model;
+
+fn tvar(name: &str) -> Transform {
+    Transform::id(Var::new(name))
+}
+
+// ---------------------------------------------------------------- digits
+
+/// Digit Recognition (C × B^npixels): a categorical class and
+/// class-conditional Bernoulli pixels from deterministic templates.
+pub fn digit_recognition(n_pixels: usize) -> Model {
+    // Per-class pixel probabilities come from a deterministic template,
+    // so the class dispatch is expanded as an if/elif chain rather than a
+    // `switch` (whose binder could not index the template).
+    let mut src = String::new();
+    src.push_str(&format!("Pixel = array({n_pixels})\n"));
+    src.push_str("Class ~ choice({");
+    for d in 0..10 {
+        if d > 0 {
+            src.push_str(", ");
+        }
+        src.push_str(&format!("'d{d}': 0.1"));
+    }
+    src.push_str("})\n");
+    for d in 0..10 {
+        let kw = if d == 0 { "if" } else { "elif" };
+        src.push_str(&format!("{kw} (Class == 'd{d}') {{\n"));
+        for p in 0..n_pixels {
+            let prob = template_probability(d, p);
+            src.push_str(&format!("    Pixel[{p}] ~ bernoulli(p={prob:.4})\n"));
+        }
+        src.push_str("}\n");
+    }
+    Model::new(format!("DigitRecognition-{n_pixels}"), src)
+}
+
+/// Deterministic class-conditional pixel-on probability (a stand-in for
+/// the MNIST-derived parameters of the original benchmark).
+pub fn template_probability(digit: usize, pixel: usize) -> f64 {
+    // A fixed pseudo-random but smooth template per digit.
+    let h = (digit * 2_654_435_761 + pixel * 40_503) % 1000;
+    0.05 + 0.9 * (h as f64 / 999.0)
+}
+
+/// Draws an observed pixel vector from a given digit's template.
+pub fn digit_dataset(seed: u64, digit: usize, n_pixels: usize) -> Assignment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = Assignment::new();
+    for p in 0..n_pixels {
+        let on = rng.gen::<f64>() < template_probability(digit, p);
+        a.insert(Var::indexed("Pixel", p), Outcome::Real(f64::from(on)));
+    }
+    a
+}
+
+/// The Digit Recognition posterior query: class equals `d`.
+pub fn digit_query(d: usize) -> Event {
+    Event::eq_str(tvar("Class"), &format!("d{d}"))
+}
+
+// -------------------------------------------------------------- trueskill
+
+/// TrueSkill (P × Bi²): a truncated-Poisson skill and two Binomial match
+/// performances whose success rate grows with skill (discretized per R4
+/// via `switch`).
+pub fn trueskill() -> Model {
+    Model::new(
+        "TrueSkill",
+        "
+Skill ~ poisson(mu=5)
+condition(Skill < 12)
+switch Skill cases (s in range(12)) {
+    PerfA ~ binomial(n=10, p=(s + 1) / 13.0)
+    PerfB ~ binomial(n=10, p=(s + 1) / 13.0)
+}
+",
+    )
+}
+
+/// A TrueSkill dataset: observed performance of player A.
+pub fn trueskill_dataset(perf_a: u32) -> Assignment {
+    let mut a = Assignment::new();
+    a.insert(Var::new("PerfA"), Outcome::Real(f64::from(perf_a)));
+    a
+}
+
+/// TrueSkill query: P[PerfB >= k].
+pub fn trueskill_query(k: u32) -> Event {
+    Event::ge(tvar("PerfB"), f64::from(k))
+}
+
+// --------------------------------------------------------- clinical trial
+
+/// Clinical Trial (B × U³ × B^n × B^n): effectiveness flag, discretized
+/// uniform response rates (the Lst. 4 binspace/switch pattern), and `n`
+/// Bernoulli outcomes per arm.
+pub fn clinical_trial(n_treated: usize, n_control: usize) -> Model {
+    let mut src = String::new();
+    src.push_str(&format!("Treated = array({n_treated})\n"));
+    src.push_str(&format!("Control = array({n_control})\n"));
+    src.push_str("IsEffective ~ bernoulli(p=0.5)\n");
+    src.push_str("ProbControl ~ uniform(0, 1)\n");
+    src.push_str("ProbAdd ~ uniform(0, 1)\n");
+    src.push_str("ProbAll ~ uniform(0, 1)\n");
+    src.push_str("if (IsEffective == 1) {\n");
+    src.push_str("    switch ProbControl cases (pc in binspace(0, 1, n=8)) {\n");
+    src.push_str("        switch ProbAdd cases (pa in binspace(0, 1, n=4)) {\n");
+    for i in 0..n_control {
+        src.push_str(&format!("            Control[{i}] ~ bernoulli(p=pc.mean())\n"));
+    }
+    for i in 0..n_treated {
+        src.push_str(&format!(
+            "            Treated[{i}] ~ bernoulli(p=0.5 * pc.mean() + 0.5 * pa.mean())\n"
+        ));
+    }
+    src.push_str("        }\n");
+    src.push_str("    }\n");
+    src.push_str("} else {\n");
+    src.push_str("    switch ProbAll cases (p0 in binspace(0, 1, n=8)) {\n");
+    for i in 0..n_control {
+        src.push_str(&format!("        Control[{i}] ~ bernoulli(p=p0.mean())\n"));
+    }
+    for i in 0..n_treated {
+        src.push_str(&format!("        Treated[{i}] ~ bernoulli(p=p0.mean())\n"));
+    }
+    src.push_str("    }\n");
+    src.push_str("}\n");
+    Model::new(format!("ClinicalTrial-{n_treated}x{n_control}"), src)
+}
+
+/// A clinical-trial dataset: outcomes drawn with distinct treated/control
+/// success rates.
+pub fn clinical_trial_dataset(
+    seed: u64,
+    n_treated: usize,
+    n_control: usize,
+    p_treated: f64,
+    p_control: f64,
+) -> Assignment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = Assignment::new();
+    for i in 0..n_treated {
+        let v = f64::from(rng.gen::<f64>() < p_treated);
+        a.insert(Var::indexed("Treated", i), Outcome::Real(v));
+    }
+    for i in 0..n_control {
+        let v = f64::from(rng.gen::<f64>() < p_control);
+        a.insert(Var::indexed("Control", i), Outcome::Real(v));
+    }
+    a
+}
+
+/// Clinical-trial posterior query: the treatment is effective.
+pub fn clinical_trial_query() -> Event {
+    Event::eq_real(tvar("IsEffective"), 1.0)
+}
+
+// -------------------------------------------------------- gamma transform
+
+/// Gamma Transforms (G × T × (T + T)): the Sec. 6.2 robustness benchmark
+/// for many-to-one transforms. `X ~ Gamma(3, 1)`; `Y = 1/exp(X²)` when
+/// `X < 1` else `1/ln(X)`; `Z = -Y³ + Y² + 6Y`.
+pub fn gamma_transforms() -> Model {
+    Model::new(
+        "GammaTransforms",
+        "
+X ~ gamma(3, 1)
+if (X < 1) {
+    Y = 1 / exp(X ** 2)
+} else {
+    Y = 1 / ln(X + 1)
+}
+Z = -(Y**3) + Y**2 + 6*Y
+",
+    )
+}
+
+/// The five Gamma-Transform dataset constraints `φ(Z)` (intervals).
+pub fn gamma_constraints() -> Vec<Event> {
+    vec![
+        Event::in_interval(tvar("Z"), sppl_sets::Interval::closed(1.0, 3.0)),
+        Event::in_interval(tvar("Z"), sppl_sets::Interval::closed(2.0, 5.0)),
+        Event::gt(tvar("Z"), 4.0),
+        Event::le(tvar("Z").pow_int(2), 9.0),
+        Event::in_interval(tvar("Z"), sppl_sets::Interval::closed(2.5, 6.5)),
+    ]
+}
+
+/// The per-dataset query about the posterior `Y | φ(Z)`.
+pub fn gamma_query() -> Event {
+    Event::gt(tvar("Y"), 0.5)
+}
+
+// ----------------------------------------------------- student interviews
+
+/// Student Interviews (P × B^s × Bi^2s × (A + Be)^s for `s` students):
+/// a truncated-Poisson recruiter count; per student a mixed atomic/beta
+/// GPA, an interview count, and an offer count.
+pub fn student_interviews(n_students: usize) -> Model {
+    let mut src = String::new();
+    src.push_str(&format!("Gpa = array({n})\n", n = n_students));
+    src.push_str(&format!("Interviews = array({n})\n", n = n_students));
+    src.push_str(&format!("Offers = array({n})\n", n = n_students));
+    src.push_str("Recruiters ~ poisson(mu=10)\n");
+    src.push_str("condition((Recruiters >= 1) and (Recruiters < 16))\n");
+    for i in 0..n_students {
+        src.push_str(&format!("Perfect_{i} ~ bernoulli(p=0.1)\n"));
+        src.push_str(&format!("if (Perfect_{i} == 1) {{ Gpa[{i}] ~ atomic(4) }}\n"));
+        src.push_str(&format!("else {{ Gpa[{i}] ~ beta(7, 3, 4) }}\n"));
+        src.push_str(&format!("switch Recruiters cases (r in range(1, 16)) {{\n"));
+        src.push_str(&format!(
+            "    if (Gpa[{i}] > 3.5) {{ Interviews[{i}] ~ binomial(n=r, p=0.9) }}\n"
+        ));
+        src.push_str(&format!(
+            "    else {{ Interviews[{i}] ~ binomial(n=r, p=0.4) }}\n"
+        ));
+        src.push_str("}\n");
+        src.push_str(&format!(
+            "switch Interviews[{i}] cases (k in range(16)) {{\n"
+        ));
+        src.push_str(&format!("    Offers[{i}] ~ binomial(n=k, p=0.5)\n"));
+        src.push_str("}\n");
+    }
+    Model::new(format!("StudentInterviews-{n_students}"), src)
+}
+
+/// A Student-Interviews dataset: observed offer counts per student.
+pub fn student_interviews_dataset(seed: u64, n_students: usize) -> Assignment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = Assignment::new();
+    for i in 0..n_students {
+        let offers = rng.gen_range(0..5) as f64;
+        a.insert(Var::indexed("Offers", i), Outcome::Real(offers));
+    }
+    a
+}
+
+/// Student-Interviews query: the first student's GPA is perfect.
+pub fn student_interviews_query() -> Event {
+    Event::eq_real(tvar("Gpa[0]"), 4.0)
+}
+
+// ------------------------------------------------------- markov switching
+
+/// Markov Switching (B × B^n × N^n × P^n): the hierarchical HMM of
+/// Sec. 2.2 with `n` steps, reused from [`crate::hmm`].
+pub fn markov_switching(n: usize) -> Model {
+    let mut m = crate::hmm::hierarchical_hmm(n);
+    m.name = format!("MarkovSwitching-{n}");
+    m
+}
+
+/// A Markov-Switching dataset: observed `X[t]`, `Y[t]` series.
+pub fn markov_switching_dataset(seed: u64, n: usize) -> Assignment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trace = crate::hmm::simulate_trace(&mut rng, n);
+    crate::hmm::observation_assignment(&trace.x, &trace.y)
+}
+
+/// Markov-Switching query: the final hidden state is 1.
+pub fn markov_switching_query(n: usize) -> Event {
+    crate::hmm::hidden_state_event(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sppl_core::density::constrain;
+    use sppl_core::{condition, Factory};
+
+    #[test]
+    fn digit_recognition_small() {
+        let f = Factory::new();
+        let m = digit_recognition(24).compile(&f).unwrap();
+        let data = digit_dataset(7, 3, 24);
+        let post = constrain(&f, &m, &data).unwrap();
+        let mut probs: Vec<(usize, f64)> = (0..10)
+            .map(|d| (d, post.prob(&digit_query(d)).unwrap()))
+            .collect();
+        let total: f64 = probs.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        probs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        // The generating digit should rank near the top.
+        let rank = probs.iter().position(|(d, _)| *d == 3).unwrap();
+        assert!(rank <= 1, "digit 3 ranked {rank}: {probs:?}");
+    }
+
+    #[test]
+    fn trueskill_posterior_shifts_up() {
+        let f = Factory::new();
+        let m = trueskill().compile(&f).unwrap();
+        let prior_b = m.prob(&trueskill_query(8)).unwrap();
+        let post = constrain(&f, &m, &trueskill_dataset(10)).unwrap();
+        let post_b = post.prob(&trueskill_query(8)).unwrap();
+        assert!(
+            post_b > prior_b,
+            "observing a strong A raises B: {post_b} vs {prior_b}"
+        );
+    }
+
+    #[test]
+    fn clinical_trial_detects_effect() {
+        let f = Factory::new();
+        let m = clinical_trial(10, 10).compile(&f).unwrap();
+        let effective_data = clinical_trial_dataset(1, 10, 10, 0.95, 0.1);
+        let post = constrain(&f, &m, &effective_data).unwrap();
+        let p = post.prob(&clinical_trial_query()).unwrap();
+        assert!(p > 0.75, "strong separation should imply effectiveness, got {p}");
+        let null_data = clinical_trial_dataset(2, 10, 10, 0.5, 0.5);
+        let post0 = constrain(&f, &m, &null_data).unwrap();
+        let p0 = post0.prob(&clinical_trial_query()).unwrap();
+        assert!(p0 < p, "null data should lower effectiveness: {p0} vs {p}");
+    }
+
+    #[test]
+    fn gamma_transforms_all_constraints_solvable() {
+        let f = Factory::new();
+        let m = gamma_transforms().compile(&f).unwrap();
+        for (i, c) in gamma_constraints().into_iter().enumerate() {
+            let post = condition(&f, &m, &c)
+                .unwrap_or_else(|e| panic!("constraint {i} failed: {e}"));
+            let q = post.prob(&gamma_query()).unwrap();
+            assert!((0.0..=1.0).contains(&q), "dataset {i}: {q}");
+            // Conditioning is exact: the constraint now has probability 1.
+            assert!((post.prob(&c).unwrap() - 1.0).abs() < 1e-6, "dataset {i}");
+        }
+    }
+
+    #[test]
+    fn student_interviews_two_students() {
+        let f = Factory::new();
+        let m = student_interviews(2).compile(&f).unwrap();
+        let data = student_interviews_dataset(5, 2);
+        let post = constrain(&f, &m, &data).unwrap();
+        let p = post.prob(&student_interviews_query()).unwrap();
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn markov_switching_three_steps() {
+        let f = Factory::new();
+        let m = markov_switching(3).compile(&f).unwrap();
+        let data = markov_switching_dataset(11, 3);
+        let post = constrain(&f, &m, &data).unwrap();
+        let p = post.prob(&markov_switching_query(3)).unwrap();
+        assert!((0.0..=1.0).contains(&p));
+    }
+}

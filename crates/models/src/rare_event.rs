@@ -1,0 +1,81 @@
+//! Rare-event probability benchmarks (Sec. 6.3, Fig. 8): a chain
+//! Bayesian network in which the probability of observing a long run of
+//! unlikely emissions decays exponentially with the run length, so exact
+//! inference is easy for SPPL while rejection sampling needs enormous
+//! sample sizes.
+
+use sppl_core::event::Event;
+use sppl_core::transform::Transform;
+use sppl_core::var::Var;
+
+use crate::Model;
+
+/// A two-state Markov chain (`S[t]`) with sticky transitions and noisy
+/// Bernoulli emissions (`O[t]`). The rare events fix a long run of
+/// emissions that is only plausible from the rare state.
+pub fn chain_network(n: usize) -> Model {
+    let mut src = String::new();
+    src.push_str(&format!("S = array({n})\nO = array({n})\n"));
+    src.push_str("S[0] ~ bernoulli(p=0.01)\n");
+    src.push_str("switch S[0] cases (z in [0, 1]) { O[0] ~ bernoulli(p=0.03 + 0.67*z) }\n");
+    for t in 1..n {
+        src.push_str(&format!(
+            "switch S[{p}] cases (zp in [0, 1]) {{ S[{t}] ~ bernoulli(p=0.01 + 0.74*zp) }}\n",
+            p = t - 1
+        ));
+        src.push_str(&format!(
+            "switch S[{t}] cases (z in [0, 1]) {{ O[{t}] ~ bernoulli(p=0.03 + 0.67*z) }}\n"
+        ));
+    }
+    Model::new(format!("RareEventChain-{n}"), src)
+}
+
+/// The rare event: the first `k` emissions are all 1 (the chain almost
+/// surely starts and stays in state 0, whose emission rate is 0.05).
+pub fn all_ones_event(k: usize) -> Event {
+    Event::and(
+        (0..k)
+            .map(|t| Event::eq_real(Transform::id(Var::indexed("O", t)), 1.0))
+            .collect(),
+    )
+}
+
+/// The four Fig. 8 task sizes: prefix lengths whose exact log
+/// probabilities land near the paper's −9.63, −12.73, −14.48, −17.32.
+pub fn figure8_prefixes() -> Vec<usize> {
+    vec![8, 13, 16, 20]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sppl_core::Factory;
+
+    #[test]
+    fn chain_compiles_and_probabilities_decay() {
+        let f = Factory::new();
+        let m = chain_network(10).compile(&f).unwrap();
+        let mut last = 0.0f64;
+        for k in [2, 4, 6] {
+            let lp = m.logprob(&all_ones_event(k)).unwrap();
+            assert!(lp.is_finite());
+            if k > 2 {
+                assert!(lp < last, "log prob should decrease with k");
+            }
+            last = lp;
+        }
+    }
+
+    #[test]
+    fn figure8_magnitudes_are_rare() {
+        let f = Factory::new();
+        let m = chain_network(20).compile(&f).unwrap();
+        for k in figure8_prefixes() {
+            let lp = m.logprob(&all_ones_event(k)).unwrap();
+            assert!(
+                (-20.0..=-8.0).contains(&lp),
+                "k={k}: log p = {lp} outside the rare-event band"
+            );
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Floating-point helpers used throughout the workspace.
+//!
+//! SPPL accumulates probabilities of deeply nested sum-product expressions,
+//! so all weight arithmetic upstream is performed in log space; the helpers
+//! here are the shared primitives for doing that robustly.
+
+/// Natural log of the sum of two exponentials, `ln(e^a + e^b)`.
+///
+/// Handles infinities: `logaddexp(NEG_INFINITY, x) == x`.
+///
+/// ```
+/// use sppl_num::float::logaddexp;
+/// let l = logaddexp(0.5f64.ln(), 0.25f64.ln());
+/// assert!((l - 0.75f64.ln()).abs() < 1e-12);
+/// ```
+pub fn logaddexp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// Natural log of a sum of exponentials, `ln(Σ e^xᵢ)`.
+///
+/// Returns `f64::NEG_INFINITY` for an empty slice.
+///
+/// ```
+/// use sppl_num::float::logsumexp;
+/// let terms = [0.1f64.ln(), 0.2f64.ln(), 0.7f64.ln()];
+/// assert!((logsumexp(&terms) - 0.0).abs() < 1e-12);
+/// ```
+pub fn logsumexp(xs: &[f64]) -> f64 {
+    let mx = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if mx == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    if mx == f64::INFINITY {
+        return f64::INFINITY;
+    }
+    let s: f64 = xs.iter().map(|&x| (x - mx).exp()).sum();
+    mx + s.ln()
+}
+
+/// `ln(1 - e^x)` for `x <= 0`, accurate near both endpoints.
+///
+/// Returns `NEG_INFINITY` when `x == 0` (the difference is exactly zero)
+/// and `NaN` for `x > 0`.
+pub fn log1mexp(x: f64) -> f64 {
+    if x > 0.0 {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    // Mächler's recipe: switch at ln(2) for accuracy.
+    if x > -std::f64::consts::LN_2 {
+        (-x.exp_m1()).ln()
+    } else {
+        (-x.exp()).ln_1p()
+    }
+}
+
+/// `ln(e^a - e^b)` for `a >= b`. Returns `NEG_INFINITY` when `a == b`.
+pub fn logsubexp(a: f64, b: f64) -> f64 {
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    if a < b {
+        return f64::NAN;
+    }
+    if a == b {
+        return f64::NEG_INFINITY;
+    }
+    a + log1mexp(b - a)
+}
+
+/// Approximate equality with both absolute and relative tolerance.
+///
+/// ```
+/// use sppl_num::float::approx_eq;
+/// assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+/// assert!(!approx_eq(1.0, 1.1, 1e-9));
+/// ```
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    if a.is_infinite() || b.is_infinite() {
+        return a == b;
+    }
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}
+
+/// Total ordering on `f64` treating `NaN` as the largest value.
+///
+/// Useful for sorting interval endpoints, where NaNs never appear but the
+/// type system still demands a total order.
+pub fn total_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap_or_else(|| {
+        if a.is_nan() && b.is_nan() {
+            std::cmp::Ordering::Equal
+        } else if a.is_nan() {
+            std::cmp::Ordering::Greater
+        } else {
+            std::cmp::Ordering::Less
+        }
+    })
+}
+
+/// Returns true if `x` is an integer value (and finite).
+pub fn is_integer(x: f64) -> bool {
+    x.is_finite() && x == x.floor()
+}
+
+/// An interior probe point of a (possibly half-infinite) interval, used
+/// when testing the sign of a polynomial on a root-free segment. For
+/// half-infinite segments the probe steps away from the finite endpoint by
+/// at least its own magnitude, so the probe remains distinguishable from
+/// the endpoint even when the endpoint is huge (e.g. a root near 1e16,
+/// where `hi - 1.0 == hi` in `f64`).
+pub fn midpoint(lo: f64, hi: f64) -> f64 {
+    match (lo.is_finite(), hi.is_finite()) {
+        (true, true) => lo + (hi - lo) / 2.0,
+        (true, false) => lo + 1.0 + lo.abs(),
+        (false, true) => hi - 1.0 - hi.abs(),
+        (false, false) => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logaddexp_matches_direct() {
+        for &(a, b) in &[(0.3, 0.4), (1e-12, 0.9), (0.5, 0.5)] {
+            let l = logaddexp((a as f64).ln(), (b as f64).ln());
+            assert!(approx_eq(l.exp(), a + b, 1e-12), "{a} {b}");
+        }
+    }
+
+    #[test]
+    fn logaddexp_neg_infinity_identity() {
+        assert_eq!(logaddexp(f64::NEG_INFINITY, 0.25), 0.25);
+        assert_eq!(logaddexp(0.25, f64::NEG_INFINITY), 0.25);
+        assert_eq!(
+            logaddexp(f64::NEG_INFINITY, f64::NEG_INFINITY),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn logsumexp_empty_is_log_zero() {
+        assert_eq!(logsumexp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn logsumexp_large_magnitudes() {
+        // Would overflow in linear space.
+        let l = logsumexp(&[1000.0, 1000.0]);
+        assert!(approx_eq(l, 1000.0 + 2f64.ln(), 1e-12));
+    }
+
+    #[test]
+    fn log1mexp_endpoints() {
+        assert_eq!(log1mexp(0.0), f64::NEG_INFINITY);
+        assert!(approx_eq(log1mexp(-1e10), 0.0, 1e-12));
+        assert!(log1mexp(0.5).is_nan());
+    }
+
+    #[test]
+    fn logsubexp_inverts_logaddexp() {
+        let a: f64 = 0.7f64.ln();
+        let b: f64 = 0.2f64.ln();
+        let s = logaddexp(a, b);
+        assert!(approx_eq(logsubexp(s, b), a, 1e-12));
+    }
+
+    #[test]
+    fn midpoint_handles_infinite_ends() {
+        assert_eq!(midpoint(0.0, 2.0), 1.0);
+        assert_eq!(midpoint(f64::NEG_INFINITY, f64::INFINITY), 0.0);
+        assert_eq!(midpoint(3.0, f64::INFINITY), 7.0);
+        assert_eq!(midpoint(f64::NEG_INFINITY, 3.0), -1.0);
+        // Probes stay interior even for huge endpoints where ±1.0 would
+        // round away.
+        let big = 8.5e16;
+        assert!(midpoint(f64::NEG_INFINITY, big) < big);
+        assert!(midpoint(big, f64::INFINITY) > big);
+    }
+
+    #[test]
+    fn is_integer_examples() {
+        assert!(is_integer(3.0));
+        assert!(is_integer(-7.0));
+        assert!(!is_integer(2.5));
+        assert!(!is_integer(f64::INFINITY));
+    }
+}

@@ -1,0 +1,28 @@
+//! Numeric substrate for the SPPL reproduction.
+//!
+//! This crate provides everything the higher layers need from a numerics
+//! library, implemented from scratch so the workspace has no dependency on
+//! an external special-function crate:
+//!
+//! * [`special`] — log-gamma, error function family, inverse normal CDF,
+//!   regularized incomplete gamma and beta functions,
+//! * [`float`] — robust floating-point helpers (log-sum-exp, approximate
+//!   comparison, extended-real arithmetic),
+//! * [`poly`] — dense univariate polynomials with real-root isolation,
+//! * [`roots`] — bracketed scalar root finding for monotone functions.
+//!
+//! # Example
+//!
+//! ```
+//! use sppl_num::special::{erf, ln_gamma};
+//! assert!((erf(0.0)).abs() < 1e-15);
+//! assert!((ln_gamma(5.0) - (24.0f64).ln()).abs() < 1e-12);
+//! ```
+
+pub mod float;
+pub mod poly;
+pub mod roots;
+pub mod special;
+
+pub use float::{logaddexp, logsumexp};
+pub use poly::Polynomial;

@@ -1,0 +1,140 @@
+//! Bracketed scalar root finding.
+//!
+//! The transform solver (polynomial preimages) and the generic CDF quantile
+//! both reduce to "find the root of a monotone function on a bracket". We
+//! use a safeguarded bisection/secant hybrid: secant steps when they stay
+//! inside the bracket, bisection otherwise, so convergence is guaranteed
+//! and typically superlinear.
+
+/// Find `x` in `[lo, hi]` with `f(x) == target` for a function monotone on
+/// the bracket. The bracket endpoints may be infinite; the function must be
+/// finite at the probe points chosen by expansion.
+///
+/// Returns `None` when `target` is not attained inside the bracket (the
+/// endpoint values do not straddle `target`).
+///
+/// ```
+/// use sppl_num::roots::solve_monotone;
+/// let root = solve_monotone(|x| x * x * x, 8.0, 0.0, 5.0).unwrap();
+/// assert!((root - 2.0).abs() < 1e-10);
+/// ```
+pub fn solve_monotone<F: Fn(f64) -> f64>(f: F, target: f64, lo: f64, hi: f64) -> Option<f64> {
+    let g = |x: f64| f(x) - target;
+    let (mut a, mut b) = finite_bracket(&g, lo, hi)?;
+    let mut ga = g(a);
+    let mut gb = g(b);
+    if ga == 0.0 {
+        return Some(a);
+    }
+    if gb == 0.0 {
+        return Some(b);
+    }
+    if ga.signum() == gb.signum() {
+        return None;
+    }
+    let mut last = 0.5 * (a + b);
+    for iter in 0..400 {
+        // Secant proposal; bisection every other step guarantees the
+        // bracket halves at least every two iterations.
+        let mut m = if iter % 2 == 0 && (gb - ga).abs() > 1e-300 {
+            b - gb * (b - a) / (gb - ga)
+        } else {
+            0.5 * (a + b)
+        };
+        if !(m > a && m < b) {
+            m = 0.5 * (a + b);
+        }
+        let gm = g(m);
+        last = m;
+        if gm == 0.0 || (b - a) < 4.0 * f64::EPSILON * (1.0 + a.abs() + b.abs()) {
+            return Some(m);
+        }
+        if gm.signum() == ga.signum() {
+            a = m;
+            ga = gm;
+        } else {
+            b = m;
+            gb = gm;
+        }
+    }
+    Some(last)
+}
+
+/// Shrink an possibly-infinite bracket to finite endpoints with a sign
+/// change of `g`, by geometric expansion from zero.
+fn finite_bracket<F: Fn(f64) -> f64>(g: &F, lo: f64, hi: f64) -> Option<(f64, f64)> {
+    let mut a = if lo.is_finite() {
+        lo
+    } else if hi.is_finite() {
+        hi - 1.0
+    } else {
+        -1.0
+    };
+    let mut b = if hi.is_finite() {
+        hi
+    } else if lo.is_finite() {
+        lo + 1.0
+    } else {
+        1.0
+    };
+    if !(a < b) {
+        return None;
+    }
+    let mut step = 1.0;
+    for _ in 0..300 {
+        if probe_ok(g, a, b) {
+            return Some((a, b));
+        }
+        if lo.is_finite() && hi.is_finite() {
+            return None;
+        }
+        if lo.is_infinite() {
+            a -= step;
+        }
+        if hi.is_infinite() {
+            b += step;
+        }
+        step *= 2.0;
+    }
+    None
+}
+
+fn probe_ok<F: Fn(f64) -> f64>(g: &F, a: f64, b: f64) -> bool {
+    let ga = g(a);
+    let gb = g(b);
+    ga.is_finite() && gb.is_finite() && (ga == 0.0 || gb == 0.0 || ga.signum() != gb.signum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_cubic_root() {
+        let r = solve_monotone(|x| x.powi(3) + x, 10.0, -10.0, 10.0).unwrap();
+        assert!((r.powi(3) + r - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decreasing_function() {
+        let r = solve_monotone(|x| -x, 3.0, -10.0, 10.0).unwrap();
+        assert!((r + 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn infinite_bracket_exp() {
+        let r = solve_monotone(|x| x.exp(), 5.0, f64::NEG_INFINITY, f64::INFINITY).unwrap();
+        assert!((r - 5.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn target_outside_range_is_none() {
+        assert!(solve_monotone(|x| x, 100.0, 0.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn endpoint_root() {
+        let r = solve_monotone(|x| x, 0.0, 0.0, 1.0).unwrap();
+        assert!(r.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,40 @@
+//! The Outcome set algebra of the SPPL core calculus (Lst. 1a, Appx. B).
+//!
+//! Random variables in SPPL take values in `Outcome = Real + String`
+//! (a disjoint sum). Events denote *sets* of outcomes, and the calculus
+//! requires three operations on them — `union`, `intersection`,
+//! `complement` — that preserve a canonical disjoint representation
+//! (Eqs. 12–14 of the paper's Appx. B).
+//!
+//! This crate provides:
+//!
+//! * [`Interval`] — a single (possibly degenerate, possibly half-infinite)
+//!   real interval with open/closed endpoints,
+//! * [`RealSet`] — a canonical finite union of disjoint, non-adjacent
+//!   intervals (points are degenerate intervals),
+//! * [`StringSet`] — a finite or cofinite set of strings,
+//! * [`OutcomeSet`] — the disjoint union of a `RealSet` and a `StringSet`,
+//! * [`Outcome`] — a single real or string value.
+//!
+//! # Example
+//!
+//! ```
+//! use sppl_sets::{Interval, OutcomeSet};
+//! let a = OutcomeSet::from(Interval::closed(0.0, 10.0));
+//! let b = OutcomeSet::from(Interval::open(5.0, 20.0));
+//! let both = a.intersection(&b);
+//! assert!(both.contains_real(7.0));
+//! assert!(!both.contains_real(5.0)); // open endpoint
+//! let neither = a.union(&b).complement();
+//! assert!(neither.contains_real(-1.0));
+//! ```
+
+mod interval;
+mod outcome;
+mod real_set;
+mod string_set;
+
+pub use interval::Interval;
+pub use outcome::{Outcome, OutcomeSet};
+pub use real_set::RealSet;
+pub use string_set::StringSet;

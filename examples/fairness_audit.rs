@@ -1,0 +1,52 @@
+//! Fairness verification of decision-tree classifiers (paper Sec. 6.1,
+//! Table 2): compute the Eq. (7) ratio exactly with SPPL and compare with
+//! the two approximate baseline verifiers.
+//!
+//! Run with: `cargo run --release --example fairness_audit`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sppl::baseline::fairsquare::VolumeVerifier;
+use sppl::baseline::verifair::AdaptiveSampler;
+use sppl::models::fairness::{self, DecisionTree, Population};
+use sppl::prelude::*;
+
+fn main() {
+    let factory = Factory::new();
+    let mut rng = StdRng::seed_from_u64(7);
+
+    for tree in [DecisionTree::Dt4, DecisionTree::Dt14, DecisionTree::Dt16A] {
+        for pop in [Population::Independent, Population::BayesNet1] {
+            let task = fairness::task(tree, pop);
+            let start = std::time::Instant::now();
+            let spe = task.model.compile(&factory).expect("task compiles");
+            let ratio = fairness::fairness_ratio(&spe).expect("exact ratio");
+            let sppl_s = start.elapsed().as_secs_f64();
+            let verdict = if fairness::is_fair(ratio, task.epsilon) { "FAIR" } else { "UNFAIR" };
+
+            let vf = AdaptiveSampler::default().verify(&spe, &mut rng);
+            let fs = VolumeVerifier::default()
+                .verify(&spe, &tree.spec())
+                .expect("volume verifier");
+
+            println!("{:<22} ({} LoC)", task.name, task.model.lines_of_code());
+            println!("  SPPL exact:      ratio={ratio:.4}  {verdict}  in {sppl_s:.4}s");
+            println!(
+                "  VeriFair-style:  ratio={:.4}  {}  in {:.3}s ({} samples)",
+                vf.ratio,
+                if vf.fair { "FAIR" } else { "UNFAIR" },
+                vf.seconds,
+                vf.samples
+            );
+            println!(
+                "  FairSquare-style: bounds=[{:.3}, {:.3}]  {}  in {:.3}s ({} boxes)",
+                fs.ratio_bounds.0,
+                fs.ratio_bounds.1,
+                if fs.fair { "FAIR" } else { "UNFAIR" },
+                fs.seconds,
+                fs.boxes
+            );
+            println!();
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Quickstart: the Indian GPA problem (paper Sec. 2.1, Fig. 2).
+//!
+//! Demonstrates the full modular workflow of Fig. 1: model → translate →
+//! query the prior → condition → query the posterior → sample.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sppl::prelude::*;
+
+fn main() {
+    let factory = Factory::new();
+
+    // ---- modeling (Fig. 2a) ----
+    let model = compile(
+        &factory,
+        r#"
+Nationality ~ choice({'India': 0.5, 'USA': 0.5})
+if (Nationality == 'India') {
+    Perfect ~ bernoulli(p=0.10)
+    if (Perfect == 1) { GPA ~ atomic(10) } else { GPA ~ uniform(0, 10) }
+} else {
+    Perfect ~ bernoulli(p=0.15)
+    if (Perfect == 1) { GPA ~ atomic(4) } else { GPA ~ uniform(0, 4) }
+}
+"#,
+    )
+    .expect("the model is well-formed");
+
+    let nationality = Transform::id(Var::new("Nationality"));
+    let perfect = Transform::id(Var::new("Perfect"));
+    let gpa = Transform::id(Var::new("GPA"));
+
+    // ---- prior queries (Fig. 2b) ----
+    println!("== prior marginals ==");
+    println!(
+        "P[Nationality = USA]  = {:.4}",
+        model.prob(&Event::eq_str(nationality.clone(), "USA")).unwrap()
+    );
+    println!(
+        "P[Perfect = 1]        = {:.4}",
+        model.prob(&Event::eq_real(perfect.clone(), 1.0)).unwrap()
+    );
+    println!("GPA CDF (note the atoms at 4 and 10):");
+    for x in [2.0, 3.9999, 4.0, 8.0, 9.9999, 10.0] {
+        println!(
+            "  P[GPA <= {x:>7.4}] = {:.4}",
+            model.prob(&Event::le(gpa.clone(), x)).unwrap()
+        );
+    }
+
+    // ---- a joint query (Fig. 2c) ----
+    let joint = Event::or(vec![
+        Event::eq_real(perfect.clone(), 1.0),
+        Event::and(vec![
+            Event::eq_str(nationality.clone(), "India"),
+            Event::gt(gpa.clone(), 3.0),
+        ]),
+    ]);
+    println!(
+        "\nP[(Perfect = 1) or (India and GPA > 3)] = {:.4}",
+        model.prob(&joint).unwrap()
+    );
+
+    // ---- conditioning (Fig. 2f) ----
+    let evidence = Event::or(vec![
+        Event::and(vec![
+            Event::eq_str(nationality.clone(), "USA"),
+            Event::gt(gpa.clone(), 3.0),
+        ]),
+        Event::in_interval(gpa.clone(), Interval::open(8.0, 10.0)),
+    ]);
+    let posterior = condition(&factory, &model, &evidence).expect("positive probability");
+
+    // ---- posterior queries (Fig. 2h) ----
+    println!("\n== posterior marginals given ((USA and GPA > 3) or (8 < GPA < 10)) ==");
+    println!(
+        "P[Nationality = India | e] = {:.4}   (paper: 0.33)",
+        posterior.prob(&Event::eq_str(nationality, "India")).unwrap()
+    );
+    println!(
+        "P[Perfect = 1 | e]         = {:.4}   (paper: 0.28)",
+        posterior.prob(&Event::eq_real(perfect, 1.0)).unwrap()
+    );
+
+    // ---- simulation ----
+    let mut rng = StdRng::seed_from_u64(1);
+    println!("\n== five posterior samples ==");
+    for _ in 0..5 {
+        let s = posterior.sample(&mut rng);
+        println!(
+            "  Nationality={:<6} Perfect={} GPA={:.3}",
+            s.str(&Var::new("Nationality")).unwrap(),
+            s.real(&Var::new("Perfect")).unwrap(),
+            s.real(&Var::new("GPA")).unwrap()
+        );
+    }
+}

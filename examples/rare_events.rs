@@ -1,0 +1,49 @@
+//! Rare-event probabilities (paper Sec. 6.3, Fig. 8): SPPL computes exact
+//! probabilities of exponentially unlikely observation runs in
+//! milliseconds, while rejection sampling needs ever larger sample sizes
+//! as the event gets rarer.
+//!
+//! Run with: `cargo run --release --example rare_events`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sppl::baseline::sampler::RejectionEstimator;
+use sppl::models::rare_event;
+use sppl::prelude::*;
+
+fn main() {
+    let factory = Factory::new();
+    let model = rare_event::chain_network(20)
+        .compile(&factory)
+        .expect("chain compiles");
+    let mut rng = StdRng::seed_from_u64(99);
+
+    for k in rare_event::figure8_prefixes() {
+        let event = rare_event::all_ones_event(k);
+        let start = std::time::Instant::now();
+        let lp = model.logprob(&event).expect("exact log probability");
+        let sppl_s = start.elapsed().as_secs_f64();
+        println!("event: first {k} emissions all 1");
+        println!("  SPPL exact: log p = {lp:.2}  (p = {:.3e}) in {sppl_s:.4}s", lp.exp());
+
+        let estimator = RejectionEstimator { max_samples: 100_000, checkpoint_every: 25_000 };
+        let trajectory = estimator.estimate(&model, &event, &mut rng);
+        for point in trajectory {
+            let log_est = if point.estimate > 0.0 {
+                format!("{:.2}", point.estimate.ln())
+            } else {
+                "-inf (no hits yet)".to_string()
+            };
+            println!(
+                "  sampler: n={:>7}  hits={:>3}  log estimate = {log_est}  ({:.2}s)",
+                point.samples, point.hits, point.seconds
+            );
+        }
+        println!();
+    }
+    println!(
+        "The sampler's estimate jumps each time a rare hit lands and is pure\n\
+         noise until then; SPPL's answer is exact, immediate, and has zero\n\
+         variance (the Fig. 8 phenomenon)."
+    );
+}

@@ -1,0 +1,82 @@
+//! # SPPL — the Sum-Product Probabilistic Language
+//!
+//! A Rust implementation of *"SPPL: Probabilistic Programming with Fast
+//! Exact Symbolic Inference"* (Saad, Rinard, Mansinghka — PLDI 2021).
+//!
+//! SPPL translates generative probabilistic programs into **sum-product
+//! expressions**, a symbolic representation closed under conditioning, and
+//! answers inference queries *exactly*:
+//!
+//! * [`prob`](sppl_core::Spe::prob) — the probability of any event over
+//!   (possibly transformed) program variables,
+//! * [`condition`](sppl_core::condition) — the full posterior distribution
+//!   given an event (Thm. 4.1 of the paper),
+//! * [`constrain`](sppl_core::constrain) — conditioning on measure-zero
+//!   equality observations,
+//! * [`sample`](sppl_core::Spe::sample) — joint ancestral sampling.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sppl::prelude::*;
+//!
+//! // The Indian GPA problem (paper Fig. 2).
+//! let factory = Factory::new();
+//! let model = compile(&factory, r#"
+//!     Nationality ~ choice({'India': 0.5, 'USA': 0.5})
+//!     if (Nationality == 'India') {
+//!         Perfect ~ bernoulli(p=0.10)
+//!         if (Perfect == 1) { GPA ~ atomic(10) } else { GPA ~ uniform(0, 10) }
+//!     } else {
+//!         Perfect ~ bernoulli(p=0.15)
+//!         if (Perfect == 1) { GPA ~ atomic(4) } else { GPA ~ uniform(0, 4) }
+//!     }
+//! "#).unwrap();
+//!
+//! // Exact prior query with an atom in the CDF:
+//! // P[GPA ≤ 4] = 0.5·(0.9·0.4) + 0.5·(0.15 + 0.85) = 0.68.
+//! let gpa = Transform::id(Var::new("GPA"));
+//! assert!((model.prob(&Event::le(gpa.clone(), 4.0)).unwrap() - 0.68).abs() < 1e-9);
+//!
+//! // Exact posterior (paper Fig. 2f/2g).
+//! let e = Event::or(vec![
+//!     Event::and(vec![
+//!         Event::eq_str(Transform::id(Var::new("Nationality")), "USA"),
+//!         Event::gt(gpa.clone(), 3.0),
+//!     ]),
+//!     Event::in_interval(gpa, Interval::open(8.0, 10.0)),
+//! ]);
+//! let posterior = condition(&factory, &model, &e).unwrap();
+//! let p_india = posterior
+//!     .prob(&Event::eq_str(Transform::id(Var::new("Nationality")), "India"))
+//!     .unwrap();
+//! assert!((p_india - 0.3318).abs() < 1e-3);
+//! ```
+//!
+//! # Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`sppl_core`] | sum-product expressions, events, transforms, exact inference |
+//! | [`sppl_lang`] | SPPL parser + translator (`→SPE`) + reverse translation |
+//! | [`sppl_dists`] | primitive distributions and CDFs |
+//! | [`sppl_sets`] | the outcome set algebra |
+//! | [`sppl_num`] | special functions, polynomials, root isolation |
+//! | [`sppl_models`] | every benchmark model from the paper's evaluation |
+//! | [`sppl_baseline`] | PSI/BLOG/VeriFair/FairSquare behavioural substitutes |
+
+pub use sppl_baseline as baseline;
+pub use sppl_core as core;
+pub use sppl_dists as dists;
+pub use sppl_lang as lang;
+pub use sppl_models as models;
+pub use sppl_num as num;
+pub use sppl_sets as sets;
+
+/// One-stop import for applications and examples.
+pub mod prelude {
+    pub use sppl_core::prelude::*;
+    pub use sppl_core::density::Assignment;
+    pub use sppl_core::stats::{graph_stats, physical_node_count, tree_node_count};
+    pub use sppl_lang::{compile, parse, translate, untranslate};
+}

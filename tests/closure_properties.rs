@@ -1,0 +1,244 @@
+//! Property-based integration tests of the paper's core theorems, run
+//! against randomly generated sum-product expressions and events:
+//!
+//! * **Thm. 4.1 (closure under conditioning)**:
+//!   `P⟦condition(S, e)⟧ e' = P⟦S⟧(e ⊓ e') / P⟦S⟧ e`;
+//! * normalization: every conditioned expression assigns probability 1 to
+//!   the conditioning event and to the trivially true event;
+//! * sampling consistency: Monte-Carlo frequencies match `prob`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sppl::prelude::*;
+
+/// A small generator language for random models: up to three variables
+/// (continuous X, integer K, nominal N) combined by mixtures.
+#[derive(Debug, Clone)]
+enum ModelSpec {
+    Normal(i32, u8),
+    Uniform(i32, u8),
+    Poisson(u8),
+    Choice(bool),
+    Mix(Box<ModelSpec>, Box<ModelSpec>, u8),
+}
+
+fn arb_component() -> impl Strategy<Value = ModelSpec> {
+    prop_oneof![
+        (-3i32..3, 1u8..4).prop_map(|(m, s)| ModelSpec::Normal(m, s)),
+        (-3i32..3, 1u8..5).prop_map(|(a, w)| ModelSpec::Uniform(a, w)),
+        (1u8..6).prop_map(ModelSpec::Poisson),
+        any::<bool>().prop_map(ModelSpec::Choice),
+    ]
+}
+
+fn arb_model() -> impl Strategy<Value = ModelSpec> {
+    (arb_component(), arb_component(), 1u8..10).prop_map(|(a, b, w)| {
+        ModelSpec::Mix(Box::new(a), Box::new(b), w)
+    })
+}
+
+fn build_x(f: &Factory, spec: &ModelSpec) -> Spe {
+    match spec {
+        ModelSpec::Normal(m, s) => f.leaf(
+            Var::new("X"),
+            Distribution::Real(
+                DistReal::new(Cdf::normal(f64::from(*m), f64::from(*s)), Interval::all())
+                    .expect("positive mass"),
+            ),
+        ),
+        ModelSpec::Uniform(a, w) => {
+            let lo = f64::from(*a);
+            let hi = lo + f64::from(*w);
+            f.leaf(
+                Var::new("X"),
+                Distribution::Real(
+                    DistReal::new(Cdf::uniform(lo, hi), Interval::closed(lo, hi))
+                        .expect("positive mass"),
+                ),
+            )
+        }
+        ModelSpec::Poisson(mu) => f.leaf(
+            Var::new("X"),
+            Distribution::Int(
+                DistInt::new(Cdf::poisson(f64::from(*mu)), 0.0, f64::INFINITY)
+                    .expect("positive mass"),
+            ),
+        ),
+        ModelSpec::Choice(bias) => f.leaf(
+            Var::new("X"),
+            Distribution::Int(
+                DistInt::new(Cdf::binomial(1, if *bias { 0.8 } else { 0.3 }), 0.0, 1.0)
+                    .expect("positive mass"),
+            ),
+        ),
+        ModelSpec::Mix(a, b, w) => {
+            let wa = f64::from(*w) / 10.0;
+            f.sum(vec![
+                (build_x(f, a), wa.ln()),
+                (build_x(f, b), (1.0 - wa).ln()),
+            ])
+            .expect("well-formed mixture")
+        }
+    }
+}
+
+/// Builds a two-variable product: the generated X plus a fixed nominal N.
+fn build_model(f: &Factory, spec: &ModelSpec) -> Spe {
+    let x = build_x(f, spec);
+    let n = f.leaf(
+        Var::new("N"),
+        Distribution::Str(DistStr::new([("a", 0.25), ("b", 0.75)]).expect("weights")),
+    );
+    f.product(vec![x, n]).expect("disjoint scopes")
+}
+
+#[derive(Debug, Clone)]
+enum EventSpec {
+    Le(i32),
+    Between(i32, u8),
+    AbsLe(u8),
+    SquareLe(u8),
+    IsA,
+    OrMix(Box<EventSpec>, Box<EventSpec>),
+    AndMix(Box<EventSpec>, Box<EventSpec>),
+}
+
+fn arb_event() -> impl Strategy<Value = EventSpec> {
+    let base = prop_oneof![
+        (-4i32..5).prop_map(EventSpec::Le),
+        (-4i32..3, 1u8..5).prop_map(|(a, w)| EventSpec::Between(a, w)),
+        (1u8..5).prop_map(EventSpec::AbsLe),
+        (1u8..9).prop_map(EventSpec::SquareLe),
+        Just(EventSpec::IsA),
+    ];
+    base.clone().prop_recursive(2, 8, 2, move |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| EventSpec::OrMix(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| EventSpec::AndMix(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build_event(spec: &EventSpec) -> Event {
+    let x = || Transform::id(Var::new("X"));
+    match spec {
+        EventSpec::Le(r) => Event::le(x(), f64::from(*r)),
+        EventSpec::Between(a, w) => Event::in_interval(
+            x(),
+            Interval::closed_open(f64::from(*a), f64::from(*a) + f64::from(*w)),
+        ),
+        EventSpec::AbsLe(r) => Event::le(x().abs(), f64::from(*r)),
+        EventSpec::SquareLe(r) => Event::le(x().pow_int(2), f64::from(*r)),
+        EventSpec::IsA => Event::eq_str(Transform::id(Var::new("N")), "a"),
+        EventSpec::OrMix(a, b) => Event::or(vec![build_event(a), build_event(b)]),
+        EventSpec::AndMix(a, b) => Event::and(vec![build_event(a), build_event(b)]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn theorem_4_1_closure_under_conditioning(
+        mspec in arb_model(),
+        espec in arb_event(),
+        qspec in arb_event(),
+    ) {
+        let f = Factory::new();
+        let model = build_model(&f, &mspec);
+        let e = build_event(&espec);
+        let q = build_event(&qspec);
+        let pe = model.prob(&e).unwrap();
+        prop_assume!(pe > 1e-8);
+        let posterior = condition(&f, &model, &e).unwrap();
+        // P[S'](q) == P[S](q ∧ e) / P[S](e)   (Eq. 5)
+        let lhs = posterior.prob(&q).unwrap();
+        let joint = model.prob(&Event::and(vec![q.clone(), e.clone()])).unwrap();
+        let rhs = joint / pe;
+        prop_assert!((lhs - rhs).abs() < 1e-7, "{lhs} vs {rhs}");
+        // Normalization.
+        prop_assert!((posterior.prob(&e).unwrap() - 1.0).abs() < 1e-7);
+        prop_assert!((posterior.prob(&Event::always()).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_are_probabilities(
+        mspec in arb_model(),
+        espec in arb_event(),
+    ) {
+        let f = Factory::new();
+        let model = build_model(&f, &mspec);
+        let e = build_event(&espec);
+        let p = model.prob(&e).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p), "{p}");
+        // Complement law.
+        let pc = model.prob(&e.negate()).unwrap();
+        prop_assert!((p + pc - 1.0).abs() < 1e-7, "{p} + {pc} != 1");
+    }
+
+    #[test]
+    fn monotonicity_of_cdf_queries(mspec in arb_model()) {
+        let f = Factory::new();
+        let model = build_model(&f, &mspec);
+        let x = Transform::id(Var::new("X"));
+        let mut last = 0.0;
+        for r in -8..=8 {
+            let p = model.prob(&Event::le(x.clone(), f64::from(r))).unwrap();
+            prop_assert!(p >= last - 1e-12, "CDF not monotone at {r}");
+            last = p;
+        }
+    }
+}
+
+#[test]
+fn sampling_frequencies_match_exact_probabilities() {
+    let f = Factory::new();
+    let model = compile(
+        &f,
+        "
+B ~ bernoulli(p=0.35)
+if (B == 1) { X ~ normal(2, 1) } else { X ~ uniform(-3, 0) }
+Z = X**2
+",
+    )
+    .unwrap();
+    let e = Event::and(vec![
+        Event::le(Transform::id(Var::new("Z")), 4.0),
+        Event::eq_real(Transform::id(Var::new("B")), 1.0),
+    ]);
+    let exact = model.prob(&e).unwrap();
+    let mut rng = StdRng::seed_from_u64(8);
+    let n = 40_000;
+    let hits = (0..n)
+        .filter(|_| {
+            let s = model.sample(&mut rng);
+            e.satisfied_by(s.as_map()) == Some(true)
+        })
+        .count();
+    let freq = hits as f64 / n as f64;
+    assert!(
+        (freq - exact).abs() < 0.015,
+        "sampled {freq} vs exact {exact}"
+    );
+}
+
+#[test]
+fn repeated_conditioning_composes() {
+    // Conditioning on e1 then e2 equals conditioning on e1 ∧ e2.
+    let f = Factory::new();
+    let model = compile(&f, "X ~ normal(0, 1)\nY ~ normal(0, 1)").unwrap();
+    let e1 = Event::gt(Transform::id(Var::new("X")), 0.0);
+    let e2 = Event::lt(Transform::id(Var::new("Y")), 0.5);
+    let step = condition(&f, &condition(&f, &model, &e1).unwrap(), &e2).unwrap();
+    let joint = condition(&f, &model, &Event::and(vec![e1, e2])).unwrap();
+    let q = Event::and(vec![
+        Event::gt(Transform::id(Var::new("X")), 1.0),
+        Event::lt(Transform::id(Var::new("Y")), 0.0),
+    ]);
+    let a = step.prob(&q).unwrap();
+    let b = joint.prob(&q).unwrap();
+    assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+}

@@ -1,0 +1,150 @@
+//! Differential testing: the optimized SPPL engine and the structure-blind
+//! enumerative engine are *independent implementations of the same exact
+//! semantics*, so their answers must agree to floating-point tolerance on
+//! every benchmark they can both solve.
+
+use sppl::baseline::enumerative::{Data, EnumOutcome, EnumerativeEngine};
+use sppl::prelude::*;
+
+fn check_agreement(source: &str, data: Data, query: Event, tol: f64) {
+    let engine = EnumerativeEngine::default();
+    let outcome = engine.query(source, &data, &query).expect("enumerative query");
+    let EnumOutcome::Solved { value: enum_value, .. } = outcome else {
+        panic!("enumerative engine exhausted on a small model");
+    };
+
+    let factory = Factory::new();
+    let model = compile(&factory, source).expect("compiles");
+    let posterior = match &data {
+        Data::None => model,
+        Data::Event(e) => condition(&factory, &model, e).expect("positive probability"),
+        Data::Assignment(a) => constrain(&factory, &model, a).expect("positive density"),
+    };
+    let sppl_value = posterior.prob(&query).expect("query");
+    assert!(
+        (enum_value - sppl_value).abs() < tol,
+        "engines disagree: enum={enum_value} sppl={sppl_value}\n{source}"
+    );
+}
+
+fn tv(name: &str) -> Transform {
+    Transform::id(Var::new(name))
+}
+
+#[test]
+fn indian_gpa_queries() {
+    let source = sppl::models::indian_gpa::model().source;
+    check_agreement(
+        &source,
+        Data::None,
+        Event::eq_real(tv("Perfect"), 1.0),
+        1e-9,
+    );
+    check_agreement(
+        &source,
+        Data::Event(sppl::models::indian_gpa::condition_event()),
+        Event::eq_str(tv("Nationality"), "India"),
+        1e-9,
+    );
+}
+
+#[test]
+fn transform_model_with_interval_evidence() {
+    let source = "
+X ~ normal(0, 2)
+if (X < 1) { Z = -(X**3) + X**2 + 6*X }
+else { Z = -5*sqrt(X) + 11 }
+";
+    let evidence = Event::and(vec![
+        Event::le(tv("Z").pow_int(2), 4.0),
+        Event::ge(tv("Z"), 0.0),
+    ]);
+    check_agreement(
+        source,
+        Data::Event(evidence),
+        Event::ge(tv("X"), 1.0),
+        1e-7,
+    );
+}
+
+#[test]
+fn alarm_network_posteriors() {
+    let source = sppl::models::networks::alarm().source;
+    let calls = Event::and(vec![
+        Event::eq_real(tv("john_calls"), 1.0),
+        Event::eq_real(tv("mary_calls"), 1.0),
+    ]);
+    check_agreement(
+        &source,
+        Data::Event(calls),
+        Event::eq_real(tv("burglary"), 1.0),
+        1e-9,
+    );
+}
+
+#[test]
+fn heart_disease_with_continuous_evidence() {
+    let source = sppl::models::networks::heart_disease().source;
+    let evidence = Event::and(vec![
+        Event::gt(tv("bp"), 135.0),
+        Event::eq_real(tv("ecg_abnormal"), 1.0),
+    ]);
+    check_agreement(
+        &source,
+        Data::Event(evidence),
+        Event::eq_real(tv("chd"), 1.0),
+        1e-9,
+    );
+}
+
+#[test]
+fn trueskill_measure_zero_observation() {
+    let source = sppl::models::psi_suite::trueskill().source;
+    check_agreement(
+        &source,
+        Data::Assignment(sppl::models::psi_suite::trueskill_dataset(9)),
+        sppl::models::psi_suite::trueskill_query(6),
+        1e-9,
+    );
+}
+
+#[test]
+fn small_markov_switching_smoothing() {
+    let source = sppl::models::psi_suite::markov_switching(4).source;
+    let data = sppl::models::psi_suite::markov_switching_dataset(3, 4);
+    check_agreement(
+        &source,
+        Data::Assignment(data),
+        sppl::models::psi_suite::markov_switching_query(4),
+        1e-7,
+    );
+}
+
+#[test]
+fn rare_event_probabilities() {
+    let source = sppl::models::rare_event::chain_network(8).source;
+    check_agreement(
+        &source,
+        Data::None,
+        sppl::models::rare_event::all_ones_event(6),
+        1e-10,
+    );
+}
+
+#[test]
+fn fairness_task_ratio_components() {
+    let task = sppl::models::fairness::task(
+        sppl::models::fairness::DecisionTree::Dt4,
+        sppl::models::fairness::Population::BayesNet2,
+    );
+    let qualified_minority = Event::and(vec![
+        Event::eq_real(tv("sex"), 1.0),
+        Event::gt(tv("age"), 18.0),
+    ]);
+    check_agreement(
+        &task.model.source,
+        Data::Event(qualified_minority),
+        Event::eq_real(tv("hire"), 1.0),
+        1e-9,
+    );
+}

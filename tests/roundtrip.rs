@@ -1,0 +1,152 @@
+//! Round-trip tests for the reverse translation (paper Appx. E, Eq. 46):
+//! `untranslate` renders any translated model back into SPPL source whose
+//! retranslation defines the same distribution over the original
+//! variables.
+
+use sppl::prelude::*;
+
+/// Checks Eq. 46 on a battery of probe events.
+fn check_roundtrip(source: &str, probes: &[Event]) {
+    let factory = Factory::new();
+    let original = compile(&factory, source).expect("original compiles");
+    let rendered = untranslate(&original).expect("renders");
+    let reparsed = compile(&factory, &rendered)
+        .unwrap_or_else(|e| panic!("rendered source fails: {e}\n--- rendered ---\n{rendered}"));
+    for probe in probes {
+        let a = original.prob(probe).expect("original query");
+        let b = reparsed.prob(probe).expect("reparsed query");
+        assert!(
+            (a - b).abs() < 1e-9,
+            "probability changed by round-trip: {a} vs {b} for {probe}\n{rendered}"
+        );
+    }
+}
+
+fn tv(name: &str) -> Transform {
+    Transform::id(Var::new(name))
+}
+
+#[test]
+fn roundtrip_indian_gpa() {
+    check_roundtrip(
+        &sppl::models::indian_gpa::model().source,
+        &[
+            Event::eq_str(tv("Nationality"), "USA"),
+            Event::eq_real(tv("Perfect"), 1.0),
+            Event::le(tv("GPA"), 4.0),
+            Event::in_interval(tv("GPA"), Interval::open(8.0, 10.0)),
+        ],
+    );
+}
+
+#[test]
+fn roundtrip_discrete_networks() {
+    check_roundtrip(
+        &sppl::models::networks::grass().source,
+        &[
+            Event::eq_real(tv("rain"), 1.0),
+            Event::and(vec![
+                Event::eq_real(tv("wet_grass"), 1.0),
+                Event::eq_real(tv("sprinkler"), 0.0),
+            ]),
+        ],
+    );
+    check_roundtrip(
+        &sppl::models::networks::alarm().source,
+        &[Event::eq_real(tv("john_calls"), 1.0)],
+    );
+}
+
+#[test]
+fn roundtrip_truncations_and_transforms() {
+    check_roundtrip(
+        "
+X ~ normal(1, 2)
+condition((X > -1) and (X < 4))
+Z = exp(X)
+W = abs(X) + 1
+",
+        &[
+            Event::le(tv("X"), 2.0),
+            Event::gt(tv("Z"), 1.0),
+            Event::le(tv("W"), 2.5),
+        ],
+    );
+}
+
+#[test]
+fn roundtrip_integer_distributions() {
+    check_roundtrip(
+        "
+K ~ poisson(mu=4)
+condition(K < 9)
+B ~ binomial(n=5, p=0.3)
+",
+        &[
+            Event::le(tv("K"), 3.0),
+            Event::eq_real(tv("B"), 2.0),
+            Event::and(vec![Event::ge(tv("K"), 2.0), Event::ge(tv("B"), 1.0)]),
+        ],
+    );
+}
+
+#[test]
+fn roundtrip_arrays() {
+    check_roundtrip(
+        "
+Z = array(3)
+for i in range(0, 3) { Z[i] ~ bernoulli(p=0.4) }
+",
+        &[
+            Event::eq_real(tv("Z[0]"), 1.0),
+            Event::and(vec![
+                Event::eq_real(tv("Z[1]"), 0.0),
+                Event::eq_real(tv("Z[2]"), 1.0),
+            ]),
+        ],
+    );
+}
+
+#[test]
+fn roundtrip_conditioned_posterior() {
+    // Round-tripping a *posterior* expression (the Fig. 2g graph).
+    let factory = Factory::new();
+    let model = sppl::models::indian_gpa::model()
+        .compile(&factory)
+        .unwrap();
+    let posterior = condition(
+        &factory,
+        &model,
+        &sppl::models::indian_gpa::condition_event(),
+    )
+    .unwrap();
+    let rendered = untranslate(&posterior).expect("renders");
+    let reparsed = compile(&factory, &rendered)
+        .unwrap_or_else(|e| panic!("rendered posterior fails: {e}\n{rendered}"));
+    for probe in [
+        Event::eq_str(tv("Nationality"), "India"),
+        Event::eq_real(tv("Perfect"), 1.0),
+        Event::le(tv("GPA"), 9.0),
+    ] {
+        let a = posterior.prob(&probe).unwrap();
+        let b = reparsed.prob(&probe).unwrap();
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn roundtrip_double() {
+    // untranslate ∘ translate is idempotent up to distribution equality:
+    // a second round trip also preserves probabilities.
+    let factory = Factory::new();
+    let src = &sppl::models::networks::hiring().source;
+    let m1 = compile(&factory, src).unwrap();
+    let r1 = untranslate(&m1).unwrap();
+    let m2 = compile(&factory, &r1).unwrap();
+    let r2 = untranslate(&m2).unwrap();
+    let m3 = compile(&factory, &r2).unwrap();
+    let probe = Event::eq_real(tv("hire"), 1.0);
+    let p1 = m1.prob(&probe).unwrap();
+    let p3 = m3.prob(&probe).unwrap();
+    assert!((p1 - p3).abs() < 1e-9);
+}
