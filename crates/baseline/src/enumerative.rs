@@ -35,7 +35,9 @@ pub struct EnumerativeEngine {
 
 impl Default for EnumerativeEngine {
     fn default() -> Self {
-        EnumerativeEngine { term_limit: 200_000 }
+        EnumerativeEngine {
+            term_limit: 200_000,
+        }
     }
 }
 
@@ -113,7 +115,11 @@ impl EnumerativeEngine {
         // term, with no sharing between terms.
         let mut log_evidence = Vec::with_capacity(n_terms);
         let mut log_joint = Vec::with_capacity(n_terms);
-        let term_factory = Factory::with_options(FactoryOptions { dedup: false, factorize: false, memoize: false });
+        let term_factory = Factory::with_options(FactoryOptions {
+            dedup: false,
+            factorize: false,
+            memoize: false,
+        });
         for term in &terms {
             let product = if term.leaves.len() == 1 {
                 term.leaves[0].clone()
@@ -127,10 +133,7 @@ impl EnumerativeEngine {
                     if ln_p == f64::NEG_INFINITY {
                         (f64::NEG_INFINITY, product)
                     } else {
-                        (
-                            ln_p,
-                            sppl_core::condition(&term_factory, &product, e)?,
-                        )
+                        (ln_p, sppl_core::condition(&term_factory, &product, e)?)
                     }
                 }
                 Data::Assignment(a) => {
@@ -155,7 +158,9 @@ impl EnumerativeEngine {
         }
         let lz = logsumexp(&log_evidence);
         if lz == f64::NEG_INFINITY {
-            return Err(SpplError::ZeroProbability { event: "evidence".into() });
+            return Err(SpplError::ZeroProbability {
+                event: "evidence".into(),
+            });
         }
         let value = (logsumexp(&log_joint) - lz).exp();
         Ok(EnumOutcome::Solved {
@@ -208,8 +213,10 @@ impl EnumerativeEngine {
     ) -> bool {
         // Expand each child into its own term list, then take the
         // cartesian product.
-        let mut partial: Vec<FlatTerm> =
-            vec![FlatTerm { log_weight, leaves: prefix.clone() }];
+        let mut partial: Vec<FlatTerm> = vec![FlatTerm {
+            log_weight,
+            leaves: prefix.clone(),
+        }];
         for child in children {
             let mut child_terms = Vec::new();
             if !self.expand(child, 0.0, &mut Vec::new(), &mut child_terms) {
@@ -276,9 +283,7 @@ if (B == 1) { X ~ uniform(0, 2) } else { X ~ uniform(1, 3) }
         let engine = EnumerativeEngine::default();
         let data = Data::Event(Event::gt(tv("X"), 1.5));
         let q = Event::eq_real(tv("B"), 1.0);
-        let EnumOutcome::Solved { value, .. } =
-            engine.query(src, &data, &q).unwrap()
-        else {
+        let EnumOutcome::Solved { value, .. } = engine.query(src, &data, &q).unwrap() else {
             panic!("expected solve");
         };
         let f = Factory::new();
@@ -298,9 +303,8 @@ if (B == 1) { X ~ normal(1, 1) } else { X ~ normal(-1, 1) }
         let mut a = Assignment::new();
         a.insert(Var::new("X"), Outcome::Real(0.8));
         let q = Event::eq_real(tv("B"), 1.0);
-        let EnumOutcome::Solved { value, .. } = engine
-            .query(src, &Data::Assignment(a.clone()), &q)
-            .unwrap()
+        let EnumOutcome::Solved { value, .. } =
+            engine.query(src, &Data::Assignment(a.clone()), &q).unwrap()
         else {
             panic!("expected solve");
         };

@@ -57,9 +57,8 @@ impl FeatureBox {
     }
 
     fn event(&self, sex: f64) -> Event {
-        let iv = |(lo, hi): (f64, f64)| {
-            Interval::new(lo, false, hi, false).expect("nonempty box range")
-        };
+        let iv =
+            |(lo, hi): (f64, f64)| Interval::new(lo, false, hi, false).expect("nonempty box range");
         Event::and(vec![
             Event::eq_real(Transform::id(Var::new("sex")), sex),
             Event::in_interval(Transform::id(Var::new("age")), iv(self.age)),
@@ -76,7 +75,12 @@ impl FeatureBox {
 fn eval_box(node: &TreeNode, sex: f64, bx: &FeatureBox) -> Option<bool> {
     match node {
         TreeNode::Leaf { hire } => Some(*hire),
-        TreeNode::Split { feature, threshold, left, right } => {
+        TreeNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
             if *feature == "sex" {
                 return if sex == 1.0 {
                     eval_box(left, sex, bx)
@@ -107,7 +111,12 @@ fn eval_box(node: &TreeNode, sex: f64, bx: &FeatureBox) -> Option<bool> {
 fn ambiguous_split(node: &TreeNode, sex: f64, bx: &FeatureBox) -> Option<(&'static str, f64)> {
     match node {
         TreeNode::Leaf { .. } => None,
-        TreeNode::Split { feature, threshold, left, right } => {
+        TreeNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
             if *feature == "sex" {
                 let branch = if sex == 1.0 { left } else { right };
                 return ambiguous_split(branch, sex, bx);
@@ -152,7 +161,11 @@ pub struct VolumeVerifier {
 
 impl Default for VolumeVerifier {
     fn default() -> Self {
-        VolumeVerifier { epsilon: 0.15, max_boxes: 50_000, qualified_age: 18.0 }
+        VolumeVerifier {
+            epsilon: 0.15,
+            max_boxes: 50_000,
+            qualified_age: 18.0,
+        }
     }
 }
 
@@ -203,8 +216,16 @@ impl VolumeVerifier {
                 break;
             }
             let (min_b, maj_b) = (groups[0].hire_bounds(), groups[1].hire_bounds());
-            let ratio_lo = if maj_b.1 > 0.0 { min_b.0 / maj_b.1 } else { f64::INFINITY };
-            let ratio_hi = if maj_b.0 > 0.0 { min_b.1 / maj_b.0 } else { f64::INFINITY };
+            let ratio_lo = if maj_b.1 > 0.0 {
+                min_b.0 / maj_b.1
+            } else {
+                f64::INFINITY
+            };
+            let ratio_hi = if maj_b.0 > 0.0 {
+                min_b.1 / maj_b.0
+            } else {
+                f64::INFINITY
+            };
             if ratio_lo > threshold {
                 return Ok(self.result(true, true, (ratio_lo, ratio_hi), total_boxes, start));
             }
@@ -212,7 +233,11 @@ impl VolumeVerifier {
                 return Ok(self.result(false, true, (ratio_lo, ratio_hi), total_boxes, start));
             }
             // Pick the group whose pending mass is larger.
-            let gi = if pending_mass(&groups[0]) >= pending_mass(&groups[1]) { 0 } else { 1 };
+            let gi = if pending_mass(&groups[0]) >= pending_mass(&groups[1]) {
+                0
+            } else {
+                1
+            };
             let group = &mut groups[gi];
             // Largest pending box first.
             group
@@ -247,8 +272,16 @@ impl VolumeVerifier {
             }
         }
         let (min_b, maj_b) = (groups[0].hire_bounds(), groups[1].hire_bounds());
-        let ratio_lo = if maj_b.1 > 0.0 { min_b.0 / maj_b.1 } else { f64::INFINITY };
-        let ratio_hi = if maj_b.0 > 0.0 { min_b.1 / maj_b.0 } else { f64::INFINITY };
+        let ratio_lo = if maj_b.1 > 0.0 {
+            min_b.0 / maj_b.1
+        } else {
+            f64::INFINITY
+        };
+        let ratio_hi = if maj_b.0 > 0.0 {
+            min_b.1 / maj_b.0
+        } else {
+            f64::INFINITY
+        };
         let mid_fair = (ratio_lo + ratio_hi) / 2.0 > threshold;
         let total_boxes: usize = groups.iter().map(|g| g.boxes).sum();
         Ok(self.result(mid_fair, false, (ratio_lo, ratio_hi), total_boxes, start))
@@ -291,7 +324,11 @@ mod tests {
             let exact = fairness::fairness_ratio(&spe).unwrap();
             let verifier = VolumeVerifier::default();
             let out = verifier.verify(&spe, &dt.spec()).unwrap();
-            assert!(out.converged, "{}: bounds {:?}", task.name, out.ratio_bounds);
+            assert!(
+                out.converged,
+                "{}: bounds {:?}",
+                task.name, out.ratio_bounds
+            );
             assert_eq!(
                 out.fair,
                 fairness::is_fair(exact, task.epsilon),

@@ -33,7 +33,10 @@ pub struct RejectionEstimator {
 
 impl Default for RejectionEstimator {
     fn default() -> Self {
-        RejectionEstimator { max_samples: 200_000, checkpoint_every: 10_000 }
+        RejectionEstimator {
+            max_samples: 200_000,
+            checkpoint_every: 10_000,
+        }
     }
 }
 
@@ -67,12 +70,7 @@ impl RejectionEstimator {
     }
 
     /// Convenience: the final estimate only.
-    pub fn point_estimate<R: Rng + ?Sized>(
-        &self,
-        spe: &Spe,
-        event: &Event,
-        rng: &mut R,
-    ) -> f64 {
+    pub fn point_estimate<R: Rng + ?Sized>(&self, spe: &Spe, event: &Event, rng: &mut R) -> f64 {
         self.estimate(spe, event, rng)
             .last()
             .map_or(0.0, |p| p.estimate)
@@ -98,7 +96,10 @@ mod tests {
             Event::lt(Transform::id(Var::new("Y")), 0.5),
         ]);
         let exact = m.prob(&e).unwrap();
-        let est = RejectionEstimator { max_samples: 40_000, checkpoint_every: 10_000 };
+        let est = RejectionEstimator {
+            max_samples: 40_000,
+            checkpoint_every: 10_000,
+        };
         let mut rng = StdRng::seed_from_u64(17);
         let traj = est.estimate(&m, &e, &mut rng);
         assert_eq!(traj.len(), 4);
@@ -115,7 +116,10 @@ mod tests {
             .compile(&f)
             .unwrap();
         let e = sppl_models::rare_event::all_ones_event(8);
-        let est = RejectionEstimator { max_samples: 2_000, checkpoint_every: 1_000 };
+        let est = RejectionEstimator {
+            max_samples: 2_000,
+            checkpoint_every: 1_000,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let p = est.point_estimate(&m, &e, &mut rng);
         // Exact value is ~1e-5; 2000 samples almost surely see zero hits.

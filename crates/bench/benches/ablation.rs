@@ -10,7 +10,11 @@ use sppl_core::spe::{Factory, FactoryOptions};
 use sppl_models::{hmm, networks};
 
 fn options(dedup: bool, factorize: bool, memoize: bool) -> FactoryOptions {
-    FactoryOptions { dedup, factorize, memoize }
+    FactoryOptions {
+        dedup,
+        factorize,
+        memoize,
+    }
 }
 
 fn bench_translation_ablation(c: &mut Criterion) {
@@ -53,5 +57,9 @@ fn bench_memoization_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_translation_ablation, bench_memoization_ablation);
+criterion_group!(
+    benches,
+    bench_translation_ablation,
+    bench_memoization_ablation
+);
 criterion_main!(benches);

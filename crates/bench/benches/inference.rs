@@ -99,5 +99,11 @@ fn bench_fairness(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_translate, bench_prob, bench_condition, bench_fairness);
+criterion_group!(
+    benches,
+    bench_translate,
+    bench_prob,
+    bench_condition,
+    bench_fairness
+);
 criterion_main!(benches);

@@ -17,17 +17,21 @@ fn main() {
     let nationality = |s: &str| Event::eq_str(Transform::id(Var::new("Nationality")), s);
     let perfect = Event::eq_real(Transform::id(Var::new("Perfect")), 1.0);
 
-    println!("prior:     P[USA]={:.3}  P[Perfect]={:.3}",
+    println!(
+        "prior:     P[USA]={:.3}  P[Perfect]={:.3}",
         model.prob(&nationality("USA")).unwrap(),
-        model.prob(&perfect).unwrap());
+        model.prob(&perfect).unwrap()
+    );
 
     let (posterior, ct) = timed(|| {
         condition(&factory, &model, &indian_gpa::condition_event()).expect("positive prob")
     });
-    println!("posterior: P[USA]={:.3}  P[Perfect]={:.3}   (conditioned in {})",
+    println!(
+        "posterior: P[USA]={:.3}  P[Perfect]={:.3}   (conditioned in {})",
         posterior.prob(&nationality("USA")).unwrap(),
         posterior.prob(&perfect).unwrap(),
-        sppl_bench::fmt_secs(ct));
+        sppl_bench::fmt_secs(ct)
+    );
 
     println!("\nGPA CDF series (prior vs posterior), x = 0..12:");
     println!("x, prior, posterior");

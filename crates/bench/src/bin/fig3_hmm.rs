@@ -14,8 +14,11 @@ fn main() {
     let mut table = Table::new(["Steps", "Physical nodes", "Tree-expanded", "Translate"]);
     for n in [5usize, 10, 25, 50, 100] {
         let factory = Factory::new();
-        let (spe, t) =
-            timed(|| hmm::hierarchical_hmm(n).compile(&factory).expect("compiles"));
+        let (spe, t) = timed(|| {
+            hmm::hierarchical_hmm(n)
+                .compile(&factory)
+                .expect("compiles")
+        });
         let stats = graph_stats(&spe);
         table.row([
             n.to_string(),
@@ -30,18 +33,29 @@ fn main() {
     // Smoothing on a simulated 100-step trace (Fig. 3b, bottom panel).
     let n = 100;
     let factory = Factory::new();
-    let model = hmm::hierarchical_hmm(n).compile(&factory).expect("compiles");
+    let model = hmm::hierarchical_hmm(n)
+        .compile(&factory)
+        .expect("compiles");
     let mut rng = StdRng::seed_from_u64(33);
     let trace = hmm::simulate_trace(&mut rng, n);
-    let (posterior, ct) =
-        timed(|| constrain(&factory, &model, &hmm::observation_assignment(&trace.x, &trace.y))
-            .expect("positive density"));
+    let (posterior, ct) = timed(|| {
+        constrain(
+            &factory,
+            &model,
+            &hmm::observation_assignment(&trace.x, &trace.y),
+        )
+        .expect("positive density")
+    });
     let (series, qt) = timed(|| {
         (0..n)
             .map(|t| posterior.prob(&hmm::hidden_state_event(t)).expect("query"))
             .collect::<Vec<f64>>()
     });
-    println!("\nsmoothing {n} steps: condition {} + {} for all queries", fmt_secs(ct), fmt_secs(qt));
+    println!(
+        "\nsmoothing {n} steps: condition {} + {} for all queries",
+        fmt_secs(ct),
+        fmt_secs(qt)
+    );
     let correct = series
         .iter()
         .zip(&trace.z)

@@ -21,8 +21,10 @@ else { Z = -5*sqrt(X) + 11 }
     let x = Transform::id(Var::new("X"));
     let z = Transform::id(Var::new("Z"));
     println!("translated in {}", fmt_secs(t));
-    println!("prior branch weights: P[X<1] = {:.3} (paper .69)\n",
-        model.prob(&Event::lt(x.clone(), 1.0)).unwrap());
+    println!(
+        "prior branch weights: P[X<1] = {:.3} (paper .69)\n",
+        model.prob(&Event::lt(x.clone(), 1.0)).unwrap()
+    );
 
     let e = Event::and(vec![
         Event::le(z.clone().pow_int(2), 4.0),
@@ -44,7 +46,9 @@ else { Z = -5*sqrt(X) + 11 }
     println!("\nposterior CDF of Z on [0, 2]:");
     for i in 0..=8 {
         let r = i as f64 * 0.25;
-        println!("  P[Z <= {r:.2} | e] = {:.4}",
-            posterior.prob(&Event::le(z.clone(), r)).unwrap());
+        println!(
+            "  P[Z <= {r:.2} | e] = {:.4}",
+            posterior.prob(&Event::le(z.clone(), r)).unwrap()
+        );
     }
 }

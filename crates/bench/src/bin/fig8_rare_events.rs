@@ -20,8 +20,14 @@ fn main() {
     for k in rare_event::figure8_prefixes() {
         let event = rare_event::all_ones_event(k);
         let (lp, es) = timed(|| model.logprob(&event).expect("exact"));
-        println!("== event: O[0..{k}] all 1 — exact log p = {lp:.2} in {} ==", fmt_secs(es));
-        let estimator = RejectionEstimator { max_samples: 400_000, checkpoint_every: 100_000 };
+        println!(
+            "== event: O[0..{k}] all 1 — exact log p = {lp:.2} in {} ==",
+            fmt_secs(es)
+        );
+        let estimator = RejectionEstimator {
+            max_samples: 400_000,
+            checkpoint_every: 100_000,
+        };
         for p in estimator.estimate(&model, &event, &mut rng) {
             let log_est = if p.estimate > 0.0 {
                 format!("{:.2}", p.estimate.ln())

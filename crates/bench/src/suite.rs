@@ -70,9 +70,7 @@ pub fn benchmarks() -> Vec<PsiBenchmark> {
             datasets: (0..10)
                 .map(|i| {
                     let (pt, pc) = if i % 2 == 0 { (0.8, 0.3) } else { (0.5, 0.5) };
-                    Data::Assignment(psi_suite::clinical_trial_dataset(
-                        i as u64, nt, nc, pt, pc,
-                    ))
+                    Data::Assignment(psi_suite::clinical_trial_dataset(i as u64, nt, nc, pt, pc))
                 })
                 .collect(),
             query: psi_suite::clinical_trial_query(),
@@ -101,9 +99,7 @@ pub fn benchmarks() -> Vec<PsiBenchmark> {
             source: model.source,
             datasets: (0..10)
                 .map(|i| {
-                    Data::Assignment(psi_suite::student_interviews_dataset(
-                        i as u64, students,
-                    ))
+                    Data::Assignment(psi_suite::student_interviews_dataset(i as u64, students))
                 })
                 .collect(),
             query: psi_suite::student_interviews_query(),
@@ -117,9 +113,7 @@ pub fn benchmarks() -> Vec<PsiBenchmark> {
             name: format!("Markov Switching {steps}"),
             source: model.source,
             datasets: (0..10)
-                .map(|i| {
-                    Data::Assignment(psi_suite::markov_switching_dataset(i as u64, steps))
-                })
+                .map(|i| Data::Assignment(psi_suite::markov_switching_dataset(i as u64, steps)))
                 .collect(),
             query: psi_suite::markov_switching_query(steps),
         });
@@ -143,9 +137,7 @@ pub struct SpplRun {
 impl SpplRun {
     /// Total wall-clock across all stages and datasets.
     pub fn overall(&self) -> f64 {
-        self.translate_s
-            + self.condition_s.iter().sum::<f64>()
-            + self.query_s.iter().sum::<f64>()
+        self.translate_s + self.condition_s.iter().sum::<f64>() + self.query_s.iter().sum::<f64>()
     }
 }
 
@@ -153,9 +145,8 @@ impl SpplRun {
 /// per dataset.
 pub fn run_sppl(bench: &PsiBenchmark) -> SpplRun {
     let factory = Factory::new();
-    let (spe, translate_s) = timed(|| {
-        sppl_lang::compile(&factory, &bench.source).expect("benchmark compiles")
-    });
+    let (spe, translate_s) =
+        timed(|| sppl_lang::compile(&factory, &bench.source).expect("benchmark compiles"));
     let mut condition_s = Vec::new();
     let mut query_s = Vec::new();
     let mut values = Vec::new();
@@ -170,7 +161,12 @@ pub fn run_sppl(bench: &PsiBenchmark) -> SpplRun {
         query_s.push(qs);
         values.push(value);
     }
-    SpplRun { translate_s, condition_s, query_s, values }
+    SpplRun {
+        translate_s,
+        condition_s,
+        query_s,
+        values,
+    }
 }
 
 /// Per-dataset outcomes of the single-stage enumerative engine.

@@ -45,10 +45,17 @@ pub fn condition(factory: &Factory, spe: &Spe, event: &Event) -> Result<Spe, Spp
 
 fn condition_uncached(factory: &Factory, spe: &Spe, event: &Event) -> Result<Spe, SpplError> {
     match spe.node() {
-        Node::Leaf { var, dist, env, scope } => {
+        Node::Leaf {
+            var,
+            dist,
+            env,
+            scope,
+        } => {
             for v in event.vars() {
                 if !scope.contains(&v) {
-                    return Err(SpplError::UnknownVariable { var: v.name().into() });
+                    return Err(SpplError::UnknownVariable {
+                        var: v.name().into(),
+                    });
                 }
             }
             let outcomes = leaf_event_outcomes(var, env, event);
@@ -63,19 +70,25 @@ fn condition_uncached(factory: &Factory, spe: &Spe, event: &Event) -> Result<Spe
                 }
             }
             if parts.is_empty() {
-                return Err(SpplError::ZeroProbability { event: event.to_string() });
+                return Err(SpplError::ZeroProbability {
+                    event: event.to_string(),
+                });
             }
             factory.sum(parts)
         }
         Node::Product { children, scope } => {
             for v in event.vars() {
                 if !scope.contains(&v) {
-                    return Err(SpplError::UnknownVariable { var: v.name().into() });
+                    return Err(SpplError::UnknownVariable {
+                        var: v.name().into(),
+                    });
                 }
             }
             let clauses = solve_and_disjoin(event)?;
             match clauses.len() {
-                0 => Err(SpplError::ZeroProbability { event: event.to_string() }),
+                0 => Err(SpplError::ZeroProbability {
+                    event: event.to_string(),
+                }),
                 1 => condition_product_clause(factory, children, &clauses[0], event),
                 _ => {
                     let mut parts = Vec::with_capacity(clauses.len());
@@ -101,7 +114,9 @@ fn condition_uncached(factory: &Factory, spe: &Spe, event: &Event) -> Result<Spe
                         }
                     }
                     if parts.is_empty() {
-                        return Err(SpplError::ZeroProbability { event: event.to_string() });
+                        return Err(SpplError::ZeroProbability {
+                            event: event.to_string(),
+                        });
                     }
                     factory.sum(parts)
                 }
@@ -163,7 +178,9 @@ fn condition_leaf(
         }
     }
     if parts.is_empty() {
-        return Err(SpplError::ZeroProbability { event: event.to_string() });
+        return Err(SpplError::ZeroProbability {
+            event: event.to_string(),
+        });
     }
     factory.sum(parts)
 }
@@ -173,9 +190,13 @@ fn condition_leaf(
 fn restrict_dist(dist: &Distribution, piece: &OutcomeSet) -> Result<Distribution, SpplError> {
     match dist {
         Distribution::Real(d) => {
-            let iv = piece.reals().intervals().first().ok_or_else(|| {
-                SpplError::Numeric { message: "empty real piece".into() }
-            })?;
+            let iv = piece
+                .reals()
+                .intervals()
+                .first()
+                .ok_or_else(|| SpplError::Numeric {
+                    message: "empty real piece".into(),
+                })?;
             d.truncate(iv)
                 .map(Distribution::Real)
                 .ok_or_else(|| SpplError::Numeric {
@@ -183,9 +204,13 @@ fn restrict_dist(dist: &Distribution, piece: &OutcomeSet) -> Result<Distribution
                 })
         }
         Distribution::Int(d) => {
-            let iv = piece.reals().intervals().first().ok_or_else(|| {
-                SpplError::Numeric { message: "empty integer piece".into() }
-            })?;
+            let iv = piece
+                .reals()
+                .intervals()
+                .first()
+                .ok_or_else(|| SpplError::Numeric {
+                    message: "empty integer piece".into(),
+                })?;
             if iv.is_point() {
                 Ok(Distribution::Atomic { loc: iv.lo() })
             } else {
@@ -215,7 +240,9 @@ pub fn condition_with_evidence(
 ) -> Result<(Spe, f64), SpplError> {
     let lp = factory.logprob(spe, event)?;
     if lp == f64::NEG_INFINITY {
-        return Err(SpplError::ZeroProbability { event: event.to_string() });
+        return Err(SpplError::ZeroProbability {
+            event: event.to_string(),
+        });
     }
     Ok((condition(factory, spe, event)?, lp))
 }
@@ -304,8 +331,7 @@ mod tests {
     fn zero_probability_event_errors() {
         let f = Factory::new();
         let x = normal(&f, "X");
-        let e = Event::gt(Transform::id(Var::new("X")).pow_int(2), -1.0)
-            .negate(); // X² ≤ -1: impossible
+        let e = Event::gt(Transform::id(Var::new("X")).pow_int(2), -1.0).negate(); // X² ≤ -1: impossible
         assert!(matches!(
             condition(&f, &x, &e),
             Err(SpplError::ZeroProbability { .. })
@@ -340,9 +366,7 @@ mod tests {
     #[test]
     fn product_clause_routing() {
         let f = Factory::new();
-        let p = f
-            .product(vec![normal(&f, "X"), normal(&f, "Y")])
-            .unwrap();
+        let p = f.product(vec![normal(&f, "X"), normal(&f, "Y")]).unwrap();
         let e = Event::and(vec![
             Event::ge(Transform::id(Var::new("X")), 0.0),
             Event::le(Transform::id(Var::new("Y")), 0.0),
@@ -358,9 +382,7 @@ mod tests {
     #[test]
     fn product_disjunction_becomes_sum_of_products() {
         let f = Factory::new();
-        let p = f
-            .product(vec![normal(&f, "X"), normal(&f, "Y")])
-            .unwrap();
+        let p = f.product(vec![normal(&f, "X"), normal(&f, "Y")]).unwrap();
         // The Fig. 5 shape: union of overlapping half-planes.
         let e = Event::or(vec![
             Event::ge(Transform::id(Var::new("X")), 0.0),
@@ -410,9 +432,7 @@ mod tests {
         let leaf = f
             .leaf_env(
                 x.clone(),
-                Distribution::Real(
-                    DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap(),
-                ),
+                Distribution::Real(DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap()),
                 Env::new().with(z.clone(), Transform::id(x.clone()).pow_int(2)),
             )
             .unwrap();

@@ -34,7 +34,10 @@ pub struct Density {
 impl Density {
     /// The multiplicative unit (empty product).
     pub fn one() -> Density {
-        Density { degree: 0, ln_weight: 0.0 }
+        Density {
+            degree: 0,
+            ln_weight: 0.0,
+        }
     }
 
     /// True when the weight is zero.
@@ -55,7 +58,9 @@ impl Spe {
     pub fn logdensity(&self, assignment: &Assignment) -> Result<Density, SpplError> {
         for v in assignment.keys() {
             if !self.scope().contains(v) {
-                return Err(SpplError::UnknownVariable { var: v.name().into() });
+                return Err(SpplError::UnknownVariable {
+                    var: v.name().into(),
+                });
             }
         }
         let mut memo = HashMap::new();
@@ -99,10 +104,15 @@ fn logdensity_inner(
                 let d = logdensity_inner(child, assignment, memo)?;
                 parts.push((d.degree, lw + d.ln_weight));
             }
-            let positive: Vec<&(u64, f64)> =
-                parts.iter().filter(|(_, w)| *w > f64::NEG_INFINITY).collect();
+            let positive: Vec<&(u64, f64)> = parts
+                .iter()
+                .filter(|(_, w)| *w > f64::NEG_INFINITY)
+                .collect();
             if positive.is_empty() {
-                Density { degree: 1, ln_weight: f64::NEG_INFINITY }
+                Density {
+                    degree: 1,
+                    ln_weight: f64::NEG_INFINITY,
+                }
             } else {
                 let dmin = positive.iter().map(|(d, _)| *d).min().expect("nonempty");
                 let terms: Vec<f64> = positive
@@ -110,7 +120,10 @@ fn logdensity_inner(
                     .filter(|(d, _)| *d == dmin)
                     .map(|(_, w)| *w)
                     .collect();
-                Density { degree: dmin, ln_weight: logsumexp(&terms) }
+                Density {
+                    degree: dmin,
+                    ln_weight: logsumexp(&terms),
+                }
             }
         }
         Node::Product { children, .. } => {
@@ -149,7 +162,9 @@ fn leaf_density(
             result.degree += degree;
             result.ln_weight += w.ln();
         } else if env.get(v).is_some() {
-            return Err(SpplError::TransformedConstraint { var: v.name().into() });
+            return Err(SpplError::TransformedConstraint {
+                var: v.name().into(),
+            });
         }
         // Variables outside this leaf's scope were filtered by the caller.
     }
@@ -165,14 +180,12 @@ fn leaf_density(
 /// * [`SpplError::ZeroProbability`] when the assignment has zero density;
 /// * [`SpplError::TransformedConstraint`] for derived variables;
 /// * [`SpplError::UnknownVariable`] for out-of-scope variables.
-pub fn constrain(
-    factory: &Factory,
-    spe: &Spe,
-    assignment: &Assignment,
-) -> Result<Spe, SpplError> {
+pub fn constrain(factory: &Factory, spe: &Spe, assignment: &Assignment) -> Result<Spe, SpplError> {
     for v in assignment.keys() {
         if !spe.scope().contains(v) {
-            return Err(SpplError::UnknownVariable { var: v.name().into() });
+            return Err(SpplError::UnknownVariable {
+                var: v.name().into(),
+            });
         }
     }
     // Per-call memo tables over the shared DAG: without them, constrain
@@ -470,9 +483,7 @@ mod tests {
         let leaf = f
             .leaf_env(
                 x.clone(),
-                Distribution::Real(
-                    DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap(),
-                ),
+                Distribution::Real(DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap()),
                 Env::new().with(z.clone(), Transform::id(x).pow_int(2)),
             )
             .unwrap();
@@ -504,13 +515,13 @@ mod tests {
             );
             let x = f.leaf(
                 Var::new("X"),
-                Distribution::Real(
-                    DistReal::new(Cdf::normal(mu, 1.0), Interval::all()).unwrap(),
-                ),
+                Distribution::Real(DistReal::new(Cdf::normal(mu, 1.0), Interval::all()).unwrap()),
             );
             (f.product(vec![n, x]).unwrap(), w.ln())
         };
-        let mix = f.sum(vec![comp("a", -1.0, 0.5), comp("b", 1.0, 0.5)]).unwrap();
+        let mix = f
+            .sum(vec![comp("a", -1.0, 0.5), comp("b", 1.0, 0.5)])
+            .unwrap();
         let post = constrain(&f, &mix, &assignment(&[("X", Outcome::Real(1.0))])).unwrap();
         let pa = post
             .prob(&Event::eq_str(Transform::id(Var::new("N")), "a"))

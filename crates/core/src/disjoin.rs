@@ -26,7 +26,9 @@ pub struct Clause {
 impl Clause {
     /// The unconstrained clause (denotes the whole space).
     pub fn universe() -> Clause {
-        Clause { constraints: BTreeMap::new() }
+        Clause {
+            constraints: BTreeMap::new(),
+        }
     }
 
     /// Builds a clause from explicit constraints; returns `None` if any
@@ -293,8 +295,7 @@ mod tests {
                 let mut asg = BTreeMap::new();
                 asg.insert(x(), Outcome::Real(xs as f64));
                 asg.insert(y(), Outcome::Real(ys as f64));
-                let original =
-                    a.contains(&asg).unwrap() || b.contains(&asg).unwrap();
+                let original = a.contains(&asg).unwrap() || b.contains(&asg).unwrap();
                 let disjoined = parts.iter().any(|p| p.contains(&asg).unwrap());
                 assert_eq!(original, disjoined, "({xs},{ys})");
             }

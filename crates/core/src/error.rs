@@ -72,7 +72,9 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let e = SpplError::ZeroProbability { event: "X < 0".into() };
+        let e = SpplError::ZeroProbability {
+            event: "X < 0".into(),
+        };
         let s = e.to_string();
         assert!(s.contains("probability zero") && s.contains("X < 0"));
     }

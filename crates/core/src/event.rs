@@ -119,9 +119,7 @@ impl Event {
     pub fn vars(&self) -> BTreeSet<Var> {
         match self {
             Event::In(t, _) => t.vars(),
-            Event::And(es) | Event::Or(es) => {
-                es.iter().flat_map(Event::vars).collect()
-            }
+            Event::And(es) | Event::Or(es) => es.iter().flat_map(Event::vars).collect(),
         }
     }
 
@@ -142,9 +140,7 @@ impl Event {
             Event::And(es) => {
                 Event::And(es.iter().map(|e| e.substitute(var, replacement)).collect())
             }
-            Event::Or(es) => {
-                Event::Or(es.iter().map(|e| e.substitute(var, replacement)).collect())
-            }
+            Event::Or(es) => Event::Or(es.iter().map(|e| e.substitute(var, replacement)).collect()),
         }
     }
 
@@ -349,7 +345,10 @@ mod tests {
         let a = Event::lt(Transform::id(x()), 1.0);
         let b = Event::lt(Transform::id(x()), 2.0);
         assert_ne!(a.fingerprint(), b.fingerprint());
-        assert_eq!(a.fingerprint(), Event::lt(Transform::id(x()), 1.0).fingerprint());
+        assert_eq!(
+            a.fingerprint(),
+            Event::lt(Transform::id(x()), 1.0).fingerprint()
+        );
     }
 
     #[test]

@@ -105,10 +105,17 @@ pub(crate) fn logprob_memo(
         return Ok(v);
     }
     let value = match spe.node() {
-        Node::Leaf { var, dist, env, scope } => {
+        Node::Leaf {
+            var,
+            dist,
+            env,
+            scope,
+        } => {
             for v in event.vars() {
                 if !scope.contains(&v) {
-                    return Err(SpplError::UnknownVariable { var: v.name().into() });
+                    return Err(SpplError::UnknownVariable {
+                        var: v.name().into(),
+                    });
                 }
             }
             let outcomes = leaf_event_outcomes(var, env, event);
@@ -124,7 +131,9 @@ pub(crate) fn logprob_memo(
         Node::Product { children, scope } => {
             for v in event.vars() {
                 if !scope.contains(&v) {
-                    return Err(SpplError::UnknownVariable { var: v.name().into() });
+                    return Err(SpplError::UnknownVariable {
+                        var: v.name().into(),
+                    });
                 }
             }
             let clauses = solve_and_disjoin(event)?;
@@ -209,9 +218,7 @@ mod tests {
         let leaf = f
             .leaf_env(
                 x.clone(),
-                Distribution::Real(
-                    DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap(),
-                ),
+                Distribution::Real(DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap()),
                 crate::spe::Env::new().with(z.clone(), Transform::id(x).pow_int(2)),
             )
             .unwrap();
@@ -281,10 +288,7 @@ mod tests {
         let f = factory();
         let x = normal(&f, "X", 0.0, 1.0);
         let e = Event::le(Transform::id(Var::new("Nope")), 0.0);
-        assert!(matches!(
-            x.prob(&e),
-            Err(SpplError::UnknownVariable { .. })
-        ));
+        assert!(matches!(x.prob(&e), Err(SpplError::UnknownVariable { .. })));
     }
 
     #[test]

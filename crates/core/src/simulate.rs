@@ -125,9 +125,7 @@ mod tests {
         let leaf = f
             .leaf_env(
                 x.clone(),
-                Distribution::Real(
-                    DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap(),
-                ),
+                Distribution::Real(DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap()),
                 Env::new().with(z.clone(), Transform::id(x.clone()).pow_int(2)),
             )
             .unwrap();

@@ -117,9 +117,9 @@ impl Spe {
     /// The expression's scope (set of variables it defines).
     pub fn scope(&self) -> &BTreeSet<Var> {
         match self.node() {
-            Node::Leaf { scope, .. }
-            | Node::Sum { scope, .. }
-            | Node::Product { scope, .. } => scope,
+            Node::Leaf { scope, .. } | Node::Sum { scope, .. } | Node::Product { scope, .. } => {
+                scope
+            }
         }
     }
 
@@ -191,7 +191,11 @@ pub struct FactoryOptions {
 
 impl Default for FactoryOptions {
     fn default() -> Self {
-        FactoryOptions { dedup: true, factorize: true, memoize: true }
+        FactoryOptions {
+            dedup: true,
+            factorize: true,
+            memoize: true,
+        }
     }
 }
 
@@ -273,20 +277,21 @@ impl Factory {
             let tvars = t.vars();
             if !tvars.iter().all(|tv| tv == &var) {
                 return Err(SpplError::IllFormed {
-                    message: format!(
-                        "environment transform for {v} must mention only {var} (C2)"
-                    ),
+                    message: format!("environment transform for {v} must mention only {var} (C2)"),
                 });
             }
             if matches!(dist, Distribution::Str(_)) {
                 return Err(SpplError::IllFormed {
-                    message: format!(
-                        "numeric transform {v} attached to nominal leaf {var}"
-                    ),
+                    message: format!("numeric transform {v} attached to nominal leaf {var}"),
                 });
             }
         }
-        let node = Node::Leaf { var, dist, env, scope: seen };
+        let node = Node::Leaf {
+            var,
+            dist,
+            env,
+            scope: seen,
+        };
         Ok(self.intern(node))
     }
 
@@ -347,7 +352,10 @@ impl Factory {
         // Canonical child order for interning: sort by pointer id with
         // weights attached — mixtures are order-insensitive semantically.
         kept.sort_by_key(|(c, _)| c.ptr_id());
-        Ok(self.intern(Node::Sum { children: kept, scope }))
+        Ok(self.intern(Node::Sum {
+            children: kept,
+            scope,
+        }))
     }
 
     /// Attempts to hoist factors shared (pointer-identical) by every
@@ -395,7 +403,9 @@ impl Factory {
             .map(|(r, w)| Ok((self.product(r)?, w)))
             .collect();
         let mixed = self.sum_unfactored(inner?)?;
-        Ok(Some(self.product(common.into_iter().chain([mixed]).collect())?))
+        Ok(Some(
+            self.product(common.into_iter().chain([mixed]).collect())?,
+        ))
     }
 
     /// `sum` without the factorization attempt (used internally to avoid
@@ -406,7 +416,10 @@ impl Factory {
         }
         let scope = kept[0].0.scope().clone();
         kept.sort_by_key(|(c, _)| c.ptr_id());
-        Ok(self.intern(Node::Sum { children: kept, scope }))
+        Ok(self.intern(Node::Sum {
+            children: kept,
+            scope,
+        }))
     }
 
     /// A product of independent factors. Nested products are flattened and
@@ -420,7 +433,9 @@ impl Factory {
         let mut flat: Vec<Spe> = Vec::with_capacity(children.len());
         for c in children {
             match c.node() {
-                Node::Product { children: inner, .. } => flat.extend(inner.iter().cloned()),
+                Node::Product {
+                    children: inner, ..
+                } => flat.extend(inner.iter().cloned()),
                 _ => flat.push(c),
             }
         }
@@ -448,7 +463,10 @@ impl Factory {
             let kb = b.scope().iter().next().cloned();
             ka.cmp(&kb)
         });
-        Ok(self.intern(Node::Product { children: flat, scope }))
+        Ok(self.intern(Node::Product {
+            children: flat,
+            scope,
+        }))
     }
 
     /// Number of physically distinct nodes interned so far.
@@ -511,8 +529,18 @@ fn shallow_hash(node: &Node) -> u64 {
 fn shallow_eq(a: &Node, b: &Node) -> bool {
     match (a, b) {
         (
-            Node::Leaf { var: va, dist: da, env: ea, .. },
-            Node::Leaf { var: vb, dist: db, env: eb, .. },
+            Node::Leaf {
+                var: va,
+                dist: da,
+                env: ea,
+                ..
+            },
+            Node::Leaf {
+                var: vb,
+                dist: db,
+                env: eb,
+                ..
+            },
         ) => va == vb && da == db && ea == eb,
         (Node::Sum { children: ca, .. }, Node::Sum { children: cb, .. }) => {
             ca.len() == cb.len()
@@ -576,9 +604,7 @@ fn hash_cdf<H: Hasher>(c: &Cdf, h: &mut H) {
             b.to_bits().hash(h);
             scale.to_bits().hash(h);
         }
-        Cdf::Cauchy { loc, scale }
-        | Cdf::Laplace { loc, scale }
-        | Cdf::Logistic { loc, scale } => {
+        Cdf::Cauchy { loc, scale } | Cdf::Laplace { loc, scale } | Cdf::Logistic { loc, scale } => {
             loc.to_bits().hash(h);
             scale.to_bits().hash(h);
         }
@@ -599,11 +625,7 @@ fn hash_cdf<H: Hasher>(c: &Cdf, h: &mut H) {
 /// Helper used by inference: the outcome set of `event` along the leaf's
 /// base variable, after substituting derived variables with their
 /// transforms (`subsenv`, Lst. 13).
-pub(crate) fn leaf_event_outcomes(
-    var: &Var,
-    env: &Env,
-    event: &Event,
-) -> sppl_sets::OutcomeSet {
+pub(crate) fn leaf_event_outcomes(var: &Var, env: &Env, event: &Event) -> sppl_sets::OutcomeSet {
     let mut e = event.clone();
     // Substitute in reverse insertion order so later derived variables
     // (which may reference earlier ones — they cannot, by C2, but keep the
@@ -641,7 +663,11 @@ mod tests {
 
     #[test]
     fn dedup_disabled_duplicates() {
-        let f = Factory::with_options(FactoryOptions { dedup: false, factorize: false, memoize: false });
+        let f = Factory::with_options(FactoryOptions {
+            dedup: false,
+            factorize: false,
+            memoize: false,
+        });
         let a = normal_leaf(&f, "X");
         let b = normal_leaf(&f, "X");
         assert!(!a.same(&b));
@@ -653,9 +679,7 @@ mod tests {
         let a = normal_leaf(&f, "X");
         let b = f.leaf(
             Var::new("X"),
-            Distribution::Real(
-                DistReal::new(Cdf::normal(5.0, 1.0), Interval::all()).unwrap(),
-            ),
+            Distribution::Real(DistReal::new(Cdf::normal(5.0, 1.0), Interval::all()).unwrap()),
         );
         let s = f.sum(vec![(a, 2.0f64.ln()), (b, 6.0f64.ln())]).unwrap();
         match s.node() {
@@ -673,7 +697,9 @@ mod tests {
     fn sum_merges_identical_children() {
         let f = Factory::new();
         let a = normal_leaf(&f, "X");
-        let s = f.sum(vec![(a.clone(), 0.5f64.ln()), (a.clone(), 0.5f64.ln())]).unwrap();
+        let s = f
+            .sum(vec![(a.clone(), 0.5f64.ln()), (a.clone(), 0.5f64.ln())])
+            .unwrap();
         // Identical children merge, then singleton collapses.
         assert!(s.same(&a));
     }
@@ -734,9 +760,7 @@ mod tests {
         let b1 = normal_leaf(&f, "B");
         let b2 = f.leaf(
             Var::new("B"),
-            Distribution::Real(
-                DistReal::new(Cdf::normal(9.0, 1.0), Interval::all()).unwrap(),
-            ),
+            Distribution::Real(DistReal::new(Cdf::normal(9.0, 1.0), Interval::all()).unwrap()),
         );
         let p1 = f.product(vec![shared.clone(), b1]).unwrap();
         let p2 = f.product(vec![shared.clone(), b2]).unwrap();
@@ -756,14 +780,16 @@ mod tests {
 
     #[test]
     fn factorization_disabled_keeps_sum() {
-        let f = Factory::with_options(FactoryOptions { dedup: true, factorize: false, memoize: true });
+        let f = Factory::with_options(FactoryOptions {
+            dedup: true,
+            factorize: false,
+            memoize: true,
+        });
         let shared = normal_leaf(&f, "S");
         let b1 = normal_leaf(&f, "B");
         let b2 = f.leaf(
             Var::new("B"),
-            Distribution::Real(
-                DistReal::new(Cdf::normal(9.0, 1.0), Interval::all()).unwrap(),
-            ),
+            Distribution::Real(DistReal::new(Cdf::normal(9.0, 1.0), Interval::all()).unwrap()),
         );
         let p1 = f.product(vec![shared.clone(), b1]).unwrap();
         let p2 = f.product(vec![shared, b2]).unwrap();

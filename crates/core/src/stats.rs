@@ -82,12 +82,7 @@ pub fn tree_node_count(spe: &Spe) -> f64 {
         if let Some(&v) = memo.get(&node.ptr_id()) {
             return v;
         }
-        let v = 1.0
-            + node
-                .children()
-                .iter()
-                .map(|c| go(c, memo))
-                .sum::<f64>();
+        let v = 1.0 + node.children().iter().map(|c| go(c, memo)).sum::<f64>();
         memo.insert(node.ptr_id(), v);
         v
     }
@@ -166,8 +161,16 @@ mod tests {
         // sibling leaves so the sums differ).
         let s1 = f
             .sum(vec![
-                (f.product(vec![shared.clone(), normal(&f, "C", 0.0)]).unwrap(), 0.5f64.ln()),
-                (f.product(vec![shared.clone(), normal(&f, "C", 9.0)]).unwrap(), 0.5f64.ln()),
+                (
+                    f.product(vec![shared.clone(), normal(&f, "C", 0.0)])
+                        .unwrap(),
+                    0.5f64.ln(),
+                ),
+                (
+                    f.product(vec![shared.clone(), normal(&f, "C", 9.0)])
+                        .unwrap(),
+                    0.5f64.ln(),
+                ),
             ])
             .unwrap();
         let stats = graph_stats(&s1);
@@ -187,16 +190,11 @@ mod tests {
         let on = Factory::new();
         // Build the same chain twice under both factories.
         fn chain(f: &Factory, depth: usize) -> Spe {
-            let mut acc = f.leaf(
-                Var::new("L0"),
-                Distribution::Atomic { loc: 0.0 },
-            );
+            let mut acc = f.leaf(Var::new("L0"), Distribution::Atomic { loc: 0.0 });
             for i in 1..depth {
                 let a = f.leaf(Var::new(format!("L{i}")), Distribution::Atomic { loc: 0.0 });
                 let b = f.leaf(Var::new(format!("L{i}")), Distribution::Atomic { loc: 1.0 });
-                let s = f
-                    .sum(vec![(a, 0.5f64.ln()), (b, 0.5f64.ln())])
-                    .unwrap();
+                let s = f.sum(vec![(a, 0.5f64.ln()), (b, 0.5f64.ln())]).unwrap();
                 acc = f.product(vec![acc, s]).unwrap();
             }
             acc

@@ -161,7 +161,10 @@ impl Transform {
     ///
     /// Panics unless `base > 0` and `base ≠ 1`.
     pub fn exp_base(self, base: f64) -> Transform {
-        assert!(base > 0.0 && base != 1.0, "exp base must be positive and ≠ 1");
+        assert!(
+            base > 0.0 && base != 1.0,
+            "exp base must be positive and ≠ 1"
+        );
         Transform::Exp(Box::new(self), base)
     }
 
@@ -176,7 +179,10 @@ impl Transform {
     ///
     /// Panics unless `base > 0` and `base ≠ 1`.
     pub fn log_base(self, base: f64) -> Transform {
-        assert!(base > 0.0 && base != 1.0, "log base must be positive and ≠ 1");
+        assert!(
+            base > 0.0 && base != 1.0,
+            "log base must be positive and ≠ 1"
+        );
         Transform::Log(Box::new(self), base)
     }
 
@@ -243,15 +249,9 @@ impl Transform {
                 Transform::Reciprocal(Box::new(t.substitute(var, replacement)))
             }
             Transform::Abs(t) => Transform::Abs(Box::new(t.substitute(var, replacement))),
-            Transform::Root(t, n) => {
-                Transform::Root(Box::new(t.substitute(var, replacement)), *n)
-            }
-            Transform::Exp(t, b) => {
-                Transform::Exp(Box::new(t.substitute(var, replacement)), *b)
-            }
-            Transform::Log(t, b) => {
-                Transform::Log(Box::new(t.substitute(var, replacement)), *b)
-            }
+            Transform::Root(t, n) => Transform::Root(Box::new(t.substitute(var, replacement)), *n),
+            Transform::Exp(t, b) => Transform::Exp(Box::new(t.substitute(var, replacement)), *b),
+            Transform::Log(t, b) => Transform::Log(Box::new(t.substitute(var, replacement)), *b),
             Transform::Poly(t, p) => {
                 Transform::Poly(Box::new(t.substitute(var, replacement)), p.clone())
             }
@@ -259,7 +259,10 @@ impl Transform {
                 cases
                     .iter()
                     .map(|(t, e)| {
-                        (t.substitute(var, replacement), e.substitute(var, replacement))
+                        (
+                            t.substitute(var, replacement),
+                            e.substitute(var, replacement),
+                        )
                     })
                     .collect(),
             ),
@@ -299,7 +302,11 @@ impl Transform {
                 if y <= 0.0 {
                     if y == 0.0 {
                         // log(0) = -inf (base > 1) / +inf (base < 1)
-                        Some(if *b > 1.0 { f64::NEG_INFINITY } else { f64::INFINITY })
+                        Some(if *b > 1.0 {
+                            f64::NEG_INFINITY
+                        } else {
+                            f64::INFINITY
+                        })
                     } else {
                         None
                     }
@@ -408,16 +415,32 @@ fn invert_reciprocal(target: &RealSet) -> RealSet {
             let mut acc = RealSet::empty();
             // Positive branch: 1/y maps (0, ∞) to (0, ∞), decreasing.
             if let Some(pos) = iv.intersect(&Interval::open(0.0, f64::INFINITY)) {
-                let lo = if pos.hi() == f64::INFINITY { 0.0 } else { 1.0 / pos.hi() };
-                let hi = if pos.lo() == 0.0 { f64::INFINITY } else { 1.0 / pos.lo() };
+                let lo = if pos.hi() == f64::INFINITY {
+                    0.0
+                } else {
+                    1.0 / pos.hi()
+                };
+                let hi = if pos.lo() == 0.0 {
+                    f64::INFINITY
+                } else {
+                    1.0 / pos.lo()
+                };
                 if let Some(out) = Interval::new(lo, pos.hi_closed(), hi, pos.lo_closed()) {
                     acc = acc.union(&RealSet::from(out));
                 }
             }
             // Negative branch: decreasing on (-∞, 0).
             if let Some(neg) = iv.intersect(&Interval::open(f64::NEG_INFINITY, 0.0)) {
-                let lo = if neg.hi() == 0.0 { f64::NEG_INFINITY } else { 1.0 / neg.hi() };
-                let hi = if neg.lo() == f64::NEG_INFINITY { 0.0 } else { 1.0 / neg.lo() };
+                let lo = if neg.hi() == 0.0 {
+                    f64::NEG_INFINITY
+                } else {
+                    1.0 / neg.hi()
+                };
+                let hi = if neg.lo() == f64::NEG_INFINITY {
+                    0.0
+                } else {
+                    1.0 / neg.lo()
+                };
                 if let Some(out) = Interval::new(lo, neg.hi_closed(), hi, neg.lo_closed()) {
                     acc = acc.union(&RealSet::from(out));
                 }
@@ -449,7 +472,8 @@ fn invert_abs(target: &RealSet) -> RealSet {
         target,
         |iv| {
             let mut acc = RealSet::empty();
-            if let Some(pos) = iv.intersect(&Interval::new(0.0, true, f64::INFINITY, false).unwrap())
+            if let Some(pos) =
+                iv.intersect(&Interval::new(0.0, true, f64::INFINITY, false).unwrap())
             {
                 if let Some(right) =
                     Interval::new(pos.lo(), pos.lo_closed(), pos.hi(), pos.hi_closed())
@@ -487,19 +511,17 @@ fn invert_root(target: &RealSet, n: u32) -> RealSet {
     };
     invert_piecewise(
         target,
-        |iv| {
-            match iv.intersect(&Interval::new(0.0, true, f64::INFINITY, false).unwrap()) {
-                None => RealSet::empty(),
-                Some(pos) => {
-                    match Interval::new(
-                        power(pos.lo()),
-                        pos.lo_closed(),
-                        power(pos.hi()),
-                        pos.hi_closed(),
-                    ) {
-                        Some(out) => RealSet::from(out),
-                        None => RealSet::empty(),
-                    }
+        |iv| match iv.intersect(&Interval::new(0.0, true, f64::INFINITY, false).unwrap()) {
+            None => RealSet::empty(),
+            Some(pos) => {
+                match Interval::new(
+                    power(pos.lo()),
+                    pos.lo_closed(),
+                    power(pos.hi()),
+                    pos.hi_closed(),
+                ) {
+                    Some(out) => RealSet::from(out),
+                    None => RealSet::empty(),
                 }
             }
         },
@@ -516,9 +538,17 @@ fn invert_root(target: &RealSet, n: u32) -> RealSet {
 fn invert_exp(target: &RealSet, base: f64) -> RealSet {
     let logb = |y: f64| -> f64 {
         if y == 0.0 {
-            if base > 1.0 { f64::NEG_INFINITY } else { f64::INFINITY }
+            if base > 1.0 {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            }
         } else if y == f64::INFINITY {
-            if base > 1.0 { f64::INFINITY } else { f64::NEG_INFINITY }
+            if base > 1.0 {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            }
         } else {
             y.ln() / base.ln()
         }
@@ -563,9 +593,17 @@ fn invert_exp(target: &RealSet, base: f64) -> RealSet {
 fn invert_log(target: &RealSet, base: f64) -> RealSet {
     let expb = |y: f64| -> f64 {
         if y == f64::NEG_INFINITY {
-            if base > 1.0 { 0.0 } else { f64::INFINITY }
+            if base > 1.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
         } else if y == f64::INFINITY {
-            if base > 1.0 { f64::INFINITY } else { 0.0 }
+            if base > 1.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
         } else {
             base.powf(y)
         }
@@ -833,7 +871,9 @@ mod tests {
     #[test]
     fn poly_constant_transform() {
         let t = Transform::Poly(Box::new(Transform::id(x())), Polynomial::constant(5.0));
-        assert!(t.preimage(&set(Interval::closed(4.0, 6.0))).contains_real(123.0));
+        assert!(t
+            .preimage(&set(Interval::closed(4.0, 6.0)))
+            .contains_real(123.0));
         assert!(t.preimage(&set(Interval::closed(6.0, 7.0))).is_empty());
     }
 

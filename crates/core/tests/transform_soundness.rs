@@ -33,7 +33,9 @@ enum Step {
 fn arb_step() -> impl Strategy<Value = Step> {
     prop_oneof![
         (-5i8..6).prop_map(Step::AddConst),
-        (-4i8..5).prop_filter("nonzero", |c| *c != 0).prop_map(Step::MulConst),
+        (-4i8..5)
+            .prop_filter("nonzero", |c| *c != 0)
+            .prop_map(Step::MulConst),
         Just(Step::Square),
         Just(Step::Cube),
         Just(Step::Abs),
@@ -71,9 +73,7 @@ fn arb_target() -> impl Strategy<Value = OutcomeSet> {
     (-40i32..40, 1u8..60, any::<bool>(), any::<bool>()).prop_map(|(lo, len, lc, hc)| {
         let lo = f64::from(lo) / 4.0;
         let hi = lo + f64::from(len) / 4.0;
-        OutcomeSet::from(
-            Interval::new(lo, lc, hi, hc).unwrap_or_else(|| Interval::point(lo)),
-        )
+        OutcomeSet::from(Interval::new(lo, lc, hi, hc).unwrap_or_else(|| Interval::point(lo)))
     })
 }
 

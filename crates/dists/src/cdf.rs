@@ -55,7 +55,10 @@ impl Cdf {
 
     /// Uniform CDF on `[a, b]`. Panics unless `a < b` and both finite.
     pub fn uniform(a: f64, b: f64) -> Cdf {
-        assert!(a < b && a.is_finite() && b.is_finite(), "uniform requires a < b");
+        assert!(
+            a < b && a.is_finite() && b.is_finite(),
+            "uniform requires a < b"
+        );
         Cdf::Uniform { a, b }
     }
 
@@ -67,7 +70,10 @@ impl Cdf {
 
     /// Gamma CDF. Panics unless `shape > 0` and `scale > 0`.
     pub fn gamma(shape: f64, scale: f64) -> Cdf {
-        assert!(shape > 0.0 && scale > 0.0, "gamma requires positive parameters");
+        assert!(
+            shape > 0.0 && scale > 0.0,
+            "gamma requires positive parameters"
+        );
         Cdf::Gamma { shape, scale }
     }
 
@@ -78,7 +84,10 @@ impl Cdf {
 
     /// Beta CDF scaled to `[0, scale]`.
     pub fn beta_scaled(a: f64, b: f64, scale: f64) -> Cdf {
-        assert!(a > 0.0 && b > 0.0 && scale > 0.0, "beta requires positive parameters");
+        assert!(
+            a > 0.0 && b > 0.0 && scale > 0.0,
+            "beta requires positive parameters"
+        );
         Cdf::Beta { a, b, scale }
     }
 
@@ -193,9 +202,7 @@ impl Cdf {
                     beta_inc(a, b, x / scale)
                 }
             }
-            Cdf::Cauchy { loc, scale } => {
-                0.5 + ((x - loc) / scale).atan() / std::f64::consts::PI
-            }
+            Cdf::Cauchy { loc, scale } => 0.5 + ((x - loc) / scale).atan() / std::f64::consts::PI,
             Cdf::Laplace { loc, scale } => {
                 let z = (x - loc) / scale;
                 if z < 0.0 {
@@ -265,7 +272,10 @@ impl Cdf {
     ///
     /// Panics if `u ∉ [0, 1]`.
     pub fn quantile(&self, u: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&u), "quantile domain is [0,1], got {u}");
+        assert!(
+            (0.0..=1.0).contains(&u),
+            "quantile domain is [0,1], got {u}"
+        );
         if self.is_discrete() {
             return self.integer_quantile(u);
         }
@@ -280,9 +290,7 @@ impl Cdf {
             Cdf::Normal { mu, sigma } => mu + sigma * std_normal_quantile(u),
             Cdf::Uniform { a, b } => a + u * (b - a),
             Cdf::Exponential { rate } => -(-u).ln_1p() / rate,
-            Cdf::Cauchy { loc, scale } => {
-                loc + scale * (std::f64::consts::PI * (u - 0.5)).tan()
-            }
+            Cdf::Cauchy { loc, scale } => loc + scale * (std::f64::consts::PI * (u - 0.5)).tan(),
             Cdf::Laplace { loc, scale } => {
                 if u < 0.5 {
                     loc + scale * (2.0 * u).ln()
@@ -369,9 +377,7 @@ impl Cdf {
                 let z = (x - loc) / scale;
                 1.0 / (std::f64::consts::PI * scale * (1.0 + z * z))
             }
-            Cdf::Laplace { loc, scale } => {
-                (-(x - loc).abs() / scale).exp() / (2.0 * scale)
-            }
+            Cdf::Laplace { loc, scale } => (-(x - loc).abs() / scale).exp() / (2.0 * scale),
             Cdf::Logistic { loc, scale } => {
                 let e = (-(x - loc) / scale).exp();
                 e / (scale * (1.0 + e) * (1.0 + e))
@@ -404,12 +410,19 @@ impl Cdf {
                 if k < 0.0 || k > n as f64 {
                     0.0
                 } else if p == 0.0 {
-                    if k == 0.0 { 1.0 } else { 0.0 }
+                    if k == 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
                 } else if p == 1.0 {
-                    if k == n as f64 { 1.0 } else { 0.0 }
+                    if k == n as f64 {
+                        1.0
+                    } else {
+                        0.0
+                    }
                 } else {
-                    (ln_choose(n, k as u64) + k * p.ln() + (n as f64 - k) * (1.0 - p).ln())
-                        .exp()
+                    (ln_choose(n, k as u64) + k * p.ln() + (n as f64 - k) * (1.0 - p).ln()).exp()
                 }
             }
             Cdf::Geometric { p } => {

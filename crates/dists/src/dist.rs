@@ -27,7 +27,12 @@ impl DistReal {
         if f_hi <= f_lo {
             return None;
         }
-        Some(DistReal { cdf, support, f_lo, f_hi })
+        Some(DistReal {
+            cdf,
+            support,
+            f_lo,
+            f_hi,
+        })
     }
 
     /// The base CDF.
@@ -115,12 +120,22 @@ impl DistInt {
         if k_hi < k_lo {
             return None;
         }
-        let f_below = if k_lo.is_finite() { cdf.cdf(k_lo - 1.0) } else { 0.0 };
+        let f_below = if k_lo.is_finite() {
+            cdf.cdf(k_lo - 1.0)
+        } else {
+            0.0
+        };
         let f_hi = cdf.cdf(k_hi);
         if f_hi <= f_below {
             return None;
         }
-        Some(DistInt { cdf, k_lo, k_hi, f_below, f_hi })
+        Some(DistInt {
+            cdf,
+            k_lo,
+            k_hi,
+            f_below,
+            f_hi,
+        })
     }
 
     /// The base CDF.
@@ -171,7 +186,11 @@ impl DistInt {
         if hi_incl < lo_excl + 1.0 {
             return 0.0;
         }
-        let f_lo = if lo_excl.is_finite() { self.cdf.cdf(lo_excl) } else { 0.0 };
+        let f_lo = if lo_excl.is_finite() {
+            self.cdf.cdf(lo_excl)
+        } else {
+            0.0
+        };
         ((self.cdf.cdf(hi_incl) - f_lo) / self.mass()).clamp(0.0, 1.0)
     }
 
@@ -204,11 +223,7 @@ impl DistInt {
         } else {
             iv.hi().floor()
         };
-        DistInt::new(
-            self.cdf.clone(),
-            lo.max(self.k_lo),
-            hi.min(self.k_hi),
-        )
+        DistInt::new(self.cdf.clone(), lo.max(self.k_lo), hi.min(self.k_hi))
     }
 
     /// The supported integers, if finitely many (used to enumerate atoms).
@@ -247,7 +262,10 @@ impl DistStr {
         let mut out: Vec<(String, f64)> = Vec::new();
         let mut total = 0.0;
         for (s, w) in items {
-            assert!(w >= 0.0 && w.is_finite(), "categorical weights must be >= 0");
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "categorical weights must be >= 0"
+            );
             if w > 0.0 {
                 total += w;
                 out.push((s.into(), w));
@@ -378,18 +396,14 @@ impl Distribution {
     pub fn support_set(&self) -> OutcomeSet {
         match self {
             Distribution::Real(d) => OutcomeSet::from(d.support()),
-            Distribution::Int(d) => {
-                match d.support_points() {
-                    Some(pts) => OutcomeSet::real_points(pts),
-                    None => OutcomeSet::from(
-                        Interval::new(d.lo(), true, d.hi(), d.hi().is_finite())
-                            .unwrap_or_else(Interval::all),
-                    ),
-                }
-            }
-            Distribution::Str(d) => {
-                OutcomeSet::strings(d.items().iter().map(|(s, _)| s.clone()))
-            }
+            Distribution::Int(d) => match d.support_points() {
+                Some(pts) => OutcomeSet::real_points(pts),
+                None => OutcomeSet::from(
+                    Interval::new(d.lo(), true, d.hi(), d.hi().is_finite())
+                        .unwrap_or_else(Interval::all),
+                ),
+            },
+            Distribution::Str(d) => OutcomeSet::strings(d.items().iter().map(|(s, _)| s.clone())),
             Distribution::Atomic { loc } => OutcomeSet::real_point(*loc),
         }
     }
@@ -504,7 +518,10 @@ mod tests {
     #[test]
     fn atomic_measure() {
         let d = Distribution::Atomic { loc: 4.0 };
-        assert_eq!(d.measure(&OutcomeSet::from(Interval::closed(0.0, 10.0))), 1.0);
+        assert_eq!(
+            d.measure(&OutcomeSet::from(Interval::closed(0.0, 10.0))),
+            1.0
+        );
         assert_eq!(d.measure(&OutcomeSet::from(Interval::open(4.0, 10.0))), 0.0);
         assert_eq!(d.measure(&OutcomeSet::real_point(4.0)), 1.0);
     }
@@ -541,10 +558,13 @@ mod tests {
         let d = std_normal();
         let iv = Interval::closed(-1.0, 0.5);
         let n = 20_000;
-        let hits = (0..n)
-            .filter(|_| iv.contains(d.sample(&mut rng)))
-            .count() as f64;
+        let hits = (0..n).filter(|_| iv.contains(d.sample(&mut rng))).count() as f64;
         let p = d.measure_interval(&iv);
-        assert!((hits / n as f64 - p).abs() < 0.02, "{} vs {}", hits / n as f64, p);
+        assert!(
+            (hits / n as f64 - p).abs() < 0.02,
+            "{} vs {}",
+            hits / n as f64,
+            p
+        );
     }
 }

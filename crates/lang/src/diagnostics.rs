@@ -47,7 +47,10 @@ pub struct LangError {
 impl LangError {
     /// Creates an error at a position.
     pub fn new<S: Into<String>>(span: Span, message: S) -> LangError {
-        LangError { span, message: message.into() }
+        LangError {
+            span,
+            message: message.into(),
+        }
     }
 }
 

@@ -97,7 +97,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
 
     macro_rules! push {
         ($tok:expr, $l:expr, $c:expr) => {
-            out.push(Token { tok: $tok, span: Span::new($l, $c) })
+            out.push(Token {
+                tok: $tok,
+                span: Span::new($l, $c),
+            })
         };
     }
 
@@ -328,9 +331,15 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
         }
     }
     if !matches!(out.last().map(|t| &t.tok), Some(Tok::Newline) | None) {
-        out.push(Token { tok: Tok::Newline, span: Span::new(line, col) });
+        out.push(Token {
+            tok: Tok::Newline,
+            span: Span::new(line, col),
+        });
     }
-    out.push(Token { tok: Tok::Eof, span: Span::new(line, col) });
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(line, col),
+    });
     Ok(out)
 }
 

@@ -11,7 +11,10 @@ use crate::lexer::{lex, Kw, Sym, Tok, Token};
 /// Returns a [`LangError`] with the position of the first syntax error.
 pub fn parse(source: &str) -> Result<Program, LangError> {
     let tokens = lex(source)?;
-    let mut p = Parser { toks: tokens, pos: 0 };
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+    };
     let commands = p.commands_until_eof()?;
     Ok(Program { commands })
 }
@@ -61,7 +64,10 @@ impl Parser {
     }
 
     fn expected(&self, what: &str) -> LangError {
-        LangError::new(self.span(), format!("expected {what}, found {:?}", self.peek()))
+        LangError::new(
+            self.span(),
+            format!("expected {what}, found {:?}", self.peek()),
+        )
     }
 
     fn skip_newlines(&mut self) {
@@ -147,7 +153,11 @@ impl Parser {
                         _ => break,
                     }
                 }
-                Ok(Command::If { arms, otherwise, span })
+                Ok(Command::If {
+                    arms,
+                    otherwise,
+                    span,
+                })
             }
             Tok::Kw(Kw::For) => {
                 self.bump();
@@ -165,7 +175,13 @@ impl Parser {
                 };
                 self.eat_sym(Sym::RParen)?;
                 let body = self.block()?;
-                Ok(Command::For { var, lo, hi, body, span })
+                Ok(Command::For {
+                    var,
+                    lo,
+                    hi,
+                    body,
+                    span,
+                })
             }
             Tok::Kw(Kw::Switch) => {
                 self.bump();
@@ -177,7 +193,13 @@ impl Parser {
                 let values = self.expr()?;
                 self.eat_sym(Sym::RParen)?;
                 let body = self.block()?;
-                Ok(Command::Switch { subject, binder, values, body, span })
+                Ok(Command::Switch {
+                    subject,
+                    binder,
+                    values,
+                    body,
+                    span,
+                })
             }
             Tok::Ident(name) => {
                 self.bump();
@@ -335,7 +357,12 @@ impl Parser {
             self.bump();
             // Right-associative; exponent may be negated.
             let exp = self.factor()?;
-            return Ok(Expr::Binary(BinOp::Pow, Box::new(base), Box::new(exp), span));
+            return Ok(Expr::Binary(
+                BinOp::Pow,
+                Box::new(base),
+                Box::new(exp),
+                span,
+            ));
         }
         Ok(base)
     }
@@ -347,11 +374,18 @@ impl Parser {
                 Tok::Sym(Sym::LParen) => {
                     // Call syntax is only valid on a bare identifier.
                     let Expr::Ident(name, span) = e.clone() else {
-                        return Err(self.expected("method or operator (only named functions are callable)"));
+                        return Err(
+                            self.expected("method or operator (only named functions are callable)")
+                        );
                     };
                     self.bump();
                     let (args, kwargs) = self.call_args()?;
-                    e = Expr::Call { func: name, args, kwargs, span };
+                    e = Expr::Call {
+                        func: name,
+                        args,
+                        kwargs,
+                        span,
+                    };
                 }
                 Tok::Sym(Sym::LBracket) => {
                     let span = self.span();
@@ -369,7 +403,12 @@ impl Parser {
                     if !kwargs.is_empty() {
                         return Err(LangError::new(span, "methods take no keyword arguments"));
                     }
-                    e = Expr::MethodCall { recv: Box::new(e), method, args, span };
+                    e = Expr::MethodCall {
+                        recv: Box::new(e),
+                        method,
+                        args,
+                        span,
+                    };
                 }
                 _ => break,
             }
@@ -441,7 +480,12 @@ impl Parser {
                 self.bump();
                 self.eat_sym(Sym::LParen)?;
                 let (args, _) = self.call_args()?;
-                Ok(Expr::Call { func: "range".into(), args, kwargs: vec![], span })
+                Ok(Expr::Call {
+                    func: "range".into(),
+                    args,
+                    kwargs: vec![],
+                    span,
+                })
             }
             Tok::Sym(Sym::LParen) => {
                 self.bump();
@@ -488,7 +532,10 @@ impl Parser {
                 self.eat_sym(Sym::RBrace)?;
                 Ok(Expr::Dict(items, span))
             }
-            other => Err(LangError::new(span, format!("expected expression, found {other:?}"))),
+            other => Err(LangError::new(
+                span,
+                format!("expected expression, found {other:?}"),
+            )),
         }
     }
 }
@@ -506,7 +553,11 @@ mod tests {
     #[test]
     fn sample_statement() {
         match one("X ~ normal(0, 1)") {
-            Command::Sample { target: Target::Var(n), expr: Expr::Call { func, args, .. }, .. } => {
+            Command::Sample {
+                target: Target::Var(n),
+                expr: Expr::Call { func, args, .. },
+                ..
+            } => {
                 assert_eq!(n, "X");
                 assert_eq!(func, "normal");
                 assert_eq!(args.len(), 2);
@@ -518,7 +569,10 @@ mod tests {
     #[test]
     fn kwargs() {
         match one("P ~ bernoulli(p=0.1)") {
-            Command::Sample { expr: Expr::Call { kwargs, .. }, .. } => {
+            Command::Sample {
+                expr: Expr::Call { kwargs, .. },
+                ..
+            } => {
                 assert_eq!(kwargs.len(), 1);
                 assert_eq!(kwargs[0].0, "p");
             }
@@ -529,11 +583,17 @@ mod tests {
     #[test]
     fn array_statements() {
         match one("Z[0] ~ bernoulli(p=0.5)") {
-            Command::Sample { target: Target::Indexed(n, _), .. } => assert_eq!(n, "Z"),
+            Command::Sample {
+                target: Target::Indexed(n, _),
+                ..
+            } => assert_eq!(n, "Z"),
             other => panic!("{other:?}"),
         }
         match one("Z = array(10)") {
-            Command::Assign { expr: Expr::Call { func, .. }, .. } => assert_eq!(func, "array"),
+            Command::Assign {
+                expr: Expr::Call { func, .. },
+                ..
+            } => assert_eq!(func, "array"),
             other => panic!("{other:?}"),
         }
     }
@@ -542,7 +602,9 @@ mod tests {
     fn if_elif_else() {
         let src = "if (X < 0) { Y ~ normal(0,1) } elif (X < 1) { Y ~ normal(1,1) } else { Y ~ normal(2,1) }";
         match one(src) {
-            Command::If { arms, otherwise, .. } => {
+            Command::If {
+                arms, otherwise, ..
+            } => {
                 assert_eq!(arms.len(), 2);
                 assert!(otherwise.is_some());
             }
@@ -565,7 +627,10 @@ mod tests {
     #[test]
     fn chained_comparison() {
         match one("condition(0 < X < 10)") {
-            Command::Condition { expr: Expr::Compare(_, chain, _), .. } => {
+            Command::Condition {
+                expr: Expr::Compare(_, chain, _),
+                ..
+            } => {
                 assert_eq!(chain.len(), 2);
                 assert_eq!(chain[0].0, CmpOp::Lt);
             }
@@ -577,14 +642,15 @@ mod tests {
     fn precedence() {
         // 1 + 2 * 3 ** 2 parses as 1 + (2 * (3 ** 2)).
         match one("X = 1 + 2 * 3 ** 2") {
-            Command::Assign { expr: Expr::Binary(BinOp::Add, _, rhs, _), .. } => {
-                match *rhs {
-                    Expr::Binary(BinOp::Mul, _, ref inner, _) => {
-                        assert!(matches!(**inner, Expr::Binary(BinOp::Pow, _, _, _)));
-                    }
-                    ref other => panic!("{other:?}"),
+            Command::Assign {
+                expr: Expr::Binary(BinOp::Add, _, rhs, _),
+                ..
+            } => match *rhs {
+                Expr::Binary(BinOp::Mul, _, ref inner, _) => {
+                    assert!(matches!(**inner, Expr::Binary(BinOp::Pow, _, _, _)));
                 }
-            }
+                ref other => panic!("{other:?}"),
+            },
             other => panic!("{other:?}"),
         }
     }
@@ -592,7 +658,10 @@ mod tests {
     #[test]
     fn dict_literal() {
         match one("N ~ choice({'a': 0.5, 'b': 0.5})") {
-            Command::Sample { expr: Expr::Call { args, .. }, .. } => {
+            Command::Sample {
+                expr: Expr::Call { args, .. },
+                ..
+            } => {
                 assert!(matches!(args[0], Expr::Dict(ref kv, _) if kv.len() == 2));
             }
             other => panic!("{other:?}"),
@@ -602,7 +671,10 @@ mod tests {
     #[test]
     fn method_call() {
         match one("X ~ poisson(m.mean())") {
-            Command::Sample { expr: Expr::Call { args, .. }, .. } => {
+            Command::Sample {
+                expr: Expr::Call { args, .. },
+                ..
+            } => {
                 assert!(matches!(args[0], Expr::MethodCall { ref method, .. } if method == "mean"));
             }
             other => panic!("{other:?}"),
@@ -612,7 +684,10 @@ mod tests {
     #[test]
     fn range_in_switch_values() {
         match one("switch N cases (n in range(5)) { skip }") {
-            Command::Switch { values: Expr::Call { func, .. }, .. } => {
+            Command::Switch {
+                values: Expr::Call { func, .. },
+                ..
+            } => {
                 assert_eq!(func, "range");
             }
             other => panic!("{other:?}"),
@@ -637,7 +712,10 @@ mod tests {
     fn negative_exponent_and_unary() {
         match one("X = -Y ** 2") {
             // -Y**2 parses as -(Y**2), Python-style.
-            Command::Assign { expr: Expr::Unary(UnOp::Neg, inner, _), .. } => {
+            Command::Assign {
+                expr: Expr::Unary(UnOp::Neg, inner, _),
+                ..
+            } => {
                 assert!(matches!(*inner, Expr::Binary(BinOp::Pow, _, _, _)));
             }
             other => panic!("{other:?}"),

@@ -141,9 +141,9 @@ impl<'f> Translator<'f> {
 
     /// The translated expression, if any random variable was sampled.
     pub fn finish(self) -> Result<Spe, LangError> {
-        self.state.spe.ok_or_else(|| {
-            err(Span::unknown(), "program defines no random variables")
-        })
+        self.state
+            .spe
+            .ok_or_else(|| err(Span::unknown(), "program defines no random variables"))
     }
 
     /// The names of the random variables defined so far.
@@ -158,17 +158,21 @@ impl<'f> Translator<'f> {
             Command::Sample { target, expr, span } => self.exec_sample(target, expr, *span),
             Command::Condition { expr, span } => {
                 let ev = self.eval_event(expr)?;
-                let spe = self.state.spe.as_ref().ok_or_else(|| {
-                    err(*span, "condition before any random variable is defined")
-                })?;
+                let spe =
+                    self.state.spe.as_ref().ok_or_else(|| {
+                        err(*span, "condition before any random variable is defined")
+                    })?;
                 let conditioned = condition(self.factory, spe, &ev)
                     .map_err(|e| err(*span, format!("condition failed: {e}")))?;
                 self.state.spe = Some(conditioned);
                 Ok(())
             }
-            Command::If { arms, otherwise, span } => {
-                let mut branches: Vec<(Event, Vec<Command>, Option<(String, Value)>)> =
-                    Vec::new();
+            Command::If {
+                arms,
+                otherwise,
+                span,
+            } => {
+                let mut branches: Vec<(Event, Vec<Command>, Option<(String, Value)>)> = Vec::new();
                 let mut negations: Vec<Event> = Vec::new();
                 for (guard, body) in arms {
                     let raw = self.eval_event(guard)?;
@@ -181,7 +185,13 @@ impl<'f> Translator<'f> {
                 branches.push((Event::and(negations), else_body, None));
                 self.exec_branches(branches, *span)
             }
-            Command::For { var, lo, hi, body, span } => {
+            Command::For {
+                var,
+                lo,
+                hi,
+                body,
+                span,
+            } => {
                 let lo = self.eval_integer(lo)?;
                 let hi = self.eval_integer(hi)?;
                 if hi < lo {
@@ -198,7 +208,13 @@ impl<'f> Translator<'f> {
                 };
                 Ok(())
             }
-            Command::Switch { subject, binder, values, body, span } => {
+            Command::Switch {
+                subject,
+                binder,
+                values,
+                body,
+                span,
+            } => {
                 let subject_eval = self.eval(subject)?;
                 let values = match self.eval(values)? {
                     Evaluated::Const(Value::List(vs)) => vs,
@@ -232,11 +248,7 @@ impl<'f> Translator<'f> {
                         for case in values {
                             let guard = case_event(&t, &case, *span)?;
                             negations.push(guard.negate());
-                            branches.push((
-                                guard,
-                                body.clone(),
-                                Some((binder.clone(), case)),
-                            ));
+                            branches.push((guard, body.clone(), Some((binder.clone(), case))));
                         }
                         // Implicit empty else catches uncovered support.
                         branches.push((Event::and(negations), vec![], None));
@@ -277,7 +289,10 @@ impl<'f> Translator<'f> {
             if let Some((name, value)) = binding {
                 child.consts.insert(name.clone(), value.clone());
             }
-            let mut sub = Translator { factory: self.factory, state: child };
+            let mut sub = Translator {
+                factory: self.factory,
+                state: child,
+            };
             sub.exec_all(body)?;
             let mut done = sub.state;
             if let Some((name, _)) = binding {
@@ -297,10 +312,8 @@ impl<'f> Translator<'f> {
                 let rvs = survivors[0].0.rvs.clone();
                 for (s, _) in &survivors[1..] {
                     if s.rvs != rvs {
-                        let missing: Vec<String> = rvs
-                            .symmetric_difference(&s.rvs)
-                            .cloned()
-                            .collect();
+                        let missing: Vec<String> =
+                            rvs.symmetric_difference(&s.rvs).cloned().collect();
                         return Err(err(
                             span,
                             format!(
@@ -326,7 +339,12 @@ impl<'f> Translator<'f> {
                     .map_err(|e| err(span, format!("branch mixture failed: {e}")))?;
                 let consts = std::mem::take(&mut self.state.consts);
                 let arrays = std::mem::take(&mut self.state.arrays);
-                self.state = State { spe: Some(mixed), consts, arrays, rvs };
+                self.state = State {
+                    spe: Some(mixed),
+                    consts,
+                    arrays,
+                    rvs,
+                };
                 Ok(())
             }
         }
@@ -347,7 +365,10 @@ impl<'f> Translator<'f> {
                 .factory
                 .logprob(spe, event)
                 .map_err(|e| err(span, format!("guard probability failed: {e}"))),
-            None => Err(err(span, "guard references random variables before any exist")),
+            None => Err(err(
+                span,
+                "guard references random variables before any exist",
+            )),
         }
     }
 
@@ -384,10 +405,16 @@ impl<'f> Translator<'f> {
             Evaluated::Rv(t) => {
                 self.check_fresh(&name, span)?;
                 let base = t.the_var().ok_or_else(|| {
-                    err(span, format!("transform must involve exactly one variable (R3)"))
+                    err(
+                        span,
+                        format!("transform must involve exactly one variable (R3)"),
+                    )
                 })?;
                 let spe = self.state.spe.clone().ok_or_else(|| {
-                    err(span, "transform references a variable before any are defined")
+                    err(
+                        span,
+                        "transform references a variable before any are defined",
+                    )
                 })?;
                 let attached = attach_derived(self.factory, &spe, &Var::new(&name), &base, &t)
                     .map_err(|e| err(span, format!("cannot attach transform: {e}")))?;
@@ -450,7 +477,10 @@ impl<'f> Translator<'f> {
 
     fn check_fresh(&self, name: &str, span: Span) -> Result<(), LangError> {
         if self.state.rvs.contains(name) {
-            return Err(err(span, format!("variable {name} is already defined (R1)")));
+            return Err(err(
+                span,
+                format!("variable {name} is already defined (R1)"),
+            ));
         }
         if self.state.consts.contains_key(name) {
             return Err(err(span, format!("variable {name} shadows a constant")));
@@ -463,7 +493,10 @@ impl<'f> Translator<'f> {
             Target::Var(name) => Ok(name.clone()),
             Target::Indexed(name, idx) => {
                 let size = *self.state.arrays.get(name).ok_or_else(|| {
-                    err(span, format!("array {name} is not declared (use {name} = array(n))"))
+                    err(
+                        span,
+                        format!("array {name} is not declared (use {name} = array(n))"),
+                    )
                 })?;
                 let i = self.eval_integer(idx)?;
                 if i < 0 || i as usize >= size {
@@ -498,9 +531,11 @@ impl<'f> Translator<'f> {
             Evaluated::Const(Value::Bool(b)) => {
                 Ok(if b { Event::always() } else { Event::never() })
             }
-            Evaluated::Const(Value::Num(n)) => {
-                Ok(if n != 0.0 { Event::always() } else { Event::never() })
-            }
+            Evaluated::Const(Value::Num(n)) => Ok(if n != 0.0 {
+                Event::always()
+            } else {
+                Event::never()
+            }),
             // Truthiness of a random variable: nonzero.
             Evaluated::Rv(t) => Ok(Event::eq_real(t, 0.0).negate()),
             other => Err(err(span, format!("expected a predicate, got {other:?}"))),
@@ -535,10 +570,18 @@ impl<'f> Translator<'f> {
                 "dict literals are only valid as the argument of choice(...) or discrete(...)",
             )),
             Expr::Index(recv, idx, span) => self.eval_index(recv, idx, *span),
-            Expr::Call { func, args, kwargs, span } => self.eval_call(func, args, kwargs, *span),
-            Expr::MethodCall { recv, method, args, span } => {
-                self.eval_method(recv, method, args, *span)
-            }
+            Expr::Call {
+                func,
+                args,
+                kwargs,
+                span,
+            } => self.eval_call(func, args, kwargs, *span),
+            Expr::MethodCall {
+                recv,
+                method,
+                args,
+                span,
+            } => self.eval_method(recv, method, args, *span),
             Expr::Unary(op, inner, span) => {
                 let v = self.eval(inner)?;
                 match (op, v) {
@@ -546,9 +589,7 @@ impl<'f> Translator<'f> {
                         Ok(Evaluated::Const(Value::Num(-n)))
                     }
                     (UnOp::Neg, Evaluated::Rv(t)) => Ok(Evaluated::Rv(t.neg())),
-                    (UnOp::Not, v) => {
-                        Ok(Evaluated::Event(self.coerce_event(v, *span)?.negate()))
-                    }
+                    (UnOp::Not, v) => Ok(Evaluated::Event(self.coerce_event(v, *span)?.negate())),
                     (op, v) => Err(err(*span, format!("cannot apply {op:?} to {v:?}"))),
                 }
             }
@@ -580,7 +621,10 @@ impl<'f> Translator<'f> {
                 if self.state.rvs.contains(&element) {
                     return Ok(Evaluated::Rv(Transform::id(Var::new(&element))));
                 }
-                return Err(err(span, format!("array element {element} is not yet sampled")));
+                return Err(err(
+                    span,
+                    format!("array element {element} is not yet sampled"),
+                ));
             }
         }
         // Constant list indexing (possibly nested).
@@ -595,7 +639,10 @@ impl<'f> Translator<'f> {
         };
         let i = self.eval_integer(idx)?;
         if i < 0 || i as usize >= list.len() {
-            return Err(err(span, format!("index {i} out of bounds (len {})", list.len())));
+            return Err(err(
+                span,
+                format!("index {i} out of bounds (len {})", list.len()),
+            ));
         }
         Ok(Evaluated::Const(list[i as usize].clone()))
     }
@@ -612,12 +659,8 @@ impl<'f> Translator<'f> {
             (Evaluated::Const(Value::Bin { lo, hi, .. }), "mean") => {
                 Ok(Evaluated::Const(Value::Num((lo + hi) / 2.0)))
             }
-            (Evaluated::Const(Value::Bin { lo, .. }), "lo") => {
-                Ok(Evaluated::Const(Value::Num(lo)))
-            }
-            (Evaluated::Const(Value::Bin { hi, .. }), "hi") => {
-                Ok(Evaluated::Const(Value::Num(hi)))
-            }
+            (Evaluated::Const(Value::Bin { lo, .. }), "lo") => Ok(Evaluated::Const(Value::Num(lo))),
+            (Evaluated::Const(Value::Bin { hi, .. }), "hi") => Ok(Evaluated::Const(Value::Num(hi))),
             (Evaluated::Const(Value::List(vs)), "len") => {
                 Ok(Evaluated::Const(Value::Num(vs.len() as f64)))
             }
@@ -717,7 +760,10 @@ impl<'f> Translator<'f> {
             (BinOp::Pow, true) => {
                 // c ** t
                 if c <= 0.0 || c == 1.0 {
-                    return Err(err(span, format!("exponential base must be positive and ≠ 1, got {c}")));
+                    return Err(err(
+                        span,
+                        format!("exponential base must be positive and ≠ 1, got {c}"),
+                    ));
                 }
                 t.exp_base(c)
             }
@@ -878,7 +924,11 @@ impl<'f> Translator<'f> {
                 let bins = (0..n)
                     .map(|i| Value::Bin {
                         lo: lo + step * i as f64,
-                        hi: if i + 1 == n { hi } else { lo + step * (i + 1) as f64 },
+                        hi: if i + 1 == n {
+                            hi
+                        } else {
+                            lo + step * (i + 1) as f64
+                        },
                         last: i + 1 == n,
                     })
                     .collect();
@@ -918,7 +968,10 @@ impl<'f> Translator<'f> {
                     let key = match self.eval(k)? {
                         Evaluated::Const(c) => c,
                         other => {
-                            return Err(err(k.span(), format!("dict key must be constant: {other:?}")))
+                            return Err(err(
+                                k.span(),
+                                format!("dict key must be constant: {other:?}"),
+                            ))
                         }
                     };
                     let w = self.eval_number(v)?;
@@ -933,9 +986,13 @@ impl<'f> Translator<'f> {
         for (k, v) in kwargs {
             named.insert(k.as_str(), self.eval_number(v)?);
         }
-        let get = |named: &HashMap<&str, f64>, pos: &[f64], names: &[&str], i: usize| -> Option<f64> {
-            names.iter().find_map(|n| named.get(n).copied()).or_else(|| pos.get(i).copied())
-        };
+        let get =
+            |named: &HashMap<&str, f64>, pos: &[f64], names: &[&str], i: usize| -> Option<f64> {
+                names
+                    .iter()
+                    .find_map(|n| named.get(n).copied())
+                    .or_else(|| pos.get(i).copied())
+            };
 
         let dist = match func {
             "normal" | "gaussian" => {
@@ -944,7 +1001,10 @@ impl<'f> Translator<'f> {
                 let sigma = get(&named, &pos, &["sigma", "scale", "std"], 1)
                     .ok_or_else(|| err(span, "normal requires a scale"))?;
                 if sigma <= 0.0 {
-                    return Err(err(span, format!("normal scale must be positive, got {sigma}")));
+                    return Err(err(
+                        span,
+                        format!("normal scale must be positive, got {sigma}"),
+                    ));
                 }
                 real_dist(Cdf::normal(mu, sigma))
             }
@@ -954,7 +1014,10 @@ impl<'f> Translator<'f> {
                 let b = get(&named, &pos, &["b", "hi"], 1)
                     .ok_or_else(|| err(span, "uniform requires an upper bound"))?;
                 if b <= a {
-                    return Err(err(span, format!("uniform requires lo < hi, got [{a}, {b}]")));
+                    return Err(err(
+                        span,
+                        format!("uniform requires lo < hi, got [{a}, {b}]"),
+                    ));
                 }
                 Distribution::Real(
                     DistReal::new(Cdf::uniform(a, b), Interval::closed(a, b))
@@ -990,31 +1053,38 @@ impl<'f> Translator<'f> {
                 real_dist(Cdf::beta_scaled(a, b, scale))
             }
             "cauchy" => {
-                let loc = get(&named, &pos, &["loc"], 0).ok_or_else(|| err(span, "cauchy requires loc"))?;
-                let scale = get(&named, &pos, &["scale"], 1).ok_or_else(|| err(span, "cauchy requires scale"))?;
+                let loc = get(&named, &pos, &["loc"], 0)
+                    .ok_or_else(|| err(span, "cauchy requires loc"))?;
+                let scale = get(&named, &pos, &["scale"], 1)
+                    .ok_or_else(|| err(span, "cauchy requires scale"))?;
                 if scale <= 0.0 {
                     return Err(err(span, "cauchy scale must be positive"));
                 }
                 real_dist(Cdf::cauchy(loc, scale))
             }
             "laplace" => {
-                let loc = get(&named, &pos, &["loc"], 0).ok_or_else(|| err(span, "laplace requires loc"))?;
-                let scale = get(&named, &pos, &["scale"], 1).ok_or_else(|| err(span, "laplace requires scale"))?;
+                let loc = get(&named, &pos, &["loc"], 0)
+                    .ok_or_else(|| err(span, "laplace requires loc"))?;
+                let scale = get(&named, &pos, &["scale"], 1)
+                    .ok_or_else(|| err(span, "laplace requires scale"))?;
                 if scale <= 0.0 {
                     return Err(err(span, "laplace scale must be positive"));
                 }
                 real_dist(Cdf::laplace(loc, scale))
             }
             "logistic" => {
-                let loc = get(&named, &pos, &["loc"], 0).ok_or_else(|| err(span, "logistic requires loc"))?;
-                let scale = get(&named, &pos, &["scale"], 1).ok_or_else(|| err(span, "logistic requires scale"))?;
+                let loc = get(&named, &pos, &["loc"], 0)
+                    .ok_or_else(|| err(span, "logistic requires loc"))?;
+                let scale = get(&named, &pos, &["scale"], 1)
+                    .ok_or_else(|| err(span, "logistic requires scale"))?;
                 if scale <= 0.0 {
                     return Err(err(span, "logistic scale must be positive"));
                 }
                 real_dist(Cdf::logistic(loc, scale))
             }
             "student_t" | "studentt" => {
-                let df = get(&named, &pos, &["df"], 0).ok_or_else(|| err(span, "student_t requires df"))?;
+                let df = get(&named, &pos, &["df"], 0)
+                    .ok_or_else(|| err(span, "student_t requires df"))?;
                 if df <= 0.0 {
                     return Err(err(span, "student_t df must be positive"));
                 }
@@ -1029,10 +1099,10 @@ impl<'f> Translator<'f> {
                 int_dist(Cdf::binomial(1, p), span)?
             }
             "binomial" => {
-                let n = get(&named, &pos, &["n"], 0)
-                    .ok_or_else(|| err(span, "binomial requires n"))?;
-                let p = get(&named, &pos, &["p"], 1)
-                    .ok_or_else(|| err(span, "binomial requires p"))?;
+                let n =
+                    get(&named, &pos, &["n"], 0).ok_or_else(|| err(span, "binomial requires n"))?;
+                let p =
+                    get(&named, &pos, &["p"], 1).ok_or_else(|| err(span, "binomial requires p"))?;
                 if n < 0.0 || n.fract() != 0.0 {
                     return Err(err(span, "binomial n must be a nonnegative integer"));
                 }
@@ -1045,7 +1115,10 @@ impl<'f> Translator<'f> {
                 let mu = get(&named, &pos, &["mu", "lam", "rate", "mean"], 0)
                     .ok_or_else(|| err(span, "poisson requires a mean"))?;
                 if mu <= 0.0 {
-                    return Err(err(span, format!("poisson mean must be positive, got {mu}")));
+                    return Err(err(
+                        span,
+                        format!("poisson mean must be positive, got {mu}"),
+                    ));
                 }
                 int_dist(Cdf::poisson(mu), span)?
             }
@@ -1073,8 +1146,8 @@ impl<'f> Translator<'f> {
                 Distribution::Atomic { loc }
             }
             "choice" => {
-                let pairs = dict_arg
-                    .ok_or_else(|| err(span, "choice requires a dict {value: weight}"))?;
+                let pairs =
+                    dict_arg.ok_or_else(|| err(span, "choice requires a dict {value: weight}"))?;
                 let mut items = Vec::new();
                 for (k, w) in pairs {
                     match k {
@@ -1087,9 +1160,10 @@ impl<'f> Translator<'f> {
                         }
                     }
                 }
-                Distribution::Str(DistStr::new(items).ok_or_else(|| {
-                    err(span, "choice weights must include a positive entry")
-                })?)
+                Distribution::Str(
+                    DistStr::new(items)
+                        .ok_or_else(|| err(span, "choice weights must include a positive entry"))?,
+                )
             }
             "discrete" => {
                 // Numeric categorical: lowers to a mixture of atoms.
@@ -1120,7 +1194,12 @@ impl<'f> Translator<'f> {
                 }
                 return Ok(Evaluated::Dist(DistSpec::NumericMixture(locs)));
             }
-            other => return Err(err(span, format!("unknown function or distribution `{other}`"))),
+            other => {
+                return Err(err(
+                    span,
+                    format!("unknown function or distribution `{other}`"),
+                ))
+            }
         };
         Ok(Evaluated::Dist(DistSpec::Simple(dist)))
     }
@@ -1128,8 +1207,7 @@ impl<'f> Translator<'f> {
 
 fn real_dist(cdf: Cdf) -> Distribution {
     let (lo, hi) = cdf.support();
-    let iv = Interval::new(lo, lo.is_finite(), hi, hi.is_finite())
-        .unwrap_or_else(Interval::all);
+    let iv = Interval::new(lo, lo.is_finite(), hi, hi.is_finite()).unwrap_or_else(Interval::all);
     Distribution::Real(DistReal::new(cdf, iv).expect("full support has positive mass"))
 }
 
@@ -1194,9 +1272,7 @@ fn static_compare(op: CmpOp, a: &Value, b: &Value, span: Span) -> Result<bool, L
             CmpOp::Ne => Ok(x != y),
             _ => Err(err(span, "booleans only support == and !=")),
         },
-        (v, Value::List(items)) if op == CmpOp::In => {
-            Ok(items.iter().any(|i| i == v))
-        }
+        (v, Value::List(items)) if op == CmpOp::In => Ok(items.iter().any(|i| i == v)),
         (Value::Num(x), Value::Bin { lo, hi, last }) if op == CmpOp::In => {
             Ok(*x >= *lo && (*x < *hi || (*last && *x <= *hi)))
         }
@@ -1263,9 +1339,7 @@ fn values_to_set(items: &[Value], span: Span) -> Result<OutcomeSet, LangError> {
             Value::Str(s) => OutcomeSet::strings([s.as_str()]),
             Value::Bool(b) => OutcomeSet::real_point(f64::from(*b)),
             Value::Bin { lo, hi, last } => bin_set(*lo, *hi, *last),
-            Value::List(_) => {
-                return Err(err(span, "nested lists are not valid membership sets"))
-            }
+            Value::List(_) => return Err(err(span, "nested lists are not valid membership sets")),
         };
         out = out.union(&piece);
     }

@@ -91,7 +91,11 @@ fn bernoulli_and_equality() {
 fn choice_strings() {
     let f = Factory::new();
     let m = compile(&f, "N ~ choice({'a': 0.25, 'b': 0.75})").unwrap();
-    assert_close(m.prob(&Event::eq_str(ev_var("N"), "b")).unwrap(), 0.75, 1e-12);
+    assert_close(
+        m.prob(&Event::eq_str(ev_var("N"), "b")).unwrap(),
+        0.75,
+        1e-12,
+    );
 }
 
 #[test]
@@ -162,7 +166,8 @@ if (Nationality == 'India') {
     let m = compile(&f, src).unwrap();
     // Prior marginals (Fig. 2e).
     assert_close(
-        m.prob(&Event::eq_str(ev_var("Nationality"), "USA")).unwrap(),
+        m.prob(&Event::eq_str(ev_var("Nationality"), "USA"))
+            .unwrap(),
         0.5,
         1e-12,
     );
@@ -199,9 +204,7 @@ if (Nationality == 'India') {
     let want_usa = 0.181_25 / (0.181_25 + 0.09);
     assert_close(p_usa, want_usa, 1e-9);
     // Perfect posterior: P[Perfect|e] = 0.5*0.15 / 0.27125.
-    let p_perfect = post
-        .prob(&Event::eq_real(ev_var("Perfect"), 1.0))
-        .unwrap();
+    let p_perfect = post.prob(&Event::eq_real(ev_var("Perfect"), 1.0)).unwrap();
     assert_close(p_perfect, 0.075 / 0.271_25, 1e-9);
     // Paper reports .33/.67 and .41/.59 (2 d.p.) in Fig. 2g.
     assert_close(1.0 - p_usa, 0.33, 5e-3);
@@ -230,14 +233,10 @@ else { Z = -5*sqrt(X) + 11 }
     assert_close(post.prob(&e).unwrap(), 1.0, 1e-9);
     // Posterior mass of the else-branch region [81/25, 121/25] ≈ .35
     // (Fig. 4d, third component).
-    let p_else = post
-        .prob(&Event::ge(ev_var("X"), 1.0))
-        .unwrap();
+    let p_else = post.prob(&Event::ge(ev_var("X"), 1.0)).unwrap();
     assert_close(p_else, 0.35, 0.02);
     // Posterior splits X < 1 into [-2.17, -2] and [0, 0.32].
-    let p_left = post
-        .prob(&Event::le(ev_var("X"), -2.0))
-        .unwrap();
+    let p_left = post.prob(&Event::le(ev_var("X"), -2.0)).unwrap();
     assert_close(p_left, 0.16, 0.02);
 }
 
@@ -272,7 +271,10 @@ fn r4_random_parameter_rejected() {
     let f = Factory::new();
     let src = "Mu ~ normal(0,1)\nX ~ normal(Mu, 1)";
     let e = compile(&f, src).unwrap_err();
-    assert!(e.message.contains("R4") || e.message.contains("constant"), "{e}");
+    assert!(
+        e.message.contains("R4") || e.message.contains("constant"),
+        "{e}"
+    );
 }
 
 #[test]
@@ -319,8 +321,7 @@ if (Nationality == 'India') {
 ";
     let m = compile(&f, src).unwrap();
     let rendered = untranslate(&m).unwrap();
-    let m2 = compile(&f, &rendered)
-        .unwrap_or_else(|e| panic!("reparse failed: {e}\n{rendered}"));
+    let m2 = compile(&f, &rendered).unwrap_or_else(|e| panic!("reparse failed: {e}\n{rendered}"));
     // Eq. 46: same probabilities for events over the original variables.
     for e in [
         Event::eq_str(ev_var("Nationality"), "USA"),
@@ -345,12 +346,8 @@ Z = X**2 + 1
 ";
     let m = compile(&f, src).unwrap();
     let rendered = untranslate(&m).unwrap();
-    let m2 = compile(&f, &rendered)
-        .unwrap_or_else(|e| panic!("reparse failed: {e}\n{rendered}"));
-    for e in [
-        Event::gt(ev_var("X"), 1.0),
-        Event::le(ev_var("Z"), 2.0),
-    ] {
+    let m2 = compile(&f, &rendered).unwrap_or_else(|e| panic!("reparse failed: {e}\n{rendered}"));
+    for e in [Event::gt(ev_var("X"), 1.0), Event::le(ev_var("Z"), 2.0)] {
         assert_close(m.prob(&e).unwrap(), m2.prob(&e).unwrap(), 1e-9);
     }
 }
@@ -405,12 +402,14 @@ switch separated cases (s in [0, 1]) {
         Event::in_interval(ev_var("X[2]"), Interval::closed(12.0, 18.0)),
     ]);
     let post = condition(&f, &m, &data).unwrap();
-    let pz1 = post
-        .prob(&Event::eq_real(ev_var("Z[1]"), 1.0))
-        .unwrap();
-    assert!(pz1 > 0.9, "high observations should imply Z[1]=1, got {pz1}");
-    let pz0 = post
-        .prob(&Event::eq_real(ev_var("Z[0]"), 1.0))
-        .unwrap();
-    assert!(pz0 < 0.5, "low first observation keeps Z[0] likely 0, got {pz0}");
+    let pz1 = post.prob(&Event::eq_real(ev_var("Z[1]"), 1.0)).unwrap();
+    assert!(
+        pz1 > 0.9,
+        "high observations should imply Z[1]=1, got {pz1}"
+    );
+    let pz0 = post.prob(&Event::eq_real(ev_var("Z[0]"), 1.0)).unwrap();
+    assert!(
+        pz0 < 0.5,
+        "low first observation keeps Z[0] likely 0, got {pz0}"
+    );
 }

@@ -190,7 +190,12 @@ impl TreeNode {
     pub fn decide(&self, sex: f64, age: f64, education: f64, capital_gain: f64) -> bool {
         match self {
             TreeNode::Leaf { hire } => *hire,
-            TreeNode::Split { feature, threshold, left, right } => {
+            TreeNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 let taken = match *feature {
                     "sex" => sex == 1.0,
                     "age" => age < *threshold,
@@ -211,9 +216,7 @@ impl TreeNode {
     pub fn conditionals(&self) -> usize {
         match self {
             TreeNode::Leaf { .. } => 0,
-            TreeNode::Split { left, right, .. } => {
-                1 + left.conditionals() + right.conditionals()
-            }
+            TreeNode::Split { left, right, .. } => 1 + left.conditionals() + right.conditionals(),
         }
     }
 }
@@ -239,7 +242,9 @@ fn indent(out: &mut String, depth: usize) {
 /// mirroring the Fair/Unfair mix of the paper's Table 2.
 fn gen_tree_spec(rng: &mut StdRng, n: usize, uses_sex: bool, bias: f64) -> TreeNode {
     if n == 0 {
-        return TreeNode::Leaf { hire: rng.gen::<f64>() < 0.5 + bias };
+        return TreeNode::Leaf {
+            hire: rng.gen::<f64>() < 0.5 + bias,
+        };
     }
     // Choose a split: occasionally on sex for the α-variant.
     let (feature, threshold) = if uses_sex && rng.gen::<f64>() < 0.25 {
@@ -262,8 +267,18 @@ fn gen_tree_spec(rng: &mut StdRng, n: usize, uses_sex: bool, bias: f64) -> TreeN
     TreeNode::Split {
         feature,
         threshold,
-        left: Box::new(gen_tree_spec(rng, left, uses_sex, (bias - shift).max(-0.45))),
-        right: Box::new(gen_tree_spec(rng, right, uses_sex, (bias + shift).min(0.45))),
+        left: Box::new(gen_tree_spec(
+            rng,
+            left,
+            uses_sex,
+            (bias - shift).max(-0.45),
+        )),
+        right: Box::new(gen_tree_spec(
+            rng,
+            right,
+            uses_sex,
+            (bias + shift).min(0.45),
+        )),
     }
 }
 
@@ -274,7 +289,12 @@ fn render_tree(node: &TreeNode, depth: usize, out: &mut String) {
             indent(out, depth);
             out.push_str(&format!("hire ~ atomic({})\n", i32::from(*hire)));
         }
-        TreeNode::Split { feature, threshold, left, right } => {
+        TreeNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
             let split = if *feature == "sex" {
                 "(sex == 1)".to_string()
             } else {
@@ -363,8 +383,7 @@ pub fn qualified() -> Event {
 pub fn fairness_ratio(spe: &Spe) -> Result<f64, SpplError> {
     let num_joint = spe.prob(&Event::and(vec![hired(), minority(), qualified()]))?;
     let num_cond = spe.prob(&Event::and(vec![minority(), qualified()]))?;
-    let den_joint =
-        spe.prob(&Event::and(vec![hired(), minority().negate(), qualified()]))?;
+    let den_joint = spe.prob(&Event::and(vec![hired(), minority().negate(), qualified()]))?;
     let den_cond = spe.prob(&Event::and(vec![minority().negate(), qualified()]))?;
     Ok((num_joint / num_cond) / (den_joint / den_cond))
 }
@@ -406,9 +425,10 @@ mod tests {
         // exercised by the bench harness).
         let f = Factory::new();
         for t in all_tasks().into_iter().take(3) {
-            let spe = t.model.compile(&f).unwrap_or_else(|e| {
-                panic!("{} failed: {e}\n{}", t.name, t.model.source)
-            });
+            let spe = t
+                .model
+                .compile(&f)
+                .unwrap_or_else(|e| panic!("{} failed: {e}\n{}", t.name, t.model.source));
             let ratio = fairness_ratio(&spe).unwrap();
             assert!(ratio.is_finite() && ratio >= 0.0, "{}: {ratio}", t.name);
         }

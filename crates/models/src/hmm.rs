@@ -82,7 +82,12 @@ pub fn simulate_trace<R: Rng + ?Sized>(rng: &mut R, n_step: usize) -> HmmTrace {
         x.push(mu_x[s][state] + normal_sample(rng));
         y.push(poisson_sample(rng, mu_y[s][state]));
     }
-    HmmTrace { separated: s as u8, z, x, y }
+    HmmTrace {
+        separated: s as u8,
+        z,
+        x,
+        y,
+    }
 }
 
 fn normal_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {

@@ -35,10 +35,7 @@ pub fn condition_event() -> Event {
             Event::eq_str(Transform::id(Var::new("Nationality")), "USA"),
             Event::gt(Transform::id(Var::new("GPA")), 3.0),
         ]),
-        Event::in_interval(
-            Transform::id(Var::new("GPA")),
-            Interval::open(8.0, 10.0),
-        ),
+        Event::in_interval(Transform::id(Var::new("GPA")), Interval::open(8.0, 10.0)),
     ])
 }
 
@@ -61,7 +58,10 @@ mod tests {
         let m = model().compile(&f).unwrap();
         let post = condition(&f, &m, &condition_event()).unwrap();
         let p_india = post
-            .prob(&Event::eq_str(Transform::id(Var::new("Nationality")), "India"))
+            .prob(&Event::eq_str(
+                Transform::id(Var::new("Nationality")),
+                "India",
+            ))
             .unwrap();
         // Fig. 2g: root weights [.33, .67].
         assert!((p_india - 0.09 / 0.271_25).abs() < 1e-9);

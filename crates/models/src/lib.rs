@@ -30,7 +30,10 @@ pub struct Model {
 impl Model {
     /// Creates a model from a name and source.
     pub fn new<N: Into<String>, S: Into<String>>(name: N, source: S) -> Model {
-        Model { name: name.into(), source: source.into() }
+        Model {
+            name: name.into(),
+            source: source.into(),
+        }
     }
 
     /// Compiles the model with the given factory.

@@ -182,15 +182,13 @@ mod tests {
     fn grass_rain_given_wet() {
         let f = Factory::new();
         let m = grass().compile(&f).unwrap();
-        let post = sppl_core::condition(
-            &f,
-            &m,
-            &Event::eq_real(ev("wet_grass"), 1.0),
-        )
-        .unwrap();
+        let post = sppl_core::condition(&f, &m, &Event::eq_real(ev("wet_grass"), 1.0)).unwrap();
         let p_rain = post.prob(&Event::eq_real(ev("rain"), 1.0)).unwrap();
         let prior_rain = m.prob(&Event::eq_real(ev("rain"), 1.0)).unwrap();
-        assert!(p_rain > prior_rain, "explaining away: {p_rain} vs {prior_rain}");
+        assert!(
+            p_rain > prior_rain,
+            "explaining away: {p_rain} vs {prior_rain}"
+        );
     }
 
     #[test]
@@ -216,8 +214,7 @@ mod tests {
         let m = heart_disease().compile(&f).unwrap();
         let chd = Event::eq_real(ev("chd"), 1.0);
         let smoker = sppl_core::condition(&f, &m, &Event::eq_real(ev("smoking"), 1.0)).unwrap();
-        let nonsmoker =
-            sppl_core::condition(&f, &m, &Event::eq_real(ev("smoking"), 0.0)).unwrap();
+        let nonsmoker = sppl_core::condition(&f, &m, &Event::eq_real(ev("smoking"), 0.0)).unwrap();
         assert!(smoker.prob(&chd).unwrap() > nonsmoker.prob(&chd).unwrap());
     }
 
@@ -225,9 +222,7 @@ mod tests {
     fn hiring_compiles() {
         let f = Factory::new();
         let m = hiring().compile(&f).unwrap();
-        let p = m
-            .prob(&Event::eq_real(ev("hire"), 1.0))
-            .unwrap();
+        let p = m.prob(&Event::eq_real(ev("hire"), 1.0)).unwrap();
         assert!(p > 0.0 && p < 1.0);
     }
 }

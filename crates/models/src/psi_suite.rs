@@ -121,7 +121,9 @@ pub fn clinical_trial(n_treated: usize, n_control: usize) -> Model {
     src.push_str("    switch ProbControl cases (pc in binspace(0, 1, n=8)) {\n");
     src.push_str("        switch ProbAdd cases (pa in binspace(0, 1, n=4)) {\n");
     for i in 0..n_control {
-        src.push_str(&format!("            Control[{i}] ~ bernoulli(p=pc.mean())\n"));
+        src.push_str(&format!(
+            "            Control[{i}] ~ bernoulli(p=pc.mean())\n"
+        ));
     }
     for i in 0..n_treated {
         src.push_str(&format!(
@@ -220,7 +222,9 @@ pub fn student_interviews(n_students: usize) -> Model {
     src.push_str("condition((Recruiters >= 1) and (Recruiters < 16))\n");
     for i in 0..n_students {
         src.push_str(&format!("Perfect_{i} ~ bernoulli(p=0.1)\n"));
-        src.push_str(&format!("if (Perfect_{i} == 1) {{ Gpa[{i}] ~ atomic(4) }}\n"));
+        src.push_str(&format!(
+            "if (Perfect_{i} == 1) {{ Gpa[{i}] ~ atomic(4) }}\n"
+        ));
         src.push_str(&format!("else {{ Gpa[{i}] ~ beta(7, 3, 4) }}\n"));
         src.push_str(&format!("switch Recruiters cases (r in range(1, 16)) {{\n"));
         src.push_str(&format!(
@@ -320,7 +324,10 @@ mod tests {
         let effective_data = clinical_trial_dataset(1, 10, 10, 0.95, 0.1);
         let post = constrain(&f, &m, &effective_data).unwrap();
         let p = post.prob(&clinical_trial_query()).unwrap();
-        assert!(p > 0.75, "strong separation should imply effectiveness, got {p}");
+        assert!(
+            p > 0.75,
+            "strong separation should imply effectiveness, got {p}"
+        );
         let null_data = clinical_trial_dataset(2, 10, 10, 0.5, 0.5);
         let post0 = constrain(&f, &m, &null_data).unwrap();
         let p0 = post0.prob(&clinical_trial_query()).unwrap();
@@ -332,8 +339,8 @@ mod tests {
         let f = Factory::new();
         let m = gamma_transforms().compile(&f).unwrap();
         for (i, c) in gamma_constraints().into_iter().enumerate() {
-            let post = condition(&f, &m, &c)
-                .unwrap_or_else(|e| panic!("constraint {i} failed: {e}"));
+            let post =
+                condition(&f, &m, &c).unwrap_or_else(|e| panic!("constraint {i} failed: {e}"));
             let q = post.prob(&gamma_query()).unwrap();
             assert!((0.0..=1.0).contains(&q), "dataset {i}: {q}");
             // Conditioning is exact: the constraint now has probability 1.

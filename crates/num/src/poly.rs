@@ -196,7 +196,11 @@ impl Polynomial {
             Some(0) => (self.coeffs[0], self.coeffs[0]),
             Some(d) => {
                 let lead = self.coeffs[d];
-                let pos = if lead > 0.0 { f64::INFINITY } else { f64::NEG_INFINITY };
+                let pos = if lead > 0.0 {
+                    f64::INFINITY
+                } else {
+                    f64::NEG_INFINITY
+                };
                 let neg = if d % 2 == 0 { pos } else { -pos };
                 (neg, pos)
             }
@@ -308,7 +312,10 @@ impl Polynomial {
             // Nothing is < -inf; p(x) ≤ -inf only where p limits to -inf,
             // i.e. at infinite points — callers treat those as measure-zero
             // points from solve_eq.
-            return SignRegions { below: vec![], boundary: self.solve_eq(r) };
+            return SignRegions {
+                below: vec![],
+                boundary: self.solve_eq(r),
+            };
         }
         if r == f64::INFINITY {
             let (neg, pos) = self.limits();
@@ -345,7 +352,10 @@ impl Polynomial {
         // below means value 0 at the shared root, which is the boundary) —
         // segments stay separate; the closure operation downstream glues
         // them through boundary points when the comparison is non-strict.
-        SignRegions { below, boundary: roots }
+        SignRegions {
+            below,
+            boundary: roots,
+        }
     }
 }
 

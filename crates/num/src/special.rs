@@ -154,7 +154,10 @@ pub fn std_normal_pdf(x: f64) -> f64 {
 ///
 /// Panics if `p` is outside `[0, 1]`. Returns ±infinity at the endpoints.
 pub fn std_normal_quantile(p: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&p), "quantile domain is [0,1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "quantile domain is [0,1], got {p}"
+    );
     if p == 0.0 {
         return f64::NEG_INFINITY;
     }
@@ -298,15 +301,17 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
 /// Panics if `a <= 0`, `b <= 0`, or `x ∉ [0, 1]`.
 pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "beta_inc requires a,b > 0: a={a} b={b}");
-    assert!((0.0..=1.0).contains(&x), "beta_inc domain is [0,1], got {x}");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "beta_inc domain is [0,1], got {x}"
+    );
     if x == 0.0 {
         return 0.0;
     }
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(a, b, x) / a

@@ -26,19 +26,32 @@ impl Interval {
     /// General constructor. Returns `None` for empty combinations
     /// (`lo > hi`, or `lo == hi` with an open side).
     pub fn new(lo: f64, lo_closed: bool, hi: f64, hi_closed: bool) -> Option<Interval> {
-        assert!(!lo.is_nan() && !hi.is_nan(), "interval endpoints must not be NaN");
+        assert!(
+            !lo.is_nan() && !hi.is_nan(),
+            "interval endpoints must not be NaN"
+        );
         if lo > hi {
             return None;
         }
         if lo == hi {
             if lo_closed && hi_closed {
-                return Some(Interval { lo, hi, lo_closed: true, hi_closed: true });
+                return Some(Interval {
+                    lo,
+                    hi,
+                    lo_closed: true,
+                    hi_closed: true,
+                });
             }
             return None;
         }
         let lo_closed = lo_closed && lo.is_finite();
         let hi_closed = hi_closed && hi.is_finite();
-        Some(Interval { lo, hi, lo_closed, hi_closed })
+        Some(Interval {
+            lo,
+            hi,
+            lo_closed,
+            hi_closed,
+        })
     }
 
     /// Closed interval `[lo, hi]`.
@@ -72,7 +85,12 @@ impl Interval {
     /// The degenerate interval `{x}` (also accepts ±∞ as a point).
     pub fn point(x: f64) -> Interval {
         assert!(!x.is_nan(), "point must not be NaN");
-        Interval { lo: x, hi: x, lo_closed: true, hi_closed: true }
+        Interval {
+            lo: x,
+            hi: x,
+            lo_closed: true,
+            hi_closed: true,
+        }
     }
 
     /// The whole real line `(-∞, +∞)`.
@@ -148,7 +166,11 @@ impl Interval {
     /// a non-degenerate interval is always open at an infinite endpoint,
     /// and gluing would silently violate that invariant.
     pub fn mergeable(&self, other: &Interval) -> bool {
-        let (a, b) = if self.lo <= other.lo { (self, other) } else { (other, self) };
+        let (a, b) = if self.lo <= other.lo {
+            (self, other)
+        } else {
+            (other, self)
+        };
         if a.is_point() && b.is_point() {
             return a.lo == b.lo;
         }
@@ -189,7 +211,12 @@ impl Interval {
         } else {
             (self.hi, self.hi_closed || other.hi_closed)
         };
-        Interval { lo, hi, lo_closed, hi_closed }
+        Interval {
+            lo,
+            hi,
+            lo_closed,
+            hi_closed,
+        }
     }
 
     /// Canonical key for hashing (normalizes `-0.0` to `0.0`).
@@ -259,7 +286,9 @@ mod tests {
         let p = a.intersect(&Interval::closed(5.0, 9.0)).unwrap();
         assert_eq!(p, Interval::point(5.0));
         // Touching open/closed is empty.
-        assert!(Interval::open(0.0, 5.0).intersect(&Interval::closed(5.0, 9.0)).is_none());
+        assert!(Interval::open(0.0, 5.0)
+            .intersect(&Interval::closed(5.0, 9.0))
+            .is_none());
     }
 
     #[test]

@@ -83,22 +83,34 @@ pub struct OutcomeSet {
 impl OutcomeSet {
     /// The empty set.
     pub fn empty() -> OutcomeSet {
-        OutcomeSet { reals: RealSet::empty(), strings: StringSet::empty() }
+        OutcomeSet {
+            reals: RealSet::empty(),
+            strings: StringSet::empty(),
+        }
     }
 
     /// All outcomes: `(-∞, ∞)` plus every string.
     pub fn all() -> OutcomeSet {
-        OutcomeSet { reals: RealSet::all(), strings: StringSet::all() }
+        OutcomeSet {
+            reals: RealSet::all(),
+            strings: StringSet::all(),
+        }
     }
 
     /// A set with only a real part.
     pub fn from_reals(reals: RealSet) -> OutcomeSet {
-        OutcomeSet { reals, strings: StringSet::empty() }
+        OutcomeSet {
+            reals,
+            strings: StringSet::empty(),
+        }
     }
 
     /// A set with only a string part.
     pub fn from_strings(strings: StringSet) -> OutcomeSet {
-        OutcomeSet { reals: RealSet::empty(), strings }
+        OutcomeSet {
+            reals: RealSet::empty(),
+            strings,
+        }
     }
 
     /// A finite set of strings.

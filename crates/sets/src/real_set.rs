@@ -37,12 +37,16 @@ impl RealSet {
 
     /// The full real line `(-∞, ∞)` (infinite points excluded).
     pub fn all() -> RealSet {
-        RealSet { intervals: vec![Interval::all()] }
+        RealSet {
+            intervals: vec![Interval::all()],
+        }
     }
 
     /// A single point.
     pub fn point(x: f64) -> RealSet {
-        RealSet { intervals: vec![Interval::point(x)] }
+        RealSet {
+            intervals: vec![Interval::point(x)],
+        }
     }
 
     /// A finite set of points.
@@ -98,9 +102,7 @@ impl RealSet {
 
     /// Set union.
     pub fn union(&self, other: &RealSet) -> RealSet {
-        RealSet::from_intervals(
-            self.intervals.iter().chain(other.intervals.iter()).copied(),
-        )
+        RealSet::from_intervals(self.intervals.iter().chain(other.intervals.iter()).copied())
     }
 
     /// Set intersection (pairwise on canonical pieces).
@@ -165,7 +167,9 @@ impl Hash for RealSet {
 
 impl From<Interval> for RealSet {
     fn from(iv: Interval) -> RealSet {
-        RealSet { intervals: vec![iv] }
+        RealSet {
+            intervals: vec![iv],
+        }
     }
 }
 
@@ -202,10 +206,7 @@ mod tests {
 
     #[test]
     fn open_adjacent_do_not_merge() {
-        let s = RealSet::from_intervals(vec![
-            Interval::open(0.0, 1.0),
-            Interval::open(1.0, 2.0),
-        ]);
+        let s = RealSet::from_intervals(vec![Interval::open(0.0, 1.0), Interval::open(1.0, 2.0)]);
         assert_eq!(s.intervals().len(), 2);
         assert!(!s.contains(1.0));
     }
@@ -278,10 +279,7 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(RealSet::empty().to_string(), "∅");
-        let s = RealSet::from_intervals(vec![
-            Interval::point(1.0),
-            Interval::open(2.0, 3.0),
-        ]);
+        let s = RealSet::from_intervals(vec![Interval::point(1.0), Interval::open(2.0, 3.0)]);
         assert_eq!(s.to_string(), "{1} ∪ (2, 3)");
     }
 }

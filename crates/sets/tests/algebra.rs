@@ -32,9 +32,8 @@ fn arb_string_set() -> impl Strategy<Value = StringSet> {
 }
 
 fn arb_outcome_set() -> impl Strategy<Value = OutcomeSet> {
-    (arb_real_set(), arb_string_set()).prop_map(|(r, s)| {
-        OutcomeSet::from_reals(r).union(&OutcomeSet::from_strings(s))
-    })
+    (arb_real_set(), arb_string_set())
+        .prop_map(|(r, s)| OutcomeSet::from_reals(r).union(&OutcomeSet::from_strings(s)))
 }
 
 /// Sample membership probes covering interval endpoints, interiors, and

@@ -1,0 +1,63 @@
+//! Collection strategies (`prop::collection::{vec, btree_set}`).
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::rng::{Rng, TestRng};
+use crate::strategy::Strategy;
+
+/// Strategy for `Vec<S::Value>` with length drawn from `size`.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates vectors whose length lies in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with target size drawn from `size`.
+#[derive(Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates sets whose size is *at most* the upper bound of `size`; when
+/// the element domain is small the realized size may be below the drawn
+/// target (duplicates are merged, as upstream does after shrinking).
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = rng.gen_range(self.size.clone());
+        let mut out = BTreeSet::new();
+        let mut tries = 0;
+        while out.len() < target && tries < target * 10 + 10 {
+            out.insert(self.element.generate(rng));
+            tries += 1;
+        }
+        out
+    }
+}

@@ -1,0 +1,125 @@
+//! A vendored, API-compatible subset of `proptest` (tracking the 1.x
+//! API), used because the build environment has no network access to
+//! crates.io.
+//!
+//! Supported surface: the [`Strategy`] trait with `prop_map`,
+//! `prop_filter`, `prop_recursive`, and `boxed`; range / tuple / [`Just`]
+//! strategies; [`any`] via [`Arbitrary`]; `prop::collection::{vec,
+//! btree_set}`; `prop::sample::select`; the [`proptest!`] runner macro
+//! with `#![proptest_config(..)]`; and the `prop_assert*` / `prop_assume`
+//! macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! inputs via panic message only — all generated values derive `Debug`
+//! through the assertion context), and cases are seeded deterministically
+//! from the test name and case index so failures reproduce exactly.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+pub mod rng {
+    pub use rand::rngs::StdRng as TestRng;
+    pub use rand::{Rng, RngCore, SeedableRng};
+
+    /// Deterministic per-case seed: FNV-1a of the test name mixed with the
+    /// case index.
+    pub fn case_seed(test_name: &str, case: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// Drives one property: generates `cases` inputs and runs the body on
+/// each. Used by the [`proptest!`] expansion; not part of the upstream
+/// API.
+pub fn run_property<F: FnMut(&mut rng::TestRng)>(
+    config: &test_runner::ProptestConfig,
+    test_name: &str,
+    mut body: F,
+) {
+    use rng::SeedableRng;
+    for case in 0..config.cases {
+        let mut rng = rng::TestRng::seed_from_u64(rng::case_seed(test_name, u64::from(case)));
+        body(&mut rng);
+    }
+}
+
+/// `proptest! { #![proptest_config(cfg)] #[test] fn name(x in strat, ..) { .. } .. }`
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::run_property(&config, stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, __proptest_rng);)+
+                    // Closure scope so `prop_assume!` can early-return.
+                    (|| { $body })()
+                });
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Equal-weight union of strategies over a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the assumption does not hold. Must appear
+/// directly inside a `proptest!` body (which runs in a per-case closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

@@ -1,0 +1,27 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::rng::{Rng, TestRng};
+use crate::strategy::Strategy;
+
+/// Strategy choosing uniformly from a fixed list.
+#[derive(Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+/// Chooses uniformly from `options`; panics if empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(
+        !options.is_empty(),
+        "sample::select needs at least one option"
+    );
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].clone()
+    }
+}

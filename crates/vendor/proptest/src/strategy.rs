@@ -1,0 +1,256 @@
+//! The [`Strategy`] trait and its combinators.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::rng::{Rng, TestRng};
+
+/// A generator of values of an associated type.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a strategy
+/// is just a reproducible function of the test RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects generated values failing the predicate, retrying with
+    /// fresh draws. Panics (failing the test) if the predicate rejects
+    /// 1000 consecutive candidates.
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives the strategy for
+    /// one level shallower and returns the strategy for the next level.
+    /// `depth` bounds the recursion; the remaining two parameters exist
+    /// for upstream signature compatibility and are ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut cur = self.clone().boxed();
+        for _ in 0..depth {
+            let deeper = recurse(cur).boxed();
+            let base = self.clone().boxed();
+            // Mix base and recursive cases so all depths are exercised.
+            cur = BoxedStrategy::from_fn(move |rng| {
+                if rng.gen::<f64>() < 0.4 {
+                    base.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            });
+        }
+        cur
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| self.generate(rng))
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T> {
+    f: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a generation function.
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy { f: Rc::new(f) }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy {
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter: predicate `{}` rejected 1000 candidates",
+            self.reason
+        );
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Equal-weight choice among type-erased strategies (see `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Union<T> {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                $(let $v = $s.generate(rng);)+
+                ($($v,)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(S0 / v0);
+impl_tuple_strategy!(S0 / v0, S1 / v1);
+impl_tuple_strategy!(S0 / v0, S1 / v1, S2 / v2);
+impl_tuple_strategy!(S0 / v0, S1 / v1, S2 / v2, S3 / v3);
+impl_tuple_strategy!(S0 / v0, S1 / v1, S2 / v2, S3 / v3, S4 / v4);
+impl_tuple_strategy!(S0 / v0, S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5);
+
+/// Types with a canonical strategy, usable through [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy drawing from the standard distribution of a primitive type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: rand::Standard> Strategy for StandardStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen::<T>()
+    }
+}
+
+macro_rules! impl_arbitrary_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = StandardStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                StandardStrategy(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary_standard!(bool, f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);

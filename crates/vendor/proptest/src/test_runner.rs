@@ -1,0 +1,22 @@
+//! Test-runner configuration (`ProptestConfig`).
+
+/// Configuration for a `proptest!` block. Only `cases` is interpreted;
+/// the struct is non-exhaustive-by-convention like upstream.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}

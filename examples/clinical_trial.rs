@@ -53,10 +53,7 @@ fn main() {
             .expect("query");
         // The posterior is reusable: ask further questions for free.
         let p_high_control = posterior
-            .prob(&Event::gt(
-                Transform::id(Var::new("ProbControl")),
-                0.5,
-            ))
+            .prob(&Event::gt(Transform::id(Var::new("ProbControl")), 0.5))
             .expect("query");
         let query_ms = t1.elapsed().as_secs_f64() * 1000.0;
 

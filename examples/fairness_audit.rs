@@ -22,7 +22,11 @@ fn main() {
             let spe = task.model.compile(&factory).expect("task compiles");
             let ratio = fairness::fairness_ratio(&spe).expect("exact ratio");
             let sppl_s = start.elapsed().as_secs_f64();
-            let verdict = if fairness::is_fair(ratio, task.epsilon) { "FAIR" } else { "UNFAIR" };
+            let verdict = if fairness::is_fair(ratio, task.epsilon) {
+                "FAIR"
+            } else {
+                "UNFAIR"
+            };
 
             let vf = AdaptiveSampler::default().verify(&spe, &mut rng);
             let fs = VolumeVerifier::default()

@@ -35,14 +35,25 @@ fn main() {
     println!(
         "simulated trace: separated={} (regime means {})",
         trace.separated,
-        if trace.separated == 1 { "well apart" } else { "close together" }
+        if trace.separated == 1 {
+            "well apart"
+        } else {
+            "close together"
+        }
     );
 
     // Exact smoothing: condition on all observations at once.
     let start = std::time::Instant::now();
-    let posterior = constrain(&factory, &model, &hmm::observation_assignment(&trace.x, &trace.y))
-        .expect("observations have positive density");
-    println!("conditioning on 2×{n_step} observations: {:.2}s", start.elapsed().as_secs_f64());
+    let posterior = constrain(
+        &factory,
+        &model,
+        &hmm::observation_assignment(&trace.x, &trace.y),
+    )
+    .expect("observations have positive density");
+    println!(
+        "conditioning on 2×{n_step} observations: {:.2}s",
+        start.elapsed().as_secs_f64()
+    );
 
     let start = std::time::Instant::now();
     let mut correct = 0;
@@ -54,8 +65,9 @@ fn main() {
         let guess = u8::from(p > 0.5);
         correct += usize::from(guess == trace.z[t]);
         if t % 10 == 0 {
-            let bar: String =
-                std::iter::repeat('#').take((p * 30.0).round() as usize).collect();
+            let bar: String = std::iter::repeat('#')
+                .take((p * 30.0).round() as usize)
+                .collect();
             println!("{t:>3}     {}   {p:.3} {bar}", trace.z[t]);
         }
     }

@@ -36,7 +36,9 @@ if (Nationality == 'India') {
     println!("== prior marginals ==");
     println!(
         "P[Nationality = USA]  = {:.4}",
-        model.prob(&Event::eq_str(nationality.clone(), "USA")).unwrap()
+        model
+            .prob(&Event::eq_str(nationality.clone(), "USA"))
+            .unwrap()
     );
     println!(
         "P[Perfect = 1]        = {:.4}",
@@ -77,7 +79,9 @@ if (Nationality == 'India') {
     println!("\n== posterior marginals given ((USA and GPA > 3) or (8 < GPA < 10)) ==");
     println!(
         "P[Nationality = India | e] = {:.4}   (paper: 0.33)",
-        posterior.prob(&Event::eq_str(nationality, "India")).unwrap()
+        posterior
+            .prob(&Event::eq_str(nationality, "India"))
+            .unwrap()
     );
     println!(
         "P[Perfect = 1 | e]         = {:.4}   (paper: 0.28)",

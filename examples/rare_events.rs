@@ -24,9 +24,15 @@ fn main() {
         let lp = model.logprob(&event).expect("exact log probability");
         let sppl_s = start.elapsed().as_secs_f64();
         println!("event: first {k} emissions all 1");
-        println!("  SPPL exact: log p = {lp:.2}  (p = {:.3e}) in {sppl_s:.4}s", lp.exp());
+        println!(
+            "  SPPL exact: log p = {lp:.2}  (p = {:.3e}) in {sppl_s:.4}s",
+            lp.exp()
+        );
 
-        let estimator = RejectionEstimator { max_samples: 100_000, checkpoint_every: 25_000 };
+        let estimator = RejectionEstimator {
+            max_samples: 100_000,
+            checkpoint_every: 25_000,
+        };
         let trajectory = estimator.estimate(&model, &event, &mut rng);
         for point in trajectory {
             let log_est = if point.estimate > 0.0 {

@@ -42,9 +42,18 @@ else { Z = -5*sqrt(X) + 11 }
     println!("\n== posterior given Z² <= 4 and Z >= 0 ==");
     // The three components of Fig. 4d: X ∈ [-2.17, -2] ∪ [0, 0.32] ∪ [3.24, 4.84].
     let components = [
-        ("X in [-2.18, -2.0]", Event::in_interval(x.clone(), Interval::closed(-2.18, -2.0))),
-        ("X in [0.0, 0.33]", Event::in_interval(x.clone(), Interval::closed(0.0, 0.33))),
-        ("X in [3.24, 4.84]", Event::in_interval(x.clone(), Interval::closed(3.24, 4.84))),
+        (
+            "X in [-2.18, -2.0]",
+            Event::in_interval(x.clone(), Interval::closed(-2.18, -2.0)),
+        ),
+        (
+            "X in [0.0, 0.33]",
+            Event::in_interval(x.clone(), Interval::closed(0.0, 0.33)),
+        ),
+        (
+            "X in [3.24, 4.84]",
+            Event::in_interval(x.clone(), Interval::closed(3.24, 4.84)),
+        ),
     ];
     let mut total = 0.0;
     for (name, e) in &components {
@@ -56,5 +65,8 @@ else { Z = -5*sqrt(X) + 11 }
     println!("(paper Fig. 4d weights: .16 / .49 / .35)");
 
     // The closure property: the posterior answers further queries.
-    println!("\nP[Z > 1 | e] = {:.4}", posterior.prob(&Event::gt(z, 1.0)).unwrap());
+    println!(
+        "\nP[Z > 1 | e] = {:.4}",
+        posterior.prob(&Event::gt(z, 1.0)).unwrap()
+    );
 }

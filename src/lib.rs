@@ -75,8 +75,8 @@ pub use sppl_sets as sets;
 
 /// One-stop import for applications and examples.
 pub mod prelude {
-    pub use sppl_core::prelude::*;
     pub use sppl_core::density::Assignment;
+    pub use sppl_core::prelude::*;
     pub use sppl_core::stats::{graph_stats, physical_node_count, tree_node_count};
     pub use sppl_lang::{compile, parse, translate, untranslate};
 }

@@ -33,9 +33,8 @@ fn arb_component() -> impl Strategy<Value = ModelSpec> {
 }
 
 fn arb_model() -> impl Strategy<Value = ModelSpec> {
-    (arb_component(), arb_component(), 1u8..10).prop_map(|(a, b, w)| {
-        ModelSpec::Mix(Box::new(a), Box::new(b), w)
-    })
+    (arb_component(), arb_component(), 1u8..10)
+        .prop_map(|(a, b, w)| ModelSpec::Mix(Box::new(a), Box::new(b), w))
 }
 
 fn build_x(f: &Factory, spec: &ModelSpec) -> Spe {
@@ -116,8 +115,7 @@ fn arb_event() -> impl Strategy<Value = EventSpec> {
         prop_oneof![
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| EventSpec::OrMix(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| EventSpec::AndMix(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| EventSpec::AndMix(Box::new(a), Box::new(b))),
         ]
     })
 }

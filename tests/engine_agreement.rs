@@ -8,8 +8,13 @@ use sppl::prelude::*;
 
 fn check_agreement(source: &str, data: Data, query: Event, tol: f64) {
     let engine = EnumerativeEngine::default();
-    let outcome = engine.query(source, &data, &query).expect("enumerative query");
-    let EnumOutcome::Solved { value: enum_value, .. } = outcome else {
+    let outcome = engine
+        .query(source, &data, &query)
+        .expect("enumerative query");
+    let EnumOutcome::Solved {
+        value: enum_value, ..
+    } = outcome
+    else {
         panic!("enumerative engine exhausted on a small model");
     };
 
@@ -59,12 +64,7 @@ else { Z = -5*sqrt(X) + 11 }
         Event::le(tv("Z").pow_int(2), 4.0),
         Event::ge(tv("Z"), 0.0),
     ]);
-    check_agreement(
-        source,
-        Data::Event(evidence),
-        Event::ge(tv("X"), 1.0),
-        1e-7,
-    );
+    check_agreement(source, Data::Event(evidence), Event::ge(tv("X"), 1.0), 1e-7);
 }
 
 #[test]

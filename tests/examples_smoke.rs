@@ -1,0 +1,113 @@
+//! Smoke tests mirroring `examples/quickstart.rs` and
+//! `examples/hmm_smoothing.rs` end to end, so the example workflows are
+//! exercised by `cargo test` in-process (CI additionally runs the actual
+//! example binaries via `cargo run --example`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sppl::models::hmm;
+use sppl::prelude::*;
+
+const INDIAN_GPA: &str = r#"
+Nationality ~ choice({'India': 0.5, 'USA': 0.5})
+if (Nationality == 'India') {
+    Perfect ~ bernoulli(p=0.10)
+    if (Perfect == 1) { GPA ~ atomic(10) } else { GPA ~ uniform(0, 10) }
+} else {
+    Perfect ~ bernoulli(p=0.15)
+    if (Perfect == 1) { GPA ~ atomic(4) } else { GPA ~ uniform(0, 4) }
+}
+"#;
+
+/// The full quickstart workflow: compile → prior query → condition →
+/// posterior query → sample, with the paper's Fig. 2 numbers.
+#[test]
+fn quickstart_flow_matches_paper_figures() {
+    let factory = Factory::new();
+    let model = compile(&factory, INDIAN_GPA).expect("quickstart model compiles");
+
+    let nationality = Transform::id(Var::new("Nationality"));
+    let gpa = Transform::id(Var::new("GPA"));
+
+    // Prior: P[GPA <= 4] = 0.5·(0.9·0.4) + 0.5·(0.15 + 0.85) = 0.68, with
+    // an atom at 4 (approaching from below loses the USA point mass).
+    let p_le_4 = model.prob(&Event::le(gpa.clone(), 4.0)).unwrap();
+    assert!((p_le_4 - 0.68).abs() < 1e-9, "P[GPA <= 4] = {p_le_4}");
+    let p_lt_4 = model.prob(&Event::le(gpa.clone(), 3.9999)).unwrap();
+    assert!(p_le_4 - p_lt_4 > 0.07, "missing atom at GPA = 4");
+
+    // Posterior of Fig. 2f/2g.
+    let evidence = Event::or(vec![
+        Event::and(vec![
+            Event::eq_str(nationality.clone(), "USA"),
+            Event::gt(gpa.clone(), 3.0),
+        ]),
+        Event::in_interval(gpa, Interval::open(8.0, 10.0)),
+    ]);
+    let posterior = condition(&factory, &model, &evidence).expect("P[e] > 0");
+    let p_india = posterior
+        .prob(&Event::eq_str(nationality, "India"))
+        .unwrap();
+    assert!((p_india - 0.3318).abs() < 1e-3, "P[India | e] = {p_india}");
+    assert!(
+        (posterior.prob(&Event::always()).unwrap() - 1.0).abs() < 1e-9,
+        "posterior is normalized"
+    );
+
+    // Sampling from the posterior respects the evidence.
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..20 {
+        let s = posterior.sample(&mut rng);
+        let gpa = s.real(&Var::new("GPA")).expect("GPA sampled");
+        let usa = s
+            .str(&Var::new("Nationality"))
+            .expect("Nationality sampled")
+            == "USA";
+        assert!(
+            (usa && gpa > 3.0) || (8.0 < gpa && gpa < 10.0),
+            "sample violates evidence: usa={usa} gpa={gpa}"
+        );
+    }
+}
+
+/// The HMM smoothing workflow at a reduced trace length: translate,
+/// simulate, constrain on observations, and query every hidden state.
+#[test]
+fn hmm_smoothing_flow_recovers_hidden_states() {
+    let n_step = 20;
+    let factory = Factory::new();
+    let model = hmm::hierarchical_hmm(n_step)
+        .compile(&factory)
+        .expect("HMM compiles");
+
+    let stats = graph_stats(&model);
+    assert!(
+        stats.compression_ratio() > 1.0,
+        "factorized SPE should be smaller than its tree expansion"
+    );
+
+    let mut rng = StdRng::seed_from_u64(20260609);
+    let trace = hmm::simulate_trace(&mut rng, n_step);
+    assert_eq!(trace.z.len(), n_step);
+
+    let posterior = constrain(
+        &factory,
+        &model,
+        &hmm::observation_assignment(&trace.x, &trace.y),
+    )
+    .expect("observations have positive density");
+
+    let mut correct = 0;
+    for t in 0..n_step {
+        let p = posterior
+            .prob(&hmm::hidden_state_event(t))
+            .expect("smoothing query");
+        assert!((0.0..=1.0 + 1e-12).contains(&p), "P[Z_{t}=1] = {p}");
+        correct += usize::from(u8::from(p > 0.5) == trace.z[t]);
+    }
+    // Exact smoothing should beat chance by a wide margin.
+    assert!(
+        correct * 2 > n_step,
+        "MAP state matches truth at only {correct}/{n_step} steps"
+    );
+}

@@ -111,9 +111,7 @@ for i in range(0, 3) { Z[i] ~ bernoulli(p=0.4) }
 fn roundtrip_conditioned_posterior() {
     // Round-tripping a *posterior* expression (the Fig. 2g graph).
     let factory = Factory::new();
-    let model = sppl::models::indian_gpa::model()
-        .compile(&factory)
-        .unwrap();
+    let model = sppl::models::indian_gpa::model().compile(&factory).unwrap();
     let posterior = condition(
         &factory,
         &model,

@@ -1,0 +1,98 @@
+//! Guards against silently-skipped test targets: the workspace relies on
+//! cargo's target auto-discovery, so a stray `autotests = false` (or a
+//! renamed file) would drop whole suites from `cargo test` without any
+//! failure. This test pins the expected integration-test layout.
+
+use std::fs;
+use std::path::Path;
+
+/// Workspace root == the `sppl` facade package root.
+fn root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+const ROOT_SUITES: &[&str] = &[
+    "tests/closure_properties.rs",
+    "tests/engine_agreement.rs",
+    "tests/roundtrip.rs",
+    "tests/examples_smoke.rs",
+];
+
+const CRATE_SUITES: &[&str] = &[
+    "crates/sets/tests/algebra.rs",
+    "crates/core/tests/transform_soundness.rs",
+    "crates/lang/tests/translate_tests.rs",
+];
+
+#[test]
+fn integration_suites_exist_and_define_tests() {
+    for rel in ROOT_SUITES.iter().chain(CRATE_SUITES) {
+        let path = root().join(rel);
+        let src = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("expected test suite {rel} to exist: {e}"));
+        assert!(
+            src.contains("#[test]") || src.contains("proptest!"),
+            "{rel} defines no tests — suite would be silently empty"
+        );
+        assert!(
+            !src.contains("#[ignore"),
+            "{rel} contains #[ignore]d tests — tier-1 must run everything"
+        );
+    }
+}
+
+#[test]
+fn auto_discovery_is_not_disabled() {
+    for manifest in [
+        "Cargo.toml",
+        "crates/sets/Cargo.toml",
+        "crates/num/Cargo.toml",
+        "crates/dists/Cargo.toml",
+        "crates/core/Cargo.toml",
+        "crates/lang/Cargo.toml",
+        "crates/models/Cargo.toml",
+        "crates/baseline/Cargo.toml",
+        "crates/bench/Cargo.toml",
+    ] {
+        let src = fs::read_to_string(root().join(manifest)).expect("manifest readable");
+        for key in ["autotests", "autoexamples", "autobins"] {
+            assert!(
+                !src.contains(&format!("{key} = false")),
+                "{manifest} disables {key}; test/example targets would be skipped"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_workspace_member_is_a_default_member() {
+    // `cargo test -q` (tier-1) runs the *default* members; a member added
+    // to [workspace.members] but not [workspace.default-members] would
+    // build and test only when named explicitly.
+    let manifest = fs::read_to_string(root().join("Cargo.toml")).expect("root manifest");
+    let section = |name: &str| -> Vec<String> {
+        // Anchor to line start so `members` cannot match inside
+        // `default-members`.
+        let key = format!("\n{name} = [");
+        let start = manifest
+            .find(&key)
+            .unwrap_or_else(|| panic!("[workspace] lacks `{name}`"));
+        let body = &manifest[start + key.len()..];
+        let end = body.find(']').expect("list closes");
+        body[..end]
+            .lines()
+            .filter_map(|l| {
+                let l = l.trim().trim_end_matches(',');
+                l.starts_with('"').then(|| l.trim_matches('"').to_string())
+            })
+            .collect()
+    };
+    let default_members = section("default-members");
+    for member in section("members") {
+        assert!(
+            default_members.contains(&member),
+            "workspace member {member} is not in default-members; \
+             `cargo test` would silently skip it"
+        );
+    }
+}
