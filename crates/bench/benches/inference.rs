@@ -6,6 +6,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use sppl_core::condition::condition;
+use sppl_core::density::constrain;
+use sppl_core::engine::QueryEngine;
 use sppl_core::event::Event;
 use sppl_core::transform::Transform;
 use sppl_core::var::Var;
@@ -83,6 +85,45 @@ fn bench_condition(c: &mut Criterion) {
     g.finish();
 }
 
+/// Repeated HMM smoothing through the memoized query engine vs the
+/// per-call-memo path — the workload behind the fig3 cached/uncached
+/// comparison.
+fn bench_query_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query_engine");
+    g.sample_size(10);
+    let n = 20;
+    let factory = Factory::new();
+    let model = hmm::hierarchical_hmm(n).compile(&factory).unwrap();
+    let trace = {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        hmm::simulate_trace(&mut StdRng::seed_from_u64(7), n)
+    };
+    let posterior = constrain(
+        &factory,
+        &model,
+        &hmm::observation_assignment(&trace.x, &trace.y),
+    )
+    .unwrap();
+    let queries = hmm::smoothing_queries(n);
+    g.bench_function("hmm20_smoothing_uncached", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| posterior.prob(q).unwrap())
+                .map(black_box)
+                .collect::<Vec<f64>>()
+        })
+    });
+    // The engine outlives the iterations, so all passes after the first
+    // are answered from its cache — the steady state of a query server.
+    let engine = QueryEngine::new(factory, posterior);
+    g.bench_function("hmm20_smoothing_cached", |b| {
+        b.iter(|| black_box(engine.prob_many(&queries).unwrap()))
+    });
+    g.finish();
+}
+
 fn bench_fairness(c: &mut Criterion) {
     let mut g = c.benchmark_group("fairness_exact");
     g.sample_size(10);
@@ -104,6 +145,7 @@ criterion_group!(
     bench_translate,
     bench_prob,
     bench_condition,
+    bench_query_engine,
     bench_fairness
 );
 criterion_main!(benches);

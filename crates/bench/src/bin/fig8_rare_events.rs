@@ -5,6 +5,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sppl_baseline::sampler::RejectionEstimator;
 use sppl_bench::{fmt_secs, timed};
+use sppl_core::engine::QueryEngine;
+use sppl_core::event::Event;
 use sppl_core::Factory;
 use sppl_models::rare_event;
 
@@ -16,14 +18,31 @@ fn main() {
             .expect("compiles")
     });
     println!("chain network translated in {}\n", fmt_secs(t));
+
+    // Batched exact answers through the query engine: cold (first pass,
+    // populating the cache) vs warm (repeat of the same batch).
+    let events: Vec<Event> = rare_event::figure8_prefixes()
+        .into_iter()
+        .map(rare_event::all_ones_event)
+        .collect();
+    let engine = QueryEngine::new(factory, model.clone());
+    let (cold, cold_t) = timed(|| engine.logprob_many(&events).expect("exact"));
+    let (warm, warm_t) = timed(|| engine.logprob_many(&events).expect("exact"));
+    assert_eq!(cold, warm, "warm batch must be bit-identical");
+    let stats = engine.stats();
+    println!(
+        "batched exact answers: cold {} vs warm {} ({} hits / {} misses / {} entries)\n",
+        fmt_secs(cold_t),
+        fmt_secs(warm_t),
+        stats.hits,
+        stats.misses,
+        stats.entries,
+    );
+
     let mut rng = StdRng::seed_from_u64(12345);
-    for k in rare_event::figure8_prefixes() {
+    for (k, lp) in rare_event::figure8_prefixes().into_iter().zip(cold) {
         let event = rare_event::all_ones_event(k);
-        let (lp, es) = timed(|| model.logprob(&event).expect("exact"));
-        println!(
-            "== event: O[0..{k}] all 1 — exact log p = {lp:.2} in {} ==",
-            fmt_secs(es)
-        );
+        println!("== event: O[0..{k}] all 1 — exact log p = {lp:.2} ==");
         let estimator = RejectionEstimator {
             max_samples: 400_000,
             checkpoint_every: 100_000,

@@ -33,8 +33,10 @@ pub fn condition(factory: &Factory, spe: &Spe, event: &Event) -> Result<Spe, Spp
     }
     let key = (spe.ptr_id(), event.fingerprint());
     if let Some((_, cached)) = factory.cond_cache.borrow().get(&key) {
+        factory.cond_counters.hit();
         return cached.clone();
     }
+    factory.cond_counters.miss();
     let result = condition_uncached(factory, spe, event);
     factory
         .cond_cache
@@ -97,7 +99,7 @@ fn condition_uncached(factory: &Factory, spe: &Spe, event: &Event) -> Result<Spe
                         let mut borrow;
                         let mut memo = if factory.options().memoize {
                             borrow = factory.prob_cache.borrow_mut();
-                            crate::prob::ProbMemo::Pinned(&mut borrow)
+                            crate::prob::ProbMemo::Pinned(&mut borrow, &factory.prob_counters)
                         } else {
                             crate::prob::ProbMemo::Off
                         };

@@ -1,0 +1,376 @@
+//! The memoized query engine: repeated and batched inference over one
+//! compiled sum-product expression.
+//!
+//! `prob`/`condition` are already memoized *within* a call over the
+//! deduplicated DAG ([`Factory::logprob`], [`condition`]); the
+//! [`QueryEngine`] adds the *across-call* layer the paper's workflow
+//! implies (Fig. 7a: translate once, then answer many queries). It wraps a
+//! [`Factory`] plus a root [`Spe`] and memoizes whole-query results keyed
+//! by the [canonicalized](Event::canonical) event fingerprint, on top of
+//! the factory's persistent node-level tables, so:
+//!
+//! * a repeated query is a single hash lookup returning a bit-identical
+//!   result;
+//! * structurally equivalent events built in different operand orders hit
+//!   the same entry;
+//! * batched queries ([`QueryEngine::logprob_many`]) share every sub-SPE
+//!   evaluation through the factory's node-level memo;
+//! * conditioning chains ([`QueryEngine::condition_chain`]) reuse both the
+//!   factory's per-step memo and an engine-level prefix cache.
+//!
+//! Invalidation is tied to [`Factory::clear_caches`] through the factory's
+//! [cache generation](Factory::cache_generation): clearing the factory —
+//! directly or via [`QueryEngine::clear_caches`] — drops the engine's
+//! entries and resets its statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use sppl_core::prelude::*;
+//!
+//! let f = Factory::new();
+//! let x = f.leaf(
+//!     Var::new("X"),
+//!     Distribution::Real(DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap()),
+//! );
+//! let engine = QueryEngine::new(f, x);
+//! let e = Event::le(Transform::id(Var::new("X")), 0.0);
+//! let cold = engine.prob(&e).unwrap();
+//! let warm = engine.prob(&e).unwrap();
+//! assert_eq!(cold.to_bits(), warm.to_bits());
+//! assert_eq!(engine.stats().hits, 1);
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+use crate::condition::condition;
+use crate::error::SpplError;
+use crate::event::Event;
+use crate::spe::{Factory, Spe};
+
+/// Hit/miss/entry statistics for a memoization cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh evaluation.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (zero when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A memoized query engine over one compiled SPE (see the [module
+/// docs](self)).
+///
+/// The engine owns its [`Factory`]; build the model first, then hand both
+/// over. All methods take `&self` — caches live behind interior
+/// mutability, matching the factory's own memo tables.
+pub struct QueryEngine {
+    factory: Factory,
+    root: Spe,
+    logprob_cache: RefCell<HashMap<u64, f64>>,
+    cond_cache: RefCell<HashMap<u64, Spe>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    seen_generation: Cell<u64>,
+}
+
+/// Seed for conditioning-chain prefix keys, distinct from any single-event
+/// fingerprint path.
+const CHAIN_SEED: u64 = 0x51c5_a9b3_7f4e_d081;
+
+/// Order-sensitive combination of a chain prefix key with the next
+/// canonical event fingerprint.
+fn chain_key(prefix: u64, fingerprint: u64) -> u64 {
+    (prefix.rotate_left(17) ^ fingerprint).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl QueryEngine {
+    /// Wraps a factory and the root expression it built.
+    pub fn new(factory: Factory, root: Spe) -> QueryEngine {
+        let generation = factory.cache_generation();
+        QueryEngine {
+            factory,
+            root,
+            logprob_cache: RefCell::new(HashMap::new()),
+            cond_cache: RefCell::new(HashMap::new()),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+            seen_generation: Cell::new(generation),
+        }
+    }
+
+    /// The wrapped factory (for node-level cache statistics, or to build
+    /// further expressions sharing the intern table).
+    pub fn factory(&self) -> &Factory {
+        &self.factory
+    }
+
+    /// The root expression queries are answered against.
+    pub fn root(&self) -> &Spe {
+        &self.root
+    }
+
+    /// Releases the factory and root.
+    pub fn into_parts(self) -> (Factory, Spe) {
+        (self.factory, self.root)
+    }
+
+    /// Drops engine entries when the factory's caches were cleared behind
+    /// our back (engine keys pin no nodes, so stale entries would outlive
+    /// the node-level tables they were derived from).
+    fn sync_generation(&self) {
+        if self.factory.cache_generation() != self.seen_generation.get() {
+            self.logprob_cache.borrow_mut().clear();
+            self.cond_cache.borrow_mut().clear();
+            self.hits.set(0);
+            self.misses.set(0);
+            self.seen_generation.set(self.factory.cache_generation());
+        }
+    }
+
+    /// Natural log of the probability of `event` under the root,
+    /// memoized across calls.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Spe::logprob`].
+    pub fn logprob(&self, event: &Event) -> Result<f64, SpplError> {
+        self.sync_generation();
+        let canonical = event.canonical();
+        let key = canonical.fingerprint();
+        if let Some(&v) = self.logprob_cache.borrow().get(&key) {
+            self.hits.set(self.hits.get() + 1);
+            return Ok(v);
+        }
+        let value = self.factory.logprob(&self.root, &canonical)?;
+        self.misses.set(self.misses.get() + 1);
+        self.logprob_cache.borrow_mut().insert(key, value);
+        Ok(value)
+    }
+
+    /// The probability of `event`, clamped to `[0, 1]` (see
+    /// [`Spe::prob`] for why the clamp matters near one).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Spe::logprob`].
+    pub fn prob(&self, event: &Event) -> Result<f64, SpplError> {
+        Ok(self.logprob(event)?.exp().clamp(0.0, 1.0))
+    }
+
+    /// Batched [`QueryEngine::logprob`]: evaluates every event, sharing
+    /// sub-SPE results through the factory's node-level memo and
+    /// whole-query results through the engine cache. Fails on the first
+    /// erroring event.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Spe::logprob`].
+    pub fn logprob_many(&self, events: &[Event]) -> Result<Vec<f64>, SpplError> {
+        events.iter().map(|e| self.logprob(e)).collect()
+    }
+
+    /// Batched [`QueryEngine::prob`] with the same clamping.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Spe::logprob`].
+    pub fn prob_many(&self, events: &[Event]) -> Result<Vec<f64>, SpplError> {
+        events.iter().map(|e| self.prob(e)).collect()
+    }
+
+    /// Conditions the root on `event` (Thm. 4.1), memoized across calls.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`condition`].
+    pub fn condition(&self, event: &Event) -> Result<Spe, SpplError> {
+        self.condition_chain(std::slice::from_ref(event))
+    }
+
+    /// Sequentially conditions the root on each event in turn — the
+    /// filtering workflow `S | e₁ | e₂ | …`. Every prefix posterior is
+    /// cached, so extending an already-computed chain pays only for the
+    /// new suffix, and re-running a chain is pure lookups. An empty chain
+    /// returns the root.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`condition`]; in particular
+    /// [`SpplError::ZeroProbability`] if any prefix gives the next event
+    /// probability zero.
+    pub fn condition_chain(&self, events: &[Event]) -> Result<Spe, SpplError> {
+        self.sync_generation();
+        let mut current = self.root.clone();
+        let mut key = CHAIN_SEED;
+        for event in events {
+            let canonical = event.canonical();
+            key = chain_key(key, canonical.fingerprint());
+            let cached = self.cond_cache.borrow().get(&key).cloned();
+            if let Some(posterior) = cached {
+                self.hits.set(self.hits.get() + 1);
+                current = posterior;
+                continue;
+            }
+            current = condition(&self.factory, &current, &canonical)?;
+            self.misses.set(self.misses.get() + 1);
+            self.cond_cache.borrow_mut().insert(key, current.clone());
+        }
+        Ok(current)
+    }
+
+    /// Engine-level cache statistics: hits and misses across the
+    /// `logprob` and `condition` paths, and total entries stored. For the
+    /// node-level tables underneath, see [`Factory::prob_cache_stats`] and
+    /// [`Factory::cond_cache_stats`].
+    pub fn stats(&self) -> CacheStats {
+        self.sync_generation();
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            entries: self.logprob_cache.borrow().len() + self.cond_cache.borrow().len(),
+        }
+    }
+
+    /// Clears the engine caches, the factory caches underneath, and all
+    /// statistics.
+    pub fn clear_caches(&self) {
+        self.factory.clear_caches();
+        // clear_caches bumped the generation; syncing drops engine entries
+        // and resets the engine counters.
+        self.sync_generation();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::Transform;
+    use crate::var::Var;
+    use sppl_dists::{Cdf, DistReal, Distribution};
+    use sppl_num::float::approx_eq;
+    use sppl_sets::Interval;
+
+    fn normal(f: &Factory, name: &str, mu: f64) -> Spe {
+        f.leaf(
+            Var::new(name),
+            Distribution::Real(DistReal::new(Cdf::normal(mu, 1.0), Interval::all()).unwrap()),
+        )
+    }
+
+    fn engine_xy() -> QueryEngine {
+        let f = Factory::new();
+        let p = f
+            .product(vec![normal(&f, "X", 0.0), normal(&f, "Y", 0.0)])
+            .unwrap();
+        QueryEngine::new(f, p)
+    }
+
+    fn le(name: &str, v: f64) -> Event {
+        Event::le(Transform::id(Var::new(name)), v)
+    }
+
+    #[test]
+    fn matches_direct_logprob() {
+        let engine = engine_xy();
+        let e = Event::and(vec![le("X", 0.0), le("Y", 0.0)]);
+        let direct = engine.root().logprob(&e).unwrap();
+        assert_eq!(engine.logprob(&e).unwrap(), direct);
+        assert!(approx_eq(engine.prob(&e).unwrap(), 0.25, 1e-12));
+    }
+
+    #[test]
+    fn batched_equals_individual() {
+        let engine = engine_xy();
+        let events = vec![le("X", 0.0), le("Y", 1.0), le("X", -1.0)];
+        let batch = engine.logprob_many(&events).unwrap();
+        let single: Vec<f64> = events
+            .iter()
+            .map(|e| engine.root().logprob(e).unwrap())
+            .collect();
+        assert_eq!(batch, single);
+        let probs = engine.prob_many(&events).unwrap();
+        for (lp, p) in batch.iter().zip(&probs) {
+            assert_eq!(lp.exp().clamp(0.0, 1.0).to_bits(), p.to_bits());
+        }
+    }
+
+    #[test]
+    fn condition_chain_matches_conjunction() {
+        let engine = engine_xy();
+        let e1 = le("X", 0.0);
+        let e2 = le("Y", 0.0);
+        let chained = engine.condition_chain(&[e1.clone(), e2.clone()]).unwrap();
+        let joint = engine
+            .condition(&Event::and(vec![e1.clone(), e2.clone()]))
+            .unwrap();
+        let probe = Event::and(vec![le("X", -1.0), le("Y", -1.0)]);
+        assert!(approx_eq(
+            chained.prob(&probe).unwrap(),
+            joint.prob(&probe).unwrap(),
+            1e-12
+        ));
+        // Empty chain is the prior.
+        assert!(engine.condition_chain(&[]).unwrap().same(engine.root()));
+    }
+
+    #[test]
+    fn chain_prefixes_are_cached() {
+        let engine = engine_xy();
+        let chain = [le("X", 0.0), le("Y", 0.0)];
+        let a = engine.condition_chain(&chain).unwrap();
+        let before = engine.stats();
+        let b = engine.condition_chain(&chain).unwrap();
+        let after = engine.stats();
+        assert!(a.same(&b));
+        assert_eq!(after.hits, before.hits + 2);
+        assert_eq!(after.misses, before.misses);
+    }
+
+    #[test]
+    fn zero_probability_chain_errors() {
+        let engine = engine_xy();
+        let impossible = Event::in_interval(
+            Transform::id(Var::new("X")).pow_int(2),
+            Interval::open(f64::NEG_INFINITY, 0.0),
+        );
+        assert!(matches!(
+            engine.condition_chain(&[le("Y", 0.0), impossible]),
+            Err(SpplError::ZeroProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_variable_propagates() {
+        let engine = engine_xy();
+        assert!(matches!(
+            engine.logprob(&le("Nope", 0.0)),
+            Err(SpplError::UnknownVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 1,
+        };
+        assert!(approx_eq(s.hit_rate(), 0.75, 1e-12));
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

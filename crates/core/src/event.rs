@@ -225,6 +225,50 @@ impl Event {
         self.hash(&mut h);
         h.finish()
     }
+
+    /// The canonical structural form: conjunctions and disjunctions are
+    /// recursively flattened, their children sorted by fingerprint, and
+    /// duplicates removed, so any two constructions of the same predicate
+    /// — regardless of operand order or nesting — share one fingerprint.
+    /// Literal sets are untouched (they are already canonical).
+    ///
+    /// This is the cache key used by
+    /// [`QueryEngine`](crate::engine::QueryEngine): canonicalization is
+    /// purely structural (associativity, commutativity, idempotence of
+    /// `∧`/`∨`), so the canonical event denotes the same set of outcomes.
+    pub fn canonical(&self) -> Event {
+        fn normalize(es: &[Event], conjunction: bool) -> Vec<Event> {
+            let mut out: Vec<Event> = Vec::with_capacity(es.len());
+            for e in es {
+                match (e.canonical(), conjunction) {
+                    (Event::And(inner), true) | (Event::Or(inner), false) => out.extend(inner),
+                    (other, _) => out.push(other),
+                }
+            }
+            out.sort_by_cached_key(Event::fingerprint);
+            out.dedup();
+            out
+        }
+        match self {
+            Event::In(t, v) => Event::In(t.clone(), v.clone()),
+            Event::And(es) => {
+                let mut out = normalize(es, true);
+                if out.len() == 1 {
+                    out.pop().expect("len checked")
+                } else {
+                    Event::And(out)
+                }
+            }
+            Event::Or(es) => {
+                let mut out = normalize(es, false);
+                if out.len() == 1 {
+                    out.pop().expect("len checked")
+                } else {
+                    Event::Or(out)
+                }
+            }
+        }
+    }
 }
 
 impl fmt::Display for Event {
@@ -349,6 +393,33 @@ mod tests {
             a.fingerprint(),
             Event::lt(Transform::id(x()), 1.0).fingerprint()
         );
+    }
+
+    #[test]
+    fn canonical_is_order_insensitive() {
+        let a = Event::lt(Transform::id(x()), 1.0);
+        let b = Event::gt(Transform::id(y()), 0.0);
+        let ab = Event::And(vec![a.clone(), b.clone()]);
+        let ba = Event::And(vec![b.clone(), a.clone()]);
+        assert_ne!(ab.fingerprint(), ba.fingerprint());
+        assert_eq!(ab.canonical().fingerprint(), ba.canonical().fingerprint());
+        // Nested disjunctions flatten before sorting.
+        let nested = Event::Or(vec![b.clone(), Event::Or(vec![a.clone()])]);
+        let flat = Event::Or(vec![a.clone(), b.clone()]);
+        assert_eq!(
+            nested.canonical().fingerprint(),
+            flat.canonical().fingerprint()
+        );
+    }
+
+    #[test]
+    fn canonical_dedups_and_collapses_singletons() {
+        let a = Event::lt(Transform::id(x()), 1.0);
+        let twice = Event::And(vec![a.clone(), a.clone()]);
+        assert_eq!(twice.canonical(), a);
+        // Constants survive canonicalization.
+        assert_eq!(Event::always().canonical(), Event::always());
+        assert_eq!(Event::never().canonical(), Event::never());
     }
 
     #[test]

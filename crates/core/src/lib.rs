@@ -20,6 +20,9 @@
 //! * [`prob`] — the distribution semantics `P⟦S⟧ e` (Lst. 1f) with
 //!   memoization,
 //! * [`condition`] — the `condition` algorithm (Lst. 6, Thm. 4.1),
+//! * [`engine`] — the memoized [`QueryEngine`](engine::QueryEngine):
+//!   batched `logprob`/`condition` over one compiled SPE with
+//!   canonicalized-event caching and cache statistics,
 //! * [`density`] — the lexicographic density semantics `P₀` (Lst. 1d) and
 //!   `condition0`/`constrain` for measure-zero events (Lst. 7),
 //! * [`simulate`] — ancestral sampling (Prop. A.1),
@@ -65,6 +68,7 @@
 pub mod condition;
 pub mod density;
 pub mod disjoin;
+pub mod engine;
 pub mod error;
 pub mod event;
 pub mod prob;
@@ -76,6 +80,7 @@ pub mod var;
 
 pub use condition::condition;
 pub use density::{constrain, Assignment};
+pub use engine::{CacheStats, QueryEngine};
 pub use error::SpplError;
 pub use event::Event;
 pub use spe::{Factory, Spe};
@@ -86,6 +91,7 @@ pub use var::Var;
 pub mod prelude {
     pub use crate::condition::condition;
     pub use crate::density::{constrain, Assignment};
+    pub use crate::engine::{CacheStats, QueryEngine};
     pub use crate::error::SpplError;
     pub use crate::event::Event;
     pub use crate::simulate::Sample;

@@ -14,7 +14,7 @@ use sppl_num::float::logsumexp;
 use crate::disjoin::{solve_and_disjoin, Clause};
 use crate::error::SpplError;
 use crate::event::Event;
-use crate::spe::{leaf_event_outcomes, Factory, Node, Spe};
+use crate::spe::{leaf_event_outcomes, CacheCounters, Factory, Node, Spe};
 use crate::transform::Transform;
 
 /// Memoization storage for probability queries: either a per-call local
@@ -24,8 +24,9 @@ use crate::transform::Transform;
 pub(crate) enum ProbMemo<'a> {
     /// Fresh per-call table.
     Local(HashMap<(usize, u64), f64>),
-    /// The factory's persistent, key-pinning table.
-    Pinned(&'a mut HashMap<(usize, u64), (Spe, f64)>),
+    /// The factory's persistent, key-pinning table plus its hit/miss
+    /// counters.
+    Pinned(&'a mut HashMap<(usize, u64), (Spe, f64)>, &'a CacheCounters),
     /// Memoization disabled (the Sec. 5.1 ablation).
     Off,
 }
@@ -34,7 +35,15 @@ impl ProbMemo<'_> {
     fn get(&self, key: &(usize, u64)) -> Option<f64> {
         match self {
             ProbMemo::Local(m) => m.get(key).copied(),
-            ProbMemo::Pinned(m) => m.get(key).map(|(_, v)| *v),
+            ProbMemo::Pinned(m, counters) => {
+                let hit = m.get(key).map(|(_, v)| *v);
+                if hit.is_some() {
+                    counters.hit();
+                } else {
+                    counters.miss();
+                }
+                hit
+            }
             ProbMemo::Off => None,
         }
     }
@@ -44,7 +53,7 @@ impl ProbMemo<'_> {
             ProbMemo::Local(m) => {
                 m.insert(key, value);
             }
-            ProbMemo::Pinned(m) => {
+            ProbMemo::Pinned(m, _) => {
                 m.insert(key, (spe.clone(), value));
             }
             ProbMemo::Off => {}
@@ -67,13 +76,18 @@ impl Spe {
         logprob_memo(self, event, &mut memo)
     }
 
-    /// The probability of `event` in `[0, 1]`.
+    /// The probability of `event`, clamped to `[0, 1]`.
+    ///
+    /// The clamp matters near probability one: summing the log-space
+    /// contributions of a near-exhaustive event can round a hair above
+    /// zero, and `exp` would then report a probability strictly greater
+    /// than one.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Spe::logprob`].
     pub fn prob(&self, event: &Event) -> Result<f64, SpplError> {
-        Ok(self.logprob(event)?.exp())
+        Ok(self.logprob(event)?.exp().clamp(0.0, 1.0))
     }
 }
 
@@ -90,7 +104,7 @@ impl Factory {
             return spe.logprob(event);
         }
         let mut cache = self.prob_cache.borrow_mut();
-        let mut memo = ProbMemo::Pinned(&mut cache);
+        let mut memo = ProbMemo::Pinned(&mut cache, &self.prob_counters);
         logprob_memo(spe, event, &mut memo)
     }
 }
@@ -309,6 +323,24 @@ mod tests {
         let a = f.leaf(Var::new("A"), Distribution::Atomic { loc: 4.0 });
         let e2 = Event::eq_real(Transform::id(Var::new("A")), 4.0);
         assert!(approx_eq(a.prob(&e2).unwrap(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn prob_clamps_float_roundup_above_one() {
+        // These two log-weights normalize so that summing the components'
+        // exhaustive-event contributions in log space lands one ulp above
+        // zero: exp gives 1.0000000000000002 before clamping.
+        let f = factory();
+        let a = normal(&f, "X", 0.0, 1.0);
+        let b = normal(&f, "X", 1.0, 1.0);
+        let mix = f
+            .sum(vec![(a, -4.198707985930569), (b, -2.3727541696914796)])
+            .unwrap();
+        let e = Event::in_interval(Transform::id(Var::new("X")), Interval::all());
+        let lp = mix.logprob(&e).unwrap();
+        assert!(lp > 0.0, "expected log-space round-up above zero, got {lp}");
+        let p = mix.prob(&e).unwrap();
+        assert_eq!(p, 1.0, "prob must clamp {lp}.exp() = {} to one", lp.exp());
     }
 
     #[test]

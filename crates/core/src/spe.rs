@@ -10,7 +10,7 @@
 //! instead of computing hash functions that require an expensive subtree
 //! traversal").
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -212,6 +212,39 @@ pub struct Factory {
     pub(crate) prob_cache: RefCell<HashMap<(usize, u64), (Spe, f64)>>,
     #[allow(clippy::type_complexity)]
     pub(crate) cond_cache: RefCell<HashMap<(usize, u64), (Spe, Result<Spe, SpplError>)>>,
+    pub(crate) prob_counters: CacheCounters,
+    pub(crate) cond_counters: CacheCounters,
+    generation: Cell<u64>,
+}
+
+/// Hit/miss counters for one factory-level memo table.
+#[derive(Debug, Default)]
+pub(crate) struct CacheCounters {
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl CacheCounters {
+    pub(crate) fn hit(&self) {
+        self.hits.set(self.hits.get() + 1);
+    }
+
+    pub(crate) fn miss(&self) {
+        self.misses.set(self.misses.get() + 1);
+    }
+
+    fn snapshot(&self, entries: usize) -> crate::engine::CacheStats {
+        crate::engine::CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            entries,
+        }
+    }
+
+    fn reset(&self) {
+        self.hits.set(0);
+        self.misses.set(0);
+    }
 }
 
 impl fmt::Debug for Factory {
@@ -243,6 +276,9 @@ impl Factory {
             intern: RefCell::new(HashMap::new()),
             prob_cache: RefCell::new(HashMap::new()),
             cond_cache: RefCell::new(HashMap::new()),
+            prob_counters: CacheCounters::default(),
+            cond_counters: CacheCounters::default(),
+            generation: Cell::new(0),
         }
     }
 
@@ -474,10 +510,35 @@ impl Factory {
         self.intern.borrow().values().map(Vec::len).sum()
     }
 
-    /// Clears the memoization caches (the intern table is kept).
+    /// Clears the memoization caches and resets their hit/miss statistics
+    /// (the intern table is kept), and bumps the cache generation so that
+    /// engines layered on this factory (see
+    /// [`QueryEngine`](crate::engine::QueryEngine)) drop their own entries.
     pub fn clear_caches(&self) {
         self.prob_cache.borrow_mut().clear();
         self.cond_cache.borrow_mut().clear();
+        self.prob_counters.reset();
+        self.cond_counters.reset();
+        self.generation.set(self.generation.get() + 1);
+    }
+
+    /// A monotone counter bumped by every [`Factory::clear_caches`] call.
+    /// Caches keyed on this factory's memo tables compare generations to
+    /// detect invalidation.
+    pub fn cache_generation(&self) -> u64 {
+        self.generation.get()
+    }
+
+    /// Hit/miss/entry statistics of the persistent node-level probability
+    /// cache used by [`Factory::logprob`].
+    pub fn prob_cache_stats(&self) -> crate::engine::CacheStats {
+        self.prob_counters.snapshot(self.prob_cache.borrow().len())
+    }
+
+    /// Hit/miss/entry statistics of the persistent node-level conditioning
+    /// cache used by [`condition`](crate::condition::condition).
+    pub fn cond_cache_stats(&self) -> crate::engine::CacheStats {
+        self.cond_counters.snapshot(self.cond_cache.borrow().len())
     }
 
     fn intern(&self, node: Node) -> Spe {

@@ -1,0 +1,128 @@
+//! Cache invariants of the [`QueryEngine`]: repeated queries are
+//! bit-identical hits, canonicalization folds structurally equivalent
+//! events onto one entry, and invalidation is tied to the factory's
+//! `clear_caches`.
+
+use sppl_core::prelude::*;
+
+fn normal(f: &Factory, name: &str, mu: f64) -> Spe {
+    f.leaf(
+        Var::new(name),
+        Distribution::Real(DistReal::new(Cdf::normal(mu, 1.0), Interval::all()).unwrap()),
+    )
+}
+
+/// X ⊗ Y engine (independent standard normals).
+fn engine() -> QueryEngine {
+    let f = Factory::new();
+    let p = f
+        .product(vec![normal(&f, "X", 0.0), normal(&f, "Y", 0.0)])
+        .unwrap();
+    QueryEngine::new(f, p)
+}
+
+fn le(name: &str, v: f64) -> Event {
+    Event::le(Transform::id(Var::new(name)), v)
+}
+
+#[test]
+fn repeated_query_is_a_bit_identical_hit() {
+    let engine = engine();
+    let e = Event::and(vec![le("X", 0.3), le("Y", -0.7)]);
+    let cold = engine.logprob(&e).unwrap();
+    let s1 = engine.stats();
+    assert_eq!((s1.hits, s1.misses, s1.entries), (0, 1, 1));
+
+    let warm = engine.logprob(&e).unwrap();
+    let s2 = engine.stats();
+    assert_eq!(cold.to_bits(), warm.to_bits());
+    assert_eq!((s2.hits, s2.misses, s2.entries), (1, 1, 1));
+}
+
+#[test]
+fn repeated_condition_is_a_hit_returning_the_same_node() {
+    let engine = engine();
+    let e = le("X", 0.0);
+    let p1 = engine.condition(&e).unwrap();
+    let p2 = engine.condition(&e).unwrap();
+    assert!(
+        p1.same(&p2),
+        "cached posterior must be the same physical node"
+    );
+    let s = engine.stats();
+    assert_eq!((s.hits, s.misses), (1, 1));
+}
+
+#[test]
+fn structurally_equal_events_share_one_entry() {
+    let engine = engine();
+    let a = le("X", 0.0);
+    let b = le("Y", 0.0);
+    // Same predicate, built separately in opposite operand order and with
+    // gratuitous nesting — raw fingerprints differ, canonical ones agree.
+    let e1 = Event::And(vec![a.clone(), b.clone()]);
+    let e2 = Event::And(vec![b.clone(), Event::And(vec![a.clone()])]);
+    assert_ne!(e1.fingerprint(), e2.fingerprint());
+
+    let v1 = engine.logprob(&e1).unwrap();
+    let v2 = engine.logprob(&e2).unwrap();
+    assert_eq!(v1.to_bits(), v2.to_bits());
+    let s = engine.stats();
+    assert_eq!(
+        (s.hits, s.misses, s.entries),
+        (1, 1, 1),
+        "canonicalization must fold both spellings onto one cache entry"
+    );
+}
+
+#[test]
+fn clear_caches_resets_stats_and_entries() {
+    let engine = engine();
+    let e = le("X", 1.0);
+    engine.logprob(&e).unwrap();
+    engine.logprob(&e).unwrap();
+    engine.condition(&e).unwrap();
+    assert!(engine.stats().entries > 0);
+    assert!(engine.factory().prob_cache_stats().entries > 0);
+
+    engine.clear_caches();
+    assert_eq!(engine.stats(), CacheStats::default());
+    assert_eq!(engine.factory().prob_cache_stats(), CacheStats::default());
+    assert_eq!(engine.factory().cond_cache_stats(), CacheStats::default());
+
+    // The engine still answers (and repopulates) after a clear.
+    let again = engine.logprob(&e).unwrap();
+    assert_eq!(again.to_bits(), engine.logprob(&e).unwrap().to_bits());
+    let s = engine.stats();
+    assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+}
+
+#[test]
+fn factory_clear_invalidates_engine_entries() {
+    let engine = engine();
+    let e = le("Y", 0.5);
+    engine.logprob(&e).unwrap();
+    assert_eq!(engine.stats().entries, 1);
+
+    // Clearing through the *factory* (not the engine) must still drop the
+    // engine's derived entries: stats read as empty immediately, and the
+    // next query is a fresh miss.
+    engine.factory().clear_caches();
+    assert_eq!(engine.stats(), CacheStats::default());
+    engine.logprob(&e).unwrap();
+    let s = engine.stats();
+    assert_eq!((s.hits, s.misses, s.entries), (0, 1, 1));
+}
+
+#[test]
+fn batched_stats_account_every_lookup() {
+    let engine = engine();
+    let queries: Vec<Event> = (0..8).map(|i| le("X", f64::from(i) / 4.0)).collect();
+    let cold = engine.logprob_many(&queries).unwrap();
+    let warm = engine.logprob_many(&queries).unwrap();
+    assert_eq!(cold, warm);
+    let s = engine.stats();
+    assert_eq!((s.hits, s.misses, s.entries), (8, 8, 8));
+    // The second pass was answered entirely from cache.
+    assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+}

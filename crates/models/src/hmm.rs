@@ -127,12 +127,21 @@ pub fn hidden_state_event(t: usize) -> Event {
     Event::eq_real(Transform::id(Var::indexed("Z", t)), 1.0)
 }
 
+/// The full batch of smoothing queries `Z[t] = 1` for `t = 0..n_step`,
+/// in time order — the input to
+/// [`QueryEngine::logprob_many`](sppl_core::engine::QueryEngine::logprob_many)
+/// on the smoothing posterior.
+pub fn smoothing_queries(n_step: usize) -> Vec<Event> {
+    (0..n_step).map(hidden_state_event).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sppl_core::density::constrain;
+    use sppl_core::engine::QueryEngine;
     use sppl_core::stats::{graph_stats, physical_node_count};
     use sppl_core::Factory;
 
@@ -145,10 +154,14 @@ mod tests {
         let x = [5.1, 4.9, 15.2, 14.8, 15.0];
         let y = [5.0, 3.0, 8.0, 8.0, 9.0];
         let post = constrain(&f, &m, &observation_assignment(&x, &y)).unwrap();
-        let p_z0 = post.prob(&hidden_state_event(0)).unwrap();
-        let p_z3 = post.prob(&hidden_state_event(3)).unwrap();
-        assert!(p_z0 < 0.5, "Z[0] should look low, got {p_z0}");
-        assert!(p_z3 > 0.9, "Z[3] should look high, got {p_z3}");
+        let engine = QueryEngine::new(f, post);
+        let series = engine.prob_many(&smoothing_queries(n)).unwrap();
+        assert!(series[0] < 0.5, "Z[0] should look low, got {}", series[0]);
+        assert!(series[3] > 0.9, "Z[3] should look high, got {}", series[3]);
+        // A warm batch is answered entirely from cache, bit-identically.
+        let warm = engine.prob_many(&smoothing_queries(n)).unwrap();
+        assert_eq!(series, warm);
+        assert_eq!(engine.stats().hits, n as u64);
     }
 
     #[test]

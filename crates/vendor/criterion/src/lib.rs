@@ -7,6 +7,11 @@
 //! is deliberately simple: each benchmark runs a short warmup, then
 //! `sample_size` timed samples, and prints min/median/mean per sample to
 //! stdout. There are no HTML reports, significance tests, or plots.
+//!
+//! Like upstream, passing `--test` on the bench command line
+//! (`cargo bench -- --test`) switches to smoke mode: every benchmark
+//! closure runs exactly once, untimed, so CI can check that bench targets
+//! compile *and* run without paying for the measurement loops.
 
 use std::time::{Duration, Instant};
 
@@ -17,12 +22,14 @@ pub use std::hint::black_box;
 /// Top-level benchmark driver.
 pub struct Criterion {
     default_sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Criterion {
         Criterion {
             default_sample_size: 20,
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
     }
 }
@@ -33,6 +40,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: self.default_sample_size,
+            test_mode: self.test_mode,
             _criterion: self,
         }
     }
@@ -44,7 +52,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let sample_size = self.default_sample_size;
-        run_benchmark(&id.into(), sample_size, f);
+        run_benchmark(&id.into(), sample_size, self.test_mode, f);
         self
     }
 }
@@ -53,6 +61,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    test_mode: bool,
     _criterion: &'a mut Criterion,
 }
 
@@ -71,7 +80,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = format!("{}/{}", self.name, id.into());
-        run_benchmark(&id, self.sample_size, f);
+        run_benchmark(&id, self.sample_size, self.test_mode, f);
         self
     }
 
@@ -83,11 +92,17 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     samples: Vec<Duration>,
     iters_per_sample: u64,
+    test_mode: bool,
 }
 
 impl Bencher {
-    /// Times `routine`, recording one sample per outer run.
+    /// Times `routine`, recording one sample per outer run. In `--test`
+    /// mode the routine runs exactly once, untimed.
     pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
         // One untimed warmup to populate caches/allocator state.
         black_box(routine());
         let start = Instant::now();
@@ -99,11 +114,17 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, test_mode: bool, mut f: F) {
     let mut bencher = Bencher {
         samples: Vec::with_capacity(sample_size),
         iters_per_sample: 1,
+        test_mode,
     };
+    if test_mode {
+        f(&mut bencher);
+        println!("Testing {id} ... ok");
+        return;
+    }
     for _ in 0..sample_size {
         f(&mut bencher);
     }

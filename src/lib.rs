@@ -13,7 +13,10 @@
 //!   given an event (Thm. 4.1 of the paper),
 //! * [`constrain`](sppl_core::constrain) — conditioning on measure-zero
 //!   equality observations,
-//! * [`sample`](sppl_core::Spe::sample) — joint ancestral sampling.
+//! * [`sample`](sppl_core::Spe::sample) — joint ancestral sampling,
+//! * [`QueryEngine`](sppl_core::engine::QueryEngine) — memoized, batched
+//!   `logprob`/`condition` over one compiled model, with cache
+//!   statistics.
 //!
 //! # Quickstart
 //!

@@ -1,0 +1,125 @@
+//! Golden-value tests pinning exact probabilities from the paper's models
+//! as literal constants, so regressions in the `dists`/`sets` arithmetic
+//! fail loudly instead of drifting.
+//!
+//! Sources of truth (independent of the inference engine):
+//!
+//! * Indian GPA (Fig. 2): closed-form mixture arithmetic —
+//!   `P(e) = ½(0.15 + 0.85·¼) + ½(0.9·0.2)` etc.;
+//! * rare-event chain (Fig. 8): a two-state forward recursion
+//!   `α_t(s') = Σ_s α_{t-1}(s)·T(s,s')·P(O=1|s')` evaluated in IEEE
+//!   doubles.
+//!
+//! Every value is queried cold (fresh engine) and warm (second pass over
+//! the same [`QueryEngine`]) and must be bit-identical between the two.
+
+use sppl::models::{indian_gpa, rare_event};
+use sppl::prelude::*;
+
+fn gpa_engine() -> QueryEngine {
+    let f = Factory::new();
+    let model = indian_gpa::model().compile(&f).expect("Fig. 2 compiles");
+    QueryEngine::new(f, model)
+}
+
+fn gpa(v: f64) -> Event {
+    Event::le(Transform::id(Var::new("GPA")), v)
+}
+
+/// Queries cold and warm, asserting bit-identical answers, and checks the
+/// pinned golden value.
+fn assert_golden(engine: &QueryEngine, event: &Event, expected: f64, tol: f64, what: &str) {
+    let cold = engine.prob(event).unwrap();
+    let warm = engine.prob(event).unwrap();
+    assert_eq!(
+        cold.to_bits(),
+        warm.to_bits(),
+        "{what}: warm pass must be bit-identical"
+    );
+    assert!(
+        (cold - expected).abs() < tol,
+        "{what}: got {cold:.17}, pinned {expected:.17}"
+    );
+}
+
+#[test]
+fn indian_gpa_prior_golden_values() {
+    let engine = gpa_engine();
+    // P[GPA ≤ 4] = 0.5·(0.9·0.4) + 0.5·(0.15 + 0.85) — the USA atom at 4
+    // is included.
+    assert_golden(&engine, &gpa(4.0), 0.68, 1e-12, "P[GPA <= 4]");
+    // The atom's jump: P[GPA ≤ 4] − P[GPA < 4] = 0.5·0.15.
+    let below = engine
+        .prob(&Event::lt(Transform::id(Var::new("GPA")), 4.0))
+        .unwrap();
+    assert!(
+        (below - 0.605).abs() < 1e-12,
+        "P[GPA < 4]: got {below:.17}, pinned 0.605"
+    );
+    // P[8 < GPA < 10] = 0.5·0.9·0.2 (India's uniform body only; the atom
+    // at 10 is outside the open interval).
+    assert_golden(
+        &engine,
+        &Event::in_interval(Transform::id(Var::new("GPA")), Interval::open(8.0, 10.0)),
+        0.09,
+        1e-12,
+        "P[8 < GPA < 10]",
+    );
+    // The full support has probability one.
+    assert_golden(&engine, &gpa(12.0), 1.0, 1e-12, "P[GPA <= 12]");
+}
+
+#[test]
+fn indian_gpa_posterior_golden_values() {
+    let engine = gpa_engine();
+    let evidence = indian_gpa::condition_event();
+    // P(e) = 0.5·0.3625 + 0.5·0.18 = 0.27125.
+    assert_golden(&engine, &evidence, 0.27125, 1e-12, "P[Fig. 2f evidence]");
+
+    // Fig. 2g: P(India | e) = 0.09 / 0.27125 = 72/217.
+    let posterior = engine.condition(&evidence).unwrap();
+    let india = Event::eq_str(Transform::id(Var::new("Nationality")), "India");
+    let p_india = posterior.prob(&india).unwrap();
+    assert!(
+        (p_india - 0.331_797_235_023_041_47).abs() < 1e-12,
+        "P[India | e]: got {p_india:.17}, pinned 72/217"
+    );
+}
+
+#[test]
+fn rare_event_chain_golden_log_probabilities() {
+    let f = Factory::new();
+    let model = rare_event::chain_network(20).compile(&f).expect("compiles");
+    let engine = QueryEngine::new(f, model);
+    // Forward recursion over [P(O=1|S) = 0.03/0.70, P(S'=1|S) = 0.01/0.75],
+    // S0 ~ Bernoulli(0.01): ln P[O[0..k] all 1].
+    let golden = [
+        (4usize, -6.820_583_235_567_124),
+        (8, -9.397_897_119_783_108),
+        (13, -12.618_673_037_324_863),
+        (16, -14.551_138_583_652_667),
+        (20, -17.127_759_312_089_733),
+    ];
+    for (k, expected_ln) in golden {
+        let event = rare_event::all_ones_event(k);
+        let cold = engine.logprob(&event).unwrap();
+        let warm = engine.logprob(&event).unwrap();
+        assert_eq!(cold.to_bits(), warm.to_bits(), "k={k} warm pass");
+        assert!(
+            (cold - expected_ln).abs() < 1e-9,
+            "k={k}: ln p = {cold:.15}, pinned {expected_ln:.15}"
+        );
+    }
+    // The batched API returns the same pinned values in one call.
+    let events: Vec<Event> = golden
+        .iter()
+        .map(|&(k, _)| rare_event::all_ones_event(k))
+        .collect();
+    let batch = engine.logprob_many(&events).unwrap();
+    for ((k, expected_ln), got) in golden.iter().zip(&batch) {
+        assert!(
+            (got - expected_ln).abs() < 1e-9,
+            "batched k={k}: ln p = {got:.15}"
+        );
+    }
+}

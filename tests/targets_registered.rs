@@ -14,12 +14,15 @@ fn root() -> &'static Path {
 const ROOT_SUITES: &[&str] = &[
     "tests/closure_properties.rs",
     "tests/engine_agreement.rs",
+    "tests/paper_golden.rs",
     "tests/roundtrip.rs",
     "tests/examples_smoke.rs",
 ];
 
 const CRATE_SUITES: &[&str] = &[
     "crates/sets/tests/algebra.rs",
+    "crates/core/tests/differential_enumerative.rs",
+    "crates/core/tests/engine_cache.rs",
     "crates/core/tests/transform_soundness.rs",
     "crates/lang/tests/translate_tests.rs",
 ];
