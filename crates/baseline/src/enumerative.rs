@@ -208,14 +208,14 @@ impl EnumerativeEngine {
         &self,
         children: &[Spe],
         log_weight: f64,
-        prefix: &mut Vec<Spe>,
+        prefix: &[Spe],
         out: &mut Vec<FlatTerm>,
     ) -> bool {
         // Expand each child into its own term list, then take the
         // cartesian product.
         let mut partial: Vec<FlatTerm> = vec![FlatTerm {
             log_weight,
-            leaves: prefix.clone(),
+            leaves: prefix.to_vec(),
         }];
         for child in children {
             let mut child_terms = Vec::new();

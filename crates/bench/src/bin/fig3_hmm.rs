@@ -1,34 +1,52 @@
 //! Fig. 3: hierarchical HMM smoothing and the linear growth of the
 //! optimized sum-product expression, plus the memoized-query-engine
-//! speedup on repeated smoothing passes.
+//! speedup on repeated smoothing passes and the parallel-batch speedup of
+//! `par_logprob_many` over the sequential path.
+//!
+//! Flags:
+//!
+//! * `--test` — smoke mode: smaller horizon and fewer passes (CI).
+//! * `--json` — additionally write machine-readable results to
+//!   `BENCH_fig3.json` in the working directory.
+//! * `--threads N` — thread count for the parallel batch (default:
+//!   `SPPL_THREADS` or the machine's available parallelism).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sppl_bench::{fmt_count, fmt_secs, timed, Table};
+use sppl_bench::cli::BenchArgs;
+use sppl_bench::json::JsonObject;
+use sppl_bench::{bits_match, fmt_count, fmt_secs, timed, Table};
 use sppl_core::density::constrain;
 use sppl_core::engine::QueryEngine;
 use sppl_core::stats::graph_stats;
-use sppl_core::Factory;
+use sppl_core::{Event, Factory};
 use sppl_models::hmm;
 
-/// Repeated smoothing passes for the cached-vs-uncached comparison: the
-/// filtering dashboards of Sec. 2.2 re-ask the same posterior marginals
-/// every refresh.
-const PASSES: usize = 5;
-
 fn main() {
+    let args = BenchArgs::parse();
+    // Repeated smoothing passes for the cached-vs-uncached comparison: the
+    // filtering dashboards of Sec. 2.2 re-ask the same posterior marginals
+    // every refresh.
+    let passes = if args.test { 2 } else { 5 };
+    let n = if args.test { 64 } else { 100 };
+    let growth: &[usize] = if args.test {
+        &[5, 10, 25]
+    } else {
+        &[5, 10, 25, 50, 100]
+    };
+
     // Growth of the expression with the horizon (Fig. 3c vs 3d).
     let mut table = Table::new(["Steps", "Physical nodes", "Tree-expanded", "Translate"]);
-    for n in [5usize, 10, 25, 50, 100] {
+    for &steps in growth {
         let factory = Factory::new();
         let (spe, t) = timed(|| {
-            hmm::hierarchical_hmm(n)
+            hmm::hierarchical_hmm(steps)
                 .compile(&factory)
                 .expect("compiles")
         });
         let stats = graph_stats(&spe);
         table.row([
-            n.to_string(),
+            steps.to_string(),
             stats.physical_nodes.to_string(),
             fmt_count(stats.tree_nodes),
             fmt_secs(t),
@@ -37,15 +55,16 @@ fn main() {
     println!("Fig. 3d: optimized expression grows linearly in the horizon\n");
     table.print();
 
-    // Smoothing on a simulated 100-step trace (Fig. 3b, bottom panel).
-    let n = 100;
+    // Smoothing on a simulated trace (Fig. 3b, bottom panel).
     let factory = Factory::new();
-    let model = hmm::hierarchical_hmm(n)
-        .compile(&factory)
-        .expect("compiles");
+    let (model, translate_t) = timed(|| {
+        hmm::hierarchical_hmm(n)
+            .compile(&factory)
+            .expect("compiles")
+    });
     let mut rng = StdRng::seed_from_u64(33);
     let trace = hmm::simulate_trace(&mut rng, n);
-    let (posterior, ct) = timed(|| {
+    let (posterior, constrain_t) = timed(|| {
         constrain(
             &factory,
             &model,
@@ -53,15 +72,18 @@ fn main() {
         )
         .expect("positive density")
     });
-    println!("\nsmoothing {n} steps: conditioned in {}", fmt_secs(ct));
+    println!(
+        "\nsmoothing {n} steps: conditioned in {}",
+        fmt_secs(constrain_t)
+    );
 
-    // Repeated smoothing: every pass re-asks all 100 marginals. The
-    // uncached path re-evaluates each query from scratch (per-call memo
-    // only); the query engine memoizes whole queries across passes.
+    // Repeated smoothing: every pass re-asks all marginals. The uncached
+    // path re-evaluates each query from scratch (per-call memo only); the
+    // query engine memoizes whole queries across passes.
     let queries = hmm::smoothing_queries(n);
     let (series, uncached_t) = timed(|| {
         let mut last = Vec::new();
-        for _ in 0..PASSES {
+        for _ in 0..passes {
             last = queries
                 .iter()
                 .map(|q| posterior.prob(q).expect("query"))
@@ -73,7 +95,7 @@ fn main() {
     let engine = QueryEngine::new(factory, posterior);
     let (cached_series, cached_t) = timed(|| {
         let mut last = Vec::new();
-        for _ in 0..PASSES {
+        for _ in 0..passes {
             last = engine.prob_many(&queries).expect("query");
         }
         last
@@ -82,7 +104,7 @@ fn main() {
 
     let stats = engine.stats();
     println!(
-        "{PASSES}x{n} smoothing queries: uncached {} vs cached {} — {:.1}x speedup",
+        "{passes}x{n} smoothing queries: uncached {} vs cached {} — {:.1}x speedup",
         fmt_secs(uncached_t),
         fmt_secs(cached_t),
         uncached_t / cached_t
@@ -97,6 +119,51 @@ fn main() {
         engine.factory().prob_cache_stats().entries,
     );
 
+    // Parallel batch inference: the smoothing marginals plus the pairwise
+    // persistence queries, answered cold by the sequential path and cold
+    // again by `par_logprob_many` over a scoped pool. Evaluations over
+    // the immutable posterior DAG are independent, so the batch is
+    // embarrassingly parallel; results must agree bit for bit.
+    let batch: Vec<Event> = {
+        let mut b = queries.clone();
+        b.extend(hmm::pairwise_queries(n));
+        b
+    };
+    let pool = args.pool();
+    engine.logprob_many(&batch).expect("warmup"); // touch every code path once
+    engine.clear_caches();
+    let (seq_cold, seq_cold_t) = timed(|| engine.logprob_many(&batch).expect("sequential batch"));
+    engine.clear_caches();
+    let (par_cold, par_cold_t) = timed(|| {
+        engine
+            .par_logprob_many_in(&pool, &batch)
+            .expect("parallel batch")
+    });
+    let results_match = bits_match(&seq_cold, &par_cold);
+    assert!(results_match, "parallel batch must be bit-identical");
+    let par_speedup = seq_cold_t / par_cold_t;
+    println!(
+        "\n{}-event batch, cold caches: sequential {} vs parallel {} on {} threads — {:.2}x",
+        batch.len(),
+        fmt_secs(seq_cold_t),
+        fmt_secs(par_cold_t),
+        pool.thread_count(),
+        par_speedup,
+    );
+
+    // Warm parallel pass: everything is engine-cache hits.
+    let (_, par_warm_t) = timed(|| {
+        engine
+            .par_logprob_many_in(&pool, &batch)
+            .expect("warm batch")
+    });
+    let final_stats = engine.stats();
+    println!(
+        "warm parallel repeat: {} (engine hit rate now {:.0}%)",
+        fmt_secs(par_warm_t),
+        final_stats.hit_rate() * 100.0,
+    );
+
     let correct = series
         .iter()
         .zip(&trace.z)
@@ -106,5 +173,29 @@ fn main() {
     println!("\nt, true_z, p_z1");
     for t in (0..n).step_by(5) {
         println!("{t}, {}, {:.4}", trace.z[t], series[t]);
+    }
+
+    if args.json {
+        let json = JsonObject::new()
+            .str("bench", "fig3_hmm")
+            .str("mode", args.mode())
+            .int("steps", n as u64)
+            .int("passes", passes as u64)
+            .int("batch_size", batch.len() as u64)
+            .int("threads", u64::from(pool.thread_count()))
+            .num("translate_s", translate_t)
+            .num("constrain_s", constrain_t)
+            .num("uncached_passes_s", uncached_t)
+            .num("cached_passes_s", cached_t)
+            .num("cached_speedup", uncached_t / cached_t)
+            .num("seq_cold_s", seq_cold_t)
+            .num("par_cold_s", par_cold_t)
+            .num("par_speedup", par_speedup)
+            .num("par_warm_s", par_warm_t)
+            .num("engine_hit_rate", final_stats.hit_rate())
+            .bool("par_matches_seq_bitwise", results_match);
+        json.write("BENCH_fig3.json")
+            .expect("write BENCH_fig3.json");
+        println!("\nwrote BENCH_fig3.json");
     }
 }

@@ -1,38 +1,62 @@
 //! Fig. 8: exact rare-event probabilities vs rejection-sampling
 //! trajectories.
+//!
+//! Flags:
+//!
+//! * `--test` — smoke mode: shorter chain and far fewer sampler draws
+//!   (CI).
+//! * `--json` — additionally write machine-readable results to
+//!   `BENCH_fig8.json` in the working directory.
+//! * `--threads N` — thread count for the parallel batch (default:
+//!   `SPPL_THREADS` or the machine's available parallelism).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sppl_baseline::sampler::RejectionEstimator;
-use sppl_bench::{fmt_secs, timed};
+use sppl_bench::cli::BenchArgs;
+use sppl_bench::json::JsonObject;
+use sppl_bench::{bits_match, fmt_secs, timed};
 use sppl_core::engine::QueryEngine;
 use sppl_core::event::Event;
 use sppl_core::Factory;
 use sppl_models::rare_event;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let chain_len = if args.test { 12 } else { 20 };
+    let max_samples = if args.test { 20_000 } else { 400_000 };
+
     let factory = Factory::new();
-    let (model, t) = timed(|| {
-        rare_event::chain_network(20)
+    let (model, translate_t) = timed(|| {
+        rare_event::chain_network(chain_len)
             .compile(&factory)
             .expect("compiles")
     });
-    println!("chain network translated in {}\n", fmt_secs(t));
+    println!("chain network translated in {}\n", fmt_secs(translate_t));
 
-    // Batched exact answers through the query engine: cold (first pass,
-    // populating the cache) vs warm (repeat of the same batch).
-    let events: Vec<Event> = rare_event::figure8_prefixes()
-        .into_iter()
-        .map(rare_event::all_ones_event)
-        .collect();
+    // Batched exact answers through the query engine — every prefix
+    // probability P[O[0..k] all 1] for k = 1..=chain_len: cold (first
+    // pass, populating the cache), cold again through the parallel path,
+    // then warm (repeat of the same batch).
+    let events: Vec<Event> = (1..=chain_len).map(rare_event::all_ones_event).collect();
     let engine = QueryEngine::new(factory, model.clone());
     let (cold, cold_t) = timed(|| engine.logprob_many(&events).expect("exact"));
+    let pool = args.pool();
+    engine.clear_caches();
+    let (par_cold, par_cold_t) =
+        timed(|| engine.par_logprob_many_in(&pool, &events).expect("exact"));
+    let results_match = bits_match(&cold, &par_cold);
+    assert!(results_match, "parallel batch must be bit-identical");
     let (warm, warm_t) = timed(|| engine.logprob_many(&events).expect("exact"));
     assert_eq!(cold, warm, "warm batch must be bit-identical");
     let stats = engine.stats();
     println!(
-        "batched exact answers: cold {} vs warm {} ({} hits / {} misses / {} entries)\n",
+        "batched exact answers over {} prefixes: cold {} vs parallel-cold {} ({} threads) \
+         vs warm {} ({} hits / {} misses / {} entries)\n",
+        events.len(),
         fmt_secs(cold_t),
+        fmt_secs(par_cold_t),
+        pool.thread_count(),
         fmt_secs(warm_t),
         stats.hits,
         stats.misses,
@@ -40,12 +64,17 @@ fn main() {
     );
 
     let mut rng = StdRng::seed_from_u64(12345);
-    for (k, lp) in rare_event::figure8_prefixes().into_iter().zip(cold) {
+    let prefixes: Vec<usize> = rare_event::figure8_prefixes()
+        .into_iter()
+        .filter(|&k| k <= chain_len)
+        .collect();
+    for &k in &prefixes {
         let event = rare_event::all_ones_event(k);
+        let lp = cold[k - 1];
         println!("== event: O[0..{k}] all 1 — exact log p = {lp:.2} ==");
         let estimator = RejectionEstimator {
-            max_samples: 400_000,
-            checkpoint_every: 100_000,
+            max_samples,
+            checkpoint_every: max_samples / 4,
         };
         for p in estimator.estimate(&model, &event, &mut rng) {
             let log_est = if p.estimate > 0.0 {
@@ -63,4 +92,23 @@ fn main() {
     }
     println!("\nExact answers are O(ms) and deterministic; sampler estimates fluctuate");
     println!("and may report zero hits long past the exact answer's availability.");
+
+    if args.json {
+        let json = JsonObject::new()
+            .str("bench", "fig8_rare_events")
+            .str("mode", args.mode())
+            .int("chain_len", chain_len as u64)
+            .int("batch_size", events.len() as u64)
+            .int("threads", u64::from(pool.thread_count()))
+            .num("translate_s", translate_t)
+            .num("seq_cold_s", cold_t)
+            .num("par_cold_s", par_cold_t)
+            .num("par_speedup", cold_t / par_cold_t)
+            .num("warm_s", warm_t)
+            .num("engine_hit_rate", stats.hit_rate())
+            .bool("par_matches_seq_bitwise", results_match);
+        json.write("BENCH_fig8.json")
+            .expect("write BENCH_fig8.json");
+        println!("\nwrote BENCH_fig8.json");
+    }
 }

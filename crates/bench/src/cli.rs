@@ -1,0 +1,64 @@
+//! Shared flag parsing for the fig/table binaries that support smoke
+//! mode and machine-readable output (`fig3_hmm`, `fig8_rare_events`).
+
+use sppl_core::engine::default_threads;
+use sppl_core::Pool;
+
+/// Flags common to the JSON-emitting bench binaries.
+pub struct BenchArgs {
+    /// `--test`: smoke mode — smaller workloads for CI.
+    pub test: bool,
+    /// `--json`: additionally write a `BENCH_*.json` artifact.
+    pub json: bool,
+    /// `--threads N`: parallel-path thread count (defaults to
+    /// [`default_threads`]).
+    pub threads: usize,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage hint) on an unknown flag or a malformed
+    /// `--threads` value — these are developer-facing binaries.
+    pub fn parse() -> BenchArgs {
+        let mut args = BenchArgs {
+            test: false,
+            json: false,
+            threads: default_threads(),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--test" => args.test = true,
+                "--json" => args.json = true,
+                "--threads" => {
+                    let n = it
+                        .next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .expect("--threads takes a positive integer");
+                    assert!(n >= 1, "--threads takes a positive integer");
+                    args.threads = n;
+                }
+                other => panic!("unknown flag {other} (expected --test, --json, --threads N)"),
+            }
+        }
+        args
+    }
+
+    /// `"test"` or `"full"` — the mode tag written into the JSON
+    /// artifacts.
+    pub fn mode(&self) -> &'static str {
+        if self.test {
+            "test"
+        } else {
+            "full"
+        }
+    }
+
+    /// A scoped pool sized by `--threads`.
+    pub fn pool(&self) -> Pool {
+        Pool::new(self.threads.min(u32::MAX as usize) as u32)
+    }
+}

@@ -1,0 +1,129 @@
+//! A minimal JSON object writer for machine-readable benchmark results
+//! (`BENCH_*.json`). The build is offline — no serde — and the bench
+//! artifacts are flat objects of numbers, strings, and booleans, so a
+//! tiny insertion-ordered builder is all that is needed.
+
+use std::io::Write;
+use std::path::Path;
+
+/// An insertion-ordered flat JSON object builder.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    entries: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    fn push(mut self, key: &str, rendered: String) -> JsonObject {
+        self.entries.push((escape(key), rendered));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(self, key: &str, value: &str) -> JsonObject {
+        let rendered = format!("\"{}\"", escape(value));
+        self.push(key, rendered)
+    }
+
+    /// Adds a finite float field (non-finite values become `null`, which
+    /// plain JSON cannot represent).
+    pub fn num(self, key: &str, value: f64) -> JsonObject {
+        let rendered = if value.is_finite() {
+            // `{:?}` prints shortest-roundtrip floats (`0.1`, not `0.10000..`).
+            format!("{value:?}")
+        } else {
+            "null".to_string()
+        };
+        self.push(key, rendered)
+    }
+
+    /// Adds an integer field.
+    pub fn int(self, key: &str, value: u64) -> JsonObject {
+        self.push(key, value.to_string())
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> JsonObject {
+        self.push(key, value.to_string())
+    }
+
+    /// Renders the object as a pretty-printed JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            out.push_str(&format!("  \"{k}\": {v}"));
+            if i + 1 < self.entries.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Writes the rendered object (plus trailing newline) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", self.render())
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_object() {
+        let j = JsonObject::new()
+            .str("bench", "fig3_hmm")
+            .int("threads", 4)
+            .num("seconds", 0.125)
+            .bool("ok", true);
+        assert_eq!(
+            j.render(),
+            "{\n  \"bench\": \"fig3_hmm\",\n  \"threads\": 4,\n  \"seconds\": 0.125,\n  \"ok\": true\n}"
+        );
+    }
+
+    #[test]
+    fn escapes_strings_and_nulls_non_finite() {
+        let j = JsonObject::new()
+            .str("s", "a\"b\\c\nd")
+            .num("inf", f64::INFINITY)
+            .num("nan", f64::NAN);
+        let r = j.render();
+        assert!(r.contains("a\\\"b\\\\c\\nd"));
+        assert!(r.contains("\"inf\": null"));
+        assert!(r.contains("\"nan\": null"));
+    }
+
+    #[test]
+    fn floats_roundtrip_shortest() {
+        let r = JsonObject::new().num("x", 0.1).render();
+        assert!(r.contains("\"x\": 0.1\n"), "got {r}");
+    }
+}

@@ -87,6 +87,12 @@ impl Table {
     }
 }
 
+/// True when two result series agree bit for bit (the parallel≡sequential
+/// check the fig bins assert and record in their JSON artifacts).
+pub fn bits_match(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
 /// Formats seconds compactly (`12 ms`, `3.42 s`).
 pub fn fmt_secs(s: f64) -> String {
     if s < 1.0 {
@@ -126,4 +132,6 @@ mod tests {
     }
 }
 
+pub mod cli;
+pub mod json;
 pub mod suite;

@@ -1,0 +1,310 @@
+//! A bounded, shared LRU cache for whole-query results — the cross-engine
+//! layer above the [`QueryEngine`](crate::engine::QueryEngine)'s
+//! per-engine memo.
+//!
+//! A serving deployment answers queries against the same compiled model
+//! from many sessions: each session builds its own engine (and possibly
+//! its own [`Factory`](crate::spe::Factory)), but the hot query working
+//! set is shared. The [`SharedCache`] is one process-wide table keyed by
+//! `(model digest, canonical event fingerprint)` — [`Spe::digest`] is a
+//! deep content digest, so engines over *separately compiled* copies of
+//! the same model hit the same entries. Capacity is bounded with
+//! least-recently-used eviction, and hit/miss/eviction counts are exposed
+//! for monitoring.
+//!
+//! Entries are pure values (`ln P⟦S⟧ e` is a function of the model content
+//! and the event alone), so there is no invalidation protocol: a factory
+//! [`clear_caches`](crate::spe::Factory::clear_caches) does not touch
+//! shared caches, and [`SharedCache::clear`] exists only to release
+//! memory.
+//!
+//! Beyond speed, sharing also buys bit-level answer consistency across
+//! sessions: two *separately compiled* copies of a model can order sum
+//! children differently in memory and round a last ulp differently in
+//! log-sum-exp, but engines sharing a cache all serve whichever value
+//! landed first — for as long as that entry stays resident. (After an
+//! LRU eviction a later engine may recompute and re-seed the key with
+//! its own last-ulp variant; engines that promoted the evicted value
+//! into their local caches keep serving it. Size the cache to the hot
+//! working set when bit-stability across sessions matters.)
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sppl_core::prelude::*;
+//!
+//! let cache = Arc::new(SharedCache::new(1024));
+//! let build = || {
+//!     let f = Factory::new();
+//!     let x = f.leaf(
+//!         Var::new("X"),
+//!         Distribution::Real(DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap()),
+//!     );
+//!     QueryEngine::new(f, x).with_shared_cache(Arc::clone(&cache))
+//! };
+//! let (a, b) = (build(), build()); // two sessions, two factories
+//! let e = Event::le(Transform::id(Var::new("X")), 0.0);
+//! a.logprob(&e).unwrap();
+//! b.logprob(&e).unwrap(); // answered from the shared cache
+//! assert_eq!(cache.stats().hits, 1);
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::engine::CacheStats;
+
+/// Cache key: (deep model digest, canonical event fingerprint).
+type Key = (u64, u64);
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Recency bookkeeping: `map` holds the values tagged with their last-use
+/// tick; `order` indexes keys by tick so the least-recently-used entry is
+/// the first `order` entry. Ticks are unique (assigned under the lock), so
+/// `order` is a faithful recency queue.
+struct Lru {
+    map: HashMap<Key, (f64, u64)>,
+    order: BTreeMap<u64, Key>,
+    tick: u64,
+}
+
+/// A bounded cross-engine LRU cache of `logprob` results (see the
+/// [module docs](self)).
+///
+/// One exact LRU under one mutex: recency bookkeeping makes even `get` a
+/// write, so lookups serialize. This is a deliberate tradeoff — engines
+/// promote shared hits into their own sharded caches, so steady-state
+/// traffic (repeat queries) never touches this lock; only each engine's
+/// *first* sight of a key does. If profiling ever shows contention on
+/// many-core cold fan-outs, shard the LRU per key hash (approximate
+/// global recency) — tracked on the ROADMAP.
+pub struct SharedCache {
+    capacity: usize,
+    inner: Mutex<Lru>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SharedCache {
+    /// A cache bounded to `capacity` entries (at least one).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero — a zero-capacity cache would turn
+    /// every insert into an eviction; drop the cache instead.
+    pub fn new(capacity: usize) -> SharedCache {
+        assert!(capacity > 0, "SharedCache capacity must be positive");
+        SharedCache {
+            capacity,
+            inner: Mutex::new(Lru {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up a cached log-probability, refreshing its recency.
+    pub fn get(&self, model_digest: u64, fingerprint: u64) -> Option<f64> {
+        let key = (model_digest, fingerprint);
+        let mut lru = lock(&self.inner);
+        // Destructure so the map entry borrow and the recency structures
+        // can be updated together in one probe (this single mutex is the
+        // contention point; keep its critical section minimal).
+        let Lru { map, order, tick } = &mut *lru;
+        if let Some(entry) = map.get_mut(&key) {
+            order.remove(&entry.1);
+            *tick += 1;
+            order.insert(*tick, key);
+            entry.1 = *tick;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(entry.0)
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Stores a log-probability, evicting the least-recently-used entry
+    /// when the cache is full, and returns the value now authoritative
+    /// for the key.
+    ///
+    /// First write wins: when the key is already present, only its
+    /// recency is refreshed — the stored value is kept and returned,
+    /// upholding the "all engines serve whichever value landed first"
+    /// consistency guarantee when two engines race to fill the same key
+    /// with last-ulp-different recomputations. Callers must serve the
+    /// *returned* value, not the one they computed.
+    pub fn insert(&self, model_digest: u64, fingerprint: u64, value: f64) -> f64 {
+        let key = (model_digest, fingerprint);
+        let mut lru = lock(&self.inner);
+        let Lru { map, order, tick } = &mut *lru;
+        if let Some(entry) = map.get_mut(&key) {
+            order.remove(&entry.1);
+            *tick += 1;
+            order.insert(*tick, key);
+            entry.1 = *tick;
+            return entry.0;
+        }
+        if map.len() >= self.capacity {
+            if let Some((&oldest_tick, &oldest_key)) = order.iter().next() {
+                order.remove(&oldest_tick);
+                map.remove(&oldest_key);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        *tick += 1;
+        order.insert(*tick, key);
+        map.insert(key, (value, *tick));
+        value
+    }
+
+    /// Hit/miss/entry statistics (the same shape every other cache layer
+    /// reports).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: lock(&self.inner).map.len(),
+        }
+    }
+
+    /// Number of entries evicted to respect the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Drops every entry and resets all statistics. Never required for
+    /// correctness (entries are pure values); releases memory.
+    pub fn clear(&self) {
+        let mut lru = lock(&self.inner);
+        lru.map.clear();
+        lru.order.clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for SharedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("SharedCache")
+            .field("capacity", &self.capacity)
+            .field("entries", &stats.entries)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .field("evictions", &self.evictions())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SharedCache::new(0);
+    }
+
+    #[test]
+    fn hit_miss_and_stats() {
+        let c = SharedCache::new(8);
+        assert_eq!(c.get(1, 1), None);
+        c.insert(1, 1, -0.5);
+        assert_eq!(c.get(1, 1), Some(-0.5));
+        assert_eq!(c.get(2, 1), None, "digest is part of the key");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 1));
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn bound_is_respected_and_eviction_is_lru() {
+        let c = SharedCache::new(3);
+        c.insert(0, 1, 1.0);
+        c.insert(0, 2, 2.0);
+        c.insert(0, 3, 3.0);
+        // Touch 1 so 2 becomes the least recently used.
+        assert_eq!(c.get(0, 1), Some(1.0));
+        c.insert(0, 4, 4.0);
+        assert_eq!(c.stats().entries, 3);
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.get(0, 2), None, "LRU entry must be the one evicted");
+        assert_eq!(c.get(0, 1), Some(1.0));
+        assert_eq!(c.get(0, 3), Some(3.0));
+        assert_eq!(c.get(0, 4), Some(4.0));
+    }
+
+    #[test]
+    fn reinserting_existing_key_keeps_first_value_without_eviction() {
+        let c = SharedCache::new(2);
+        c.insert(0, 1, 1.0);
+        c.insert(0, 2, 2.0);
+        // A racing recomputation (possibly a last-ulp-different value)
+        // must not displace what other engines were already served.
+        c.insert(0, 1, 10.0);
+        assert_eq!(c.stats().entries, 2);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.get(0, 1), Some(1.0));
+        // The reinsert still refreshed recency: key 2 is now the LRU.
+        c.insert(0, 3, 3.0);
+        assert_eq!(c.get(0, 2), None);
+        assert_eq!(c.get(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn entries_never_exceed_capacity_under_churn() {
+        let c = SharedCache::new(16);
+        for i in 0..1000u64 {
+            c.insert(i % 7, i, i as f64);
+            assert!(c.stats().entries <= 16);
+        }
+        assert_eq!(c.evictions(), 1000 - 16);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let c = SharedCache::new(4);
+        c.insert(1, 1, 0.0);
+        c.get(1, 1);
+        c.get(1, 2);
+        c.clear();
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+        assert_eq!(c.get(1, 1), None);
+    }
+
+    #[test]
+    fn concurrent_use_stays_bounded() {
+        let c = std::sync::Arc::new(SharedCache::new(32));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..500 {
+                        c.insert(t, i, (t * i) as f64);
+                        c.get(t, i.wrapping_sub(3));
+                    }
+                });
+            }
+        });
+        assert!(c.stats().entries <= 32);
+    }
+}

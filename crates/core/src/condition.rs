@@ -32,15 +32,14 @@ pub fn condition(factory: &Factory, spe: &Spe, event: &Event) -> Result<Spe, Spp
         return condition_uncached(factory, spe, event);
     }
     let key = (spe.ptr_id(), event.fingerprint());
-    if let Some((_, cached)) = factory.cond_cache.borrow().get(&key) {
+    if let Some((_, cached)) = factory.cond_cache.get(&key) {
         factory.cond_counters.hit();
-        return cached.clone();
+        return cached;
     }
     factory.cond_counters.miss();
     let result = condition_uncached(factory, spe, event);
     factory
         .cond_cache
-        .borrow_mut()
         .insert(key, (spe.clone(), result.clone()));
     result
 }
@@ -96,10 +95,8 @@ fn condition_uncached(factory: &Factory, spe: &Spe, event: &Event) -> Result<Spe
                     let mut parts = Vec::with_capacity(clauses.len());
                     let mut weights = Vec::with_capacity(clauses.len());
                     {
-                        let mut borrow;
                         let mut memo = if factory.options().memoize {
-                            borrow = factory.prob_cache.borrow_mut();
-                            crate::prob::ProbMemo::Pinned(&mut borrow, &factory.prob_counters)
+                            crate::prob::ProbMemo::Pinned(factory)
                         } else {
                             crate::prob::ProbMemo::Off
                         };

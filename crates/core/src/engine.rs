@@ -1,5 +1,5 @@
-//! The memoized query engine: repeated and batched inference over one
-//! compiled sum-product expression.
+//! The memoized query engine: repeated, batched, and parallel inference
+//! over one compiled sum-product expression.
 //!
 //! `prob`/`condition` are already memoized *within* a call over the
 //! deduplicated DAG ([`Factory::logprob`], [`condition`]); the
@@ -18,10 +18,33 @@
 //! * conditioning chains ([`QueryEngine::condition_chain`]) reuse both the
 //!   factory's per-step memo and an engine-level prefix cache.
 //!
+//! # Concurrency
+//!
+//! The engine (and the factory underneath) is `Send + Sync`: every cache
+//! is a sharded lock map and every counter an atomic, so one engine can be
+//! shared by reference across threads. Per-event evaluations over the
+//! immutable SPE DAG are independent, which makes wide batches
+//! embarrassingly parallel: [`QueryEngine::par_logprob_many`] fans a batch
+//! out over a scoped thread pool (vendored under `crates/vendor/
+//! threadpool`; thread count from `SPPL_THREADS` or the machine's
+//! available parallelism) and returns results bit-identical to the
+//! sequential path — inference is a pure function of the DAG and the
+//! event, so scheduling cannot perturb values.
+//!
+//! # Invalidation
+//!
 //! Invalidation is tied to [`Factory::clear_caches`] through the factory's
 //! [cache generation](Factory::cache_generation): clearing the factory —
 //! directly or via [`QueryEngine::clear_caches`] — drops the engine's
-//! entries and resets its statistics.
+//! entries and resets its statistics. Every engine-cache entry is tagged
+//! with the generation current when its computation began and is served
+//! only while that tag matches, so a clear racing against in-flight
+//! queries can never resurrect a pre-clear entry.
+//!
+//! Engines answering queries for the *same model* from different sessions
+//! (even via separately compiled factories) can additionally share one
+//! bounded [`SharedCache`] keyed by `(model digest, event fingerprint)` —
+//! see [`QueryEngine::with_shared_cache`].
 //!
 //! # Example
 //!
@@ -41,13 +64,17 @@
 //! assert_eq!(engine.stats().hits, 1);
 //! ```
 
-use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
+use scoped_threadpool::Pool;
+
+use crate::cache::SharedCache;
 use crate::condition::condition;
 use crate::error::SpplError;
 use crate::event::Event;
 use crate::spe::{Factory, Spe};
+use crate::sync_map::ShardedMap;
 
 /// Hit/miss/entry statistics for a memoization cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -72,20 +99,60 @@ impl CacheStats {
     }
 }
 
+/// The batch-inference thread count: `SPPL_THREADS` when set to a positive
+/// integer, otherwise the machine's available parallelism (one when even
+/// that is unknown).
+pub fn default_threads() -> usize {
+    std::env::var("SPPL_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// The process-wide inference pool used by [`QueryEngine::par_logprob_many`]
+/// and friends, sized by [`default_threads`] at first use. Exposed so
+/// benchmarks and servers can submit their own scoped work to the same
+/// workers instead of spawning a second pool.
+///
+/// **Do not call the `par_*` engine methods (or open another scope on
+/// this pool) from inside a job running on this pool**: the inner scope
+/// would block its worker waiting for chunks only the occupied workers
+/// could run — with all workers blocked the process deadlocks (the
+/// vendored pool does not support nested scopes). A server running
+/// request handlers as pool jobs must answer batches with the
+/// sequential API, or dispatch handlers on its own threads and leave
+/// this pool to the engine.
+pub fn global_pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool::new(default_threads().min(u32::MAX as usize) as u32))
+}
+
 /// A memoized query engine over one compiled SPE (see the [module
 /// docs](self)).
 ///
 /// The engine owns its [`Factory`]; build the model first, then hand both
-/// over. All methods take `&self` — caches live behind interior
-/// mutability, matching the factory's own memo tables.
+/// over. All methods take `&self` and the engine is `Send + Sync` —
+/// caches live behind sharded locks and atomics, matching the factory's
+/// own memo tables.
 pub struct QueryEngine {
     factory: Factory,
     root: Spe,
-    logprob_cache: RefCell<HashMap<u64, f64>>,
-    cond_cache: RefCell<HashMap<u64, Spe>>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
-    seen_generation: Cell<u64>,
+    /// Deep model digest, computed lazily (used only by the shared cache).
+    digest: OnceLock<u64>,
+    /// Optional cross-engine result cache.
+    shared: Option<Arc<SharedCache>>,
+    /// Canonical event fingerprint → (generation tag, log-probability).
+    logprob_cache: ShardedMap<u64, (u64, f64)>,
+    /// Chain prefix key → (generation tag, posterior).
+    cond_cache: ShardedMap<u64, (u64, Spe)>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    seen_generation: AtomicU64,
 }
 
 /// Seed for conditioning-chain prefix keys, distinct from any single-event
@@ -105,12 +172,36 @@ impl QueryEngine {
         QueryEngine {
             factory,
             root,
-            logprob_cache: RefCell::new(HashMap::new()),
-            cond_cache: RefCell::new(HashMap::new()),
-            hits: Cell::new(0),
-            misses: Cell::new(0),
-            seen_generation: Cell::new(generation),
+            digest: OnceLock::new(),
+            shared: None,
+            logprob_cache: ShardedMap::new(),
+            cond_cache: ShardedMap::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            seen_generation: AtomicU64::new(generation),
         }
+    }
+
+    /// Attaches a cross-engine [`SharedCache`]: `logprob`/`prob` lookups
+    /// that miss this engine's own cache consult (and fill) the shared
+    /// one, keyed by this model's [deep digest](Spe::digest). Engines over
+    /// separately compiled copies of the same model share entries; shared
+    /// hits still count as engine-level misses (the shared cache keeps its
+    /// own statistics).
+    pub fn with_shared_cache(mut self, cache: Arc<SharedCache>) -> QueryEngine {
+        self.shared = Some(cache);
+        self
+    }
+
+    /// The attached shared cache, if any.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedCache>> {
+        self.shared.as_ref()
+    }
+
+    /// The root expression's deep content digest (the model half of the
+    /// shared-cache key), computed on first use and then cached.
+    pub fn model_digest(&self) -> u64 {
+        *self.digest.get_or_init(|| self.root.digest())
     }
 
     /// The wrapped factory (for node-level cache statistics, or to build
@@ -131,34 +222,75 @@ impl QueryEngine {
 
     /// Drops engine entries when the factory's caches were cleared behind
     /// our back (engine keys pin no nodes, so stale entries would outlive
-    /// the node-level tables they were derived from).
+    /// the node-level tables they were derived from). Generation tags on
+    /// the entries make this airtight under races: even before a lagging
+    /// thread syncs, tagged lookups refuse entries from older generations.
     fn sync_generation(&self) {
-        if self.factory.cache_generation() != self.seen_generation.get() {
-            self.logprob_cache.borrow_mut().clear();
-            self.cond_cache.borrow_mut().clear();
-            self.hits.set(0);
-            self.misses.set(0);
-            self.seen_generation.set(self.factory.cache_generation());
+        let current = self.factory.cache_generation();
+        let mut seen = self.seen_generation.load(Ordering::SeqCst);
+        // Only ever advance: a lagging thread that read an older factory
+        // generation before a concurrent bump must not drag
+        // `seen_generation` backwards (that would wipe freshly valid
+        // entries and reset statistics a second time). Exactly one thread
+        // wins the CAS per bump and performs the sweep.
+        while seen < current {
+            match self.seen_generation.compare_exchange(
+                seen,
+                current,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    self.logprob_cache.clear();
+                    self.cond_cache.clear();
+                    self.hits.store(0, Ordering::Relaxed);
+                    self.misses.store(0, Ordering::Relaxed);
+                    break;
+                }
+                Err(actual) => seen = actual,
+            }
         }
     }
 
     /// Natural log of the probability of `event` under the root,
-    /// memoized across calls.
+    /// memoized across calls (and across engines, when a shared cache is
+    /// attached).
     ///
     /// # Errors
     ///
     /// Same conditions as [`Spe::logprob`].
     pub fn logprob(&self, event: &Event) -> Result<f64, SpplError> {
         self.sync_generation();
+        let generation = self.factory.cache_generation();
         let canonical = event.canonical();
         let key = canonical.fingerprint();
-        if let Some(&v) = self.logprob_cache.borrow().get(&key) {
-            self.hits.set(self.hits.get() + 1);
-            return Ok(v);
+        if let Some((tag, value)) = self.logprob_cache.get(&key) {
+            if tag == generation {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(value);
+            }
         }
-        let value = self.factory.logprob(&self.root, &canonical)?;
-        self.misses.set(self.misses.get() + 1);
-        self.logprob_cache.borrow_mut().insert(key, value);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(shared) = &self.shared {
+            if let Some(value) = shared.get(self.model_digest(), key) {
+                // Promote into the engine-local cache so the next lookup
+                // is lock-cheap.
+                self.logprob_cache.insert(key, (generation, value));
+                return Ok(value);
+            }
+        }
+        let computed = self.factory.logprob(&self.root, &canonical)?;
+        // The shared cache is authoritative: if another engine won the
+        // first-fill race with a last-ulp-different recomputation, adopt
+        // and serve *its* value so every engine stays bit-consistent.
+        let value = match &self.shared {
+            Some(shared) => shared.insert(self.model_digest(), key, computed),
+            None => computed,
+        };
+        // Tagged with the generation read *before* computing: if a
+        // clear_caches raced this evaluation, the tag is already stale and
+        // the entry will never be served.
+        self.logprob_cache.insert(key, (generation, value));
         Ok(value)
     }
 
@@ -193,6 +325,83 @@ impl QueryEngine {
         events.iter().map(|e| self.prob(e)).collect()
     }
 
+    /// Parallel [`QueryEngine::logprob_many`] over the process-wide
+    /// [`global_pool`]: the batch is chunked across the pool's workers,
+    /// which share this engine's caches concurrently. Results are
+    /// bit-identical to the sequential path (inference is pure; the memo
+    /// tables only ever hand back values the same computation would
+    /// produce). Must not be called from a job already running on the
+    /// global pool — nested scopes deadlock (see [`global_pool`]); use
+    /// [`QueryEngine::logprob_many`] there, or
+    /// [`QueryEngine::par_logprob_many_in`] with a distinct pool.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Spe::logprob`]. Unlike the sequential path,
+    /// all events are evaluated even when one errors; the error returned
+    /// is the earliest-indexed one, matching what `logprob_many` would
+    /// have reported.
+    pub fn par_logprob_many(&self, events: &[Event]) -> Result<Vec<f64>, SpplError> {
+        self.par_logprob_many_in(global_pool(), events)
+    }
+
+    /// [`QueryEngine::par_logprob_many`] on a caller-provided pool (for
+    /// servers owning their own pool, or benchmarks varying thread
+    /// counts).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QueryEngine::par_logprob_many`].
+    pub fn par_logprob_many_in(
+        &self,
+        pool: &Pool,
+        events: &[Event],
+    ) -> Result<Vec<f64>, SpplError> {
+        if pool.thread_count() <= 1 || events.len() < 2 {
+            return self.logprob_many(events);
+        }
+        // More chunks than workers so an expensive event cannot leave the
+        // other workers idle behind one long chunk.
+        let jobs = (pool.thread_count() as usize * 4).min(events.len());
+        let chunk = events.len().div_ceil(jobs);
+        let mut out: Vec<Option<Result<f64, SpplError>>> = Vec::new();
+        out.resize_with(events.len(), || None);
+        pool.scoped(|scope| {
+            for (evs, outs) in events.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.execute(move || {
+                    for (event, slot) in evs.iter().zip(outs.iter_mut()) {
+                        *slot = Some(self.logprob(event));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("scoped pool evaluated every chunk"))
+            .collect()
+    }
+
+    /// Parallel [`QueryEngine::prob_many`] with the same clamping.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QueryEngine::par_logprob_many`].
+    pub fn par_prob_many(&self, events: &[Event]) -> Result<Vec<f64>, SpplError> {
+        self.par_prob_many_in(global_pool(), events)
+    }
+
+    /// [`QueryEngine::par_prob_many`] on a caller-provided pool.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QueryEngine::par_logprob_many`].
+    pub fn par_prob_many_in(&self, pool: &Pool, events: &[Event]) -> Result<Vec<f64>, SpplError> {
+        Ok(self
+            .par_logprob_many_in(pool, events)?
+            .into_iter()
+            .map(|lp| lp.exp().clamp(0.0, 1.0))
+            .collect())
+    }
+
     /// Conditions the root on `event` (Thm. 4.1), memoized across calls.
     ///
     /// # Errors
@@ -215,20 +424,22 @@ impl QueryEngine {
     /// probability zero.
     pub fn condition_chain(&self, events: &[Event]) -> Result<Spe, SpplError> {
         self.sync_generation();
+        let generation = self.factory.cache_generation();
         let mut current = self.root.clone();
         let mut key = CHAIN_SEED;
         for event in events {
             let canonical = event.canonical();
             key = chain_key(key, canonical.fingerprint());
-            let cached = self.cond_cache.borrow().get(&key).cloned();
-            if let Some(posterior) = cached {
-                self.hits.set(self.hits.get() + 1);
-                current = posterior;
-                continue;
+            if let Some((tag, posterior)) = self.cond_cache.get(&key) {
+                if tag == generation {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    current = posterior;
+                    continue;
+                }
             }
             current = condition(&self.factory, &current, &canonical)?;
-            self.misses.set(self.misses.get() + 1);
-            self.cond_cache.borrow_mut().insert(key, current.clone());
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.cond_cache.insert(key, (generation, current.clone()));
         }
         Ok(current)
     }
@@ -236,18 +447,21 @@ impl QueryEngine {
     /// Engine-level cache statistics: hits and misses across the
     /// `logprob` and `condition` paths, and total entries stored. For the
     /// node-level tables underneath, see [`Factory::prob_cache_stats`] and
-    /// [`Factory::cond_cache_stats`].
+    /// [`Factory::cond_cache_stats`]; for the cross-engine layer, see
+    /// [`SharedCache::stats`].
     pub fn stats(&self) -> CacheStats {
         self.sync_generation();
         CacheStats {
-            hits: self.hits.get(),
-            misses: self.misses.get(),
-            entries: self.logprob_cache.borrow().len() + self.cond_cache.borrow().len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.logprob_cache.len() + self.cond_cache.len(),
         }
     }
 
     /// Clears the engine caches, the factory caches underneath, and all
-    /// statistics.
+    /// statistics. An attached [`SharedCache`] is *not* cleared — its
+    /// entries are pure values shared with other engines; clear it
+    /// explicitly via [`SharedCache::clear`] if the memory must go.
     pub fn clear_caches(&self) {
         self.factory.clear_caches();
         // clear_caches bumped the generation; syncing drops engine entries
@@ -310,6 +524,47 @@ mod tests {
     }
 
     #[test]
+    fn parallel_batch_is_bit_identical() {
+        let engine = engine_xy();
+        let events: Vec<Event> = (0..96)
+            .map(|i| le(if i % 2 == 0 { "X" } else { "Y" }, f64::from(i) / 16.0))
+            .collect();
+        let seq = engine.logprob_many(&events).unwrap();
+        engine.clear_caches();
+        let pool = Pool::new(4);
+        let par = engine.par_logprob_many_in(&pool, &events).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.to_bits(), p.to_bits());
+        }
+        let par_probs = engine.par_prob_many_in(&pool, &events).unwrap();
+        for (lp, p) in par.iter().zip(&par_probs) {
+            assert_eq!(lp.exp().clamp(0.0, 1.0).to_bits(), p.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_error_matches_sequential() {
+        let engine = engine_xy();
+        let mut events: Vec<Event> = (0..16).map(|i| le("X", f64::from(i))).collect();
+        events.insert(7, le("Nope", 0.0));
+        let seq_err = engine.logprob_many(&events).unwrap_err();
+        let par_err = engine
+            .par_logprob_many_in(&Pool::new(3), &events)
+            .unwrap_err();
+        assert_eq!(seq_err, par_err);
+    }
+
+    #[test]
+    fn parallel_on_single_thread_pool_falls_back() {
+        let engine = engine_xy();
+        let events = vec![le("X", 0.0), le("Y", 0.5)];
+        let pool = Pool::new(1);
+        let got = engine.par_logprob_many_in(&pool, &events).unwrap();
+        assert_eq!(got, engine.logprob_many(&events).unwrap());
+    }
+
+    #[test]
     fn condition_chain_matches_conjunction() {
         let engine = engine_xy();
         let e1 = le("X", 0.0);
@@ -361,6 +616,50 @@ mod tests {
             engine.logprob(&le("Nope", 0.0)),
             Err(SpplError::UnknownVariable { .. })
         ));
+    }
+
+    #[test]
+    fn shared_cache_crosses_engines() {
+        let cache = Arc::new(SharedCache::new(64));
+        let a = {
+            let f = Factory::new();
+            let p = f
+                .product(vec![normal(&f, "X", 0.0), normal(&f, "Y", 0.0)])
+                .unwrap();
+            QueryEngine::new(f, p).with_shared_cache(Arc::clone(&cache))
+        };
+        let b = {
+            let f = Factory::new();
+            let p = f
+                .product(vec![normal(&f, "Y", 0.0), normal(&f, "X", 0.0)])
+                .unwrap();
+            QueryEngine::new(f, p).with_shared_cache(Arc::clone(&cache))
+        };
+        assert_eq!(
+            a.model_digest(),
+            b.model_digest(),
+            "same model content must share one digest across factories"
+        );
+        let e = Event::and(vec![le("X", 0.25), le("Y", -0.5)]);
+        let va = a.logprob(&e).unwrap();
+        let before = cache.stats();
+        let vb = b.logprob(&e).unwrap();
+        let after = cache.stats();
+        assert_eq!(va.to_bits(), vb.to_bits());
+        assert_eq!(
+            after.hits,
+            before.hits + 1,
+            "engine b must hit the shared cache"
+        );
+        // Engine b recorded an engine-level miss but never touched its
+        // factory's evaluator for the whole query.
+        assert_eq!(b.stats().misses, 1);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+        assert!(global_pool().thread_count() >= 1);
     }
 
     #[test]

@@ -65,6 +65,7 @@
 //! assert!((posterior.prob(&event).unwrap() - 1.0).abs() < 1e-9);
 //! ```
 
+pub mod cache;
 pub mod condition;
 pub mod density;
 pub mod disjoin;
@@ -75,29 +76,37 @@ pub mod prob;
 pub mod simulate;
 pub mod spe;
 pub mod stats;
+mod sync_map;
 pub mod transform;
 pub mod var;
 
+pub use cache::SharedCache;
 pub use condition::condition;
 pub use density::{constrain, Assignment};
-pub use engine::{CacheStats, QueryEngine};
+pub use engine::{default_threads, global_pool, CacheStats, QueryEngine};
 pub use error::SpplError;
 pub use event::Event;
 pub use spe::{Factory, Spe};
 pub use transform::Transform;
 pub use var::Var;
 
+// Re-exported so downstream crates can size and share inference pools
+// without depending on the vendored crate directly.
+pub use scoped_threadpool::Pool;
+
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
+    pub use crate::cache::SharedCache;
     pub use crate::condition::condition;
     pub use crate::density::{constrain, Assignment};
-    pub use crate::engine::{CacheStats, QueryEngine};
+    pub use crate::engine::{default_threads, global_pool, CacheStats, QueryEngine};
     pub use crate::error::SpplError;
     pub use crate::event::Event;
     pub use crate::simulate::Sample;
     pub use crate::spe::{Factory, Spe};
     pub use crate::transform::Transform;
     pub use crate::var::Var;
+    pub use scoped_threadpool::Pool;
     pub use sppl_dists::{Cdf, DistInt, DistReal, DistStr, Distribution};
     pub use sppl_sets::{Interval, Outcome, OutcomeSet, RealSet, StringSet};
 }

@@ -14,19 +14,24 @@ use sppl_num::float::logsumexp;
 use crate::disjoin::{solve_and_disjoin, Clause};
 use crate::error::SpplError;
 use crate::event::Event;
-use crate::spe::{leaf_event_outcomes, CacheCounters, Factory, Node, Spe};
+use crate::spe::{leaf_event_outcomes, Factory, Node, Spe};
 use crate::transform::Transform;
 
 /// Memoization storage for probability queries: either a per-call local
 /// table (safe because the queried expression pins all its descendants for
-/// the duration of the call) or the factory's persistent table, whose
-/// entries pin their key nodes so pointer keys can never be reused.
+/// the duration of the call) or the factory's persistent sharded table,
+/// whose entries pin their key nodes so pointer keys can never be reused.
+///
+/// The pinned variant holds only a factory reference — every lookup and
+/// insert is a single sharded-lock operation, never held across the
+/// recursion, so concurrent queries interleave freely (see
+/// [`ShardedMap`](crate::sync_map::ShardedMap) on why racing fills are
+/// benign).
 pub(crate) enum ProbMemo<'a> {
     /// Fresh per-call table.
     Local(HashMap<(usize, u64), f64>),
-    /// The factory's persistent, key-pinning table plus its hit/miss
-    /// counters.
-    Pinned(&'a mut HashMap<(usize, u64), (Spe, f64)>, &'a CacheCounters),
+    /// The factory's persistent, key-pinning concurrent table.
+    Pinned(&'a Factory),
     /// Memoization disabled (the Sec. 5.1 ablation).
     Off,
 }
@@ -35,12 +40,12 @@ impl ProbMemo<'_> {
     fn get(&self, key: &(usize, u64)) -> Option<f64> {
         match self {
             ProbMemo::Local(m) => m.get(key).copied(),
-            ProbMemo::Pinned(m, counters) => {
-                let hit = m.get(key).map(|(_, v)| *v);
+            ProbMemo::Pinned(factory) => {
+                let hit = factory.prob_cache.get(key).map(|(_, v)| v);
                 if hit.is_some() {
-                    counters.hit();
+                    factory.prob_counters.hit();
                 } else {
-                    counters.miss();
+                    factory.prob_counters.miss();
                 }
                 hit
             }
@@ -53,8 +58,8 @@ impl ProbMemo<'_> {
             ProbMemo::Local(m) => {
                 m.insert(key, value);
             }
-            ProbMemo::Pinned(m, _) => {
-                m.insert(key, (spe.clone(), value));
+            ProbMemo::Pinned(factory) => {
+                factory.prob_cache.insert(key, (spe.clone(), value));
             }
             ProbMemo::Off => {}
         }
@@ -103,8 +108,7 @@ impl Factory {
         if !self.options().memoize {
             return spe.logprob(event);
         }
-        let mut cache = self.prob_cache.borrow_mut();
-        let mut memo = ProbMemo::Pinned(&mut cache, &self.prob_counters);
+        let mut memo = ProbMemo::Pinned(self);
         logprob_memo(spe, event, &mut memo)
     }
 }
@@ -351,6 +355,6 @@ mod tests {
         let p1 = f.logprob(&x, &e).unwrap();
         let p2 = f.logprob(&x, &e).unwrap();
         assert_eq!(p1, p2);
-        assert!(!f.prob_cache.borrow().is_empty());
+        assert!(f.prob_cache.len() > 0);
     }
 }

@@ -10,11 +10,11 @@
 //! instead of computing hash functions that require an expensive subtree
 //! traversal").
 
-use std::cell::{Cell, RefCell};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sppl_dists::{Cdf, Distribution};
@@ -22,6 +22,7 @@ use sppl_num::float::logsumexp;
 
 use crate::error::SpplError;
 use crate::event::Event;
+use crate::sync_map::ShardedMap;
 use crate::transform::Transform;
 use crate::var::Var;
 
@@ -136,6 +137,57 @@ impl Spe {
             Node::Product { children, .. } => children.clone(),
         }
     }
+
+    /// A deep structural digest of the expression: equal for any two
+    /// expressions with identical content, regardless of which [`Factory`]
+    /// built them or in what order (sum and product children are folded in
+    /// a canonical, content-derived order). Computed in one DAG traversal
+    /// (shared subgraphs are hashed once, by pointer memo).
+    ///
+    /// This is the "model digest" half of the
+    /// [`SharedCache`](crate::cache::SharedCache) key, letting engines
+    /// over separately compiled copies of the same model share one cache.
+    pub fn digest(&self) -> u64 {
+        fn rec(spe: &Spe, memo: &mut HashMap<usize, u64>) -> u64 {
+            if let Some(&d) = memo.get(&spe.ptr_id()) {
+                return d;
+            }
+            let mut h = DefaultHasher::new();
+            match spe.node() {
+                Node::Leaf { var, dist, env, .. } => {
+                    0u8.hash(&mut h);
+                    var.hash(&mut h);
+                    hash_distribution(dist, &mut h);
+                    env.hash(&mut h);
+                }
+                Node::Sum { children, .. } => {
+                    1u8.hash(&mut h);
+                    // Pointer order is canonical only within one factory;
+                    // sort by (child digest, weight) for cross-factory
+                    // stability.
+                    let mut parts: Vec<(u64, u64)> = children
+                        .iter()
+                        .map(|(c, w)| (rec(c, memo), w.to_bits()))
+                        .collect();
+                    parts.sort_unstable();
+                    parts.hash(&mut h);
+                }
+                Node::Product { children, .. } => {
+                    2u8.hash(&mut h);
+                    // Factor order is already content-canonical (sorted by
+                    // smallest scope variable, scopes disjoint), but sort
+                    // digests anyway so the digest never depends on it.
+                    let mut parts: Vec<u64> = children.iter().map(|c| rec(c, memo)).collect();
+                    parts.sort_unstable();
+                    parts.hash(&mut h);
+                }
+            }
+            let d = h.finish();
+            memo.insert(spe.ptr_id(), d);
+            d
+        }
+        rec(self, &mut HashMap::new())
+    }
 }
 
 impl fmt::Display for Spe {
@@ -205,45 +257,54 @@ impl Default for FactoryOptions {
 /// The memo tables are keyed by physical node address, which is only
 /// stable while the node is alive — so each cache entry *pins* its key
 /// node (the stored `Spe` handle), making address reuse impossible.
+///
+/// The factory is `Send + Sync`: the intern table and both memo tables
+/// are sharded [`ShardedMap`]s, and the statistics/generation counters are
+/// atomics, so one factory can serve interning and memoized inference from
+/// many threads at once ([`QueryEngine::par_logprob_many`] relies on
+/// this).
+///
+/// [`QueryEngine::par_logprob_many`]:
+///     crate::engine::QueryEngine::par_logprob_many
 pub struct Factory {
     options: FactoryOptions,
-    intern: RefCell<HashMap<u64, Vec<Spe>>>,
+    intern: ShardedMap<u64, Vec<Spe>>,
+    pub(crate) prob_cache: ShardedMap<(usize, u64), (Spe, f64)>,
     #[allow(clippy::type_complexity)]
-    pub(crate) prob_cache: RefCell<HashMap<(usize, u64), (Spe, f64)>>,
-    #[allow(clippy::type_complexity)]
-    pub(crate) cond_cache: RefCell<HashMap<(usize, u64), (Spe, Result<Spe, SpplError>)>>,
+    pub(crate) cond_cache: ShardedMap<(usize, u64), (Spe, Result<Spe, SpplError>)>,
     pub(crate) prob_counters: CacheCounters,
     pub(crate) cond_counters: CacheCounters,
-    generation: Cell<u64>,
+    generation: AtomicU64,
 }
 
-/// Hit/miss counters for one factory-level memo table.
+/// Hit/miss counters for one factory-level memo table (relaxed atomics —
+/// the counts are monitoring data, not synchronization).
 #[derive(Debug, Default)]
 pub(crate) struct CacheCounters {
-    hits: Cell<u64>,
-    misses: Cell<u64>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl CacheCounters {
     pub(crate) fn hit(&self) {
-        self.hits.set(self.hits.get() + 1);
+        self.hits.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn miss(&self) {
-        self.misses.set(self.misses.get() + 1);
+        self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
     fn snapshot(&self, entries: usize) -> crate::engine::CacheStats {
         crate::engine::CacheStats {
-            hits: self.hits.get(),
-            misses: self.misses.get(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
             entries,
         }
     }
 
     fn reset(&self) {
-        self.hits.set(0);
-        self.misses.set(0);
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -251,7 +312,7 @@ impl fmt::Debug for Factory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Factory")
             .field("options", &self.options)
-            .field("interned", &self.intern.borrow().len())
+            .field("interned", &self.interned_count())
             .finish()
     }
 }
@@ -273,12 +334,12 @@ impl Factory {
     pub fn with_options(options: FactoryOptions) -> Factory {
         Factory {
             options,
-            intern: RefCell::new(HashMap::new()),
-            prob_cache: RefCell::new(HashMap::new()),
-            cond_cache: RefCell::new(HashMap::new()),
+            intern: ShardedMap::new(),
+            prob_cache: ShardedMap::new(),
+            cond_cache: ShardedMap::new(),
             prob_counters: CacheCounters::default(),
             cond_counters: CacheCounters::default(),
-            generation: Cell::new(0),
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -507,38 +568,48 @@ impl Factory {
 
     /// Number of physically distinct nodes interned so far.
     pub fn interned_count(&self) -> usize {
-        self.intern.borrow().values().map(Vec::len).sum()
+        // Buckets hold hash-colliding nodes; count nodes, not buckets.
+        self.intern.fold_values(0, |acc, bucket| acc + bucket.len())
     }
 
     /// Clears the memoization caches and resets their hit/miss statistics
     /// (the intern table is kept), and bumps the cache generation so that
     /// engines layered on this factory (see
     /// [`QueryEngine`](crate::engine::QueryEngine)) drop their own entries.
+    ///
+    /// Safe to call while other threads are mid-query: the generation is
+    /// bumped *before* the tables are swept, and engines tag every entry
+    /// they store with the generation current when its computation began,
+    /// so an entry derived from pre-clear state is never served after the
+    /// bump (see `QueryEngine`'s generation discipline). Memo values are
+    /// pure functions of (node, event), so racing fills that land after
+    /// the sweep are still correct — the clear is about memory and
+    /// statistics, not semantics.
     pub fn clear_caches(&self) {
-        self.prob_cache.borrow_mut().clear();
-        self.cond_cache.borrow_mut().clear();
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        self.prob_cache.clear();
+        self.cond_cache.clear();
         self.prob_counters.reset();
         self.cond_counters.reset();
-        self.generation.set(self.generation.get() + 1);
     }
 
     /// A monotone counter bumped by every [`Factory::clear_caches`] call.
     /// Caches keyed on this factory's memo tables compare generations to
     /// detect invalidation.
     pub fn cache_generation(&self) -> u64 {
-        self.generation.get()
+        self.generation.load(Ordering::SeqCst)
     }
 
     /// Hit/miss/entry statistics of the persistent node-level probability
     /// cache used by [`Factory::logprob`].
     pub fn prob_cache_stats(&self) -> crate::engine::CacheStats {
-        self.prob_counters.snapshot(self.prob_cache.borrow().len())
+        self.prob_counters.snapshot(self.prob_cache.len())
     }
 
     /// Hit/miss/entry statistics of the persistent node-level conditioning
     /// cache used by [`condition`](crate::condition::condition).
     pub fn cond_cache_stats(&self) -> crate::engine::CacheStats {
-        self.cond_counters.snapshot(self.cond_cache.borrow().len())
+        self.cond_counters.snapshot(self.cond_cache.len())
     }
 
     fn intern(&self, node: Node) -> Spe {
@@ -546,16 +617,20 @@ impl Factory {
             return Spe(Arc::new(node));
         }
         let key = shallow_hash(&node);
-        let mut table = self.intern.borrow_mut();
-        let bucket = table.entry(key).or_default();
-        for existing in bucket.iter() {
-            if shallow_eq(existing.node(), &node) {
-                return existing.clone();
+        // Find-or-insert under the shard's exclusive lock, so two threads
+        // interning equal nodes concurrently converge on one physical
+        // node — the O(1) pointer-identity invariant survives races.
+        self.intern.with_shard_mut(&key, |table| {
+            let bucket = table.entry(key).or_default();
+            for existing in bucket.iter() {
+                if shallow_eq(existing.node(), &node) {
+                    return existing.clone();
+                }
             }
-        }
-        let spe = Spe(Arc::new(node));
-        bucket.push(spe.clone());
-        spe
+            let spe = Spe(Arc::new(node));
+            bucket.push(spe.clone());
+            spe
+        })
     }
 }
 

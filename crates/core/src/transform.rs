@@ -117,7 +117,9 @@ impl Transform {
         Transform::poly(self, Polynomial::new(vec![0.0, c]))
     }
 
-    /// `-self`.
+    /// `-self`. An inherent method (not `std::ops::Neg`) so call sites
+    /// don't need the trait in scope.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Transform {
         self.mul_const(-1.0)
     }

@@ -1,0 +1,279 @@
+//! Concurrency guarantees of the core: `Send + Sync` bounds hold at
+//! compile time, parallel batches agree bit-for-bit with the sequential
+//! path, the intern table keeps its pointer-identity invariant under
+//! racing builders, and cache-generation invalidation never serves a
+//! pre-clear entry across a racing `clear_caches`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use sppl_core::prelude::*;
+
+/// Compile-time `Send + Sync` witnesses: if any of these regress (say a
+/// `RefCell` sneaks back into a cache), this test file stops compiling.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<Spe>();
+    assert_send_sync::<Factory>();
+    assert_send_sync::<QueryEngine>();
+    assert_send_sync::<SharedCache>();
+    assert_send_sync::<Event>();
+    assert_send_sync::<SpplError>();
+    assert_send_sync::<Pool>();
+};
+
+fn normal(f: &Factory, name: &str, mu: f64) -> Spe {
+    f.leaf(
+        Var::new(name),
+        Distribution::Real(DistReal::new(Cdf::normal(mu, 1.0), Interval::all()).unwrap()),
+    )
+}
+
+/// A three-variable mixture-of-products model with enough structure that
+/// queries exercise sums, products, and the disjoin path.
+fn build_model(f: &Factory) -> Spe {
+    let mk = |mu: f64| -> Spe {
+        f.product(vec![
+            normal(f, "X", mu),
+            normal(f, "Y", -mu),
+            f.leaf(
+                Var::new("K"),
+                Distribution::Int(
+                    DistInt::new(Cdf::poisson(2.0 + mu.abs()), 0.0, f64::INFINITY).unwrap(),
+                ),
+            ),
+        ])
+        .unwrap()
+    };
+    f.sum(vec![
+        (mk(0.0), 0.5f64.ln()),
+        (mk(2.0), 0.3f64.ln()),
+        (mk(-1.0), 0.2f64.ln()),
+    ])
+    .unwrap()
+}
+
+fn engine() -> QueryEngine {
+    let f = Factory::new();
+    let m = build_model(&f);
+    QueryEngine::new(f, m)
+}
+
+/// A wide batch of distinct events mixing conjunctions, disjunctions, and
+/// transformed literals.
+fn batch(n: usize) -> Vec<Event> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / 8.0 - 2.0;
+            let x = Transform::id(Var::new("X"));
+            let y = Transform::id(Var::new("Y"));
+            let k = Transform::id(Var::new("K"));
+            match i % 4 {
+                0 => Event::le(x, t),
+                1 => Event::and(vec![Event::le(x, t), Event::gt(y, -t)]),
+                2 => Event::or(vec![
+                    Event::le(x.pow_int(2), t.abs() + 0.5),
+                    Event::le(k, 3.0),
+                ]),
+                _ => Event::and(vec![Event::le(y.abs(), t.abs() + 0.1), Event::gt(k, 1.0)]),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn par_batch_bit_identical_to_sequential_on_wide_batch() {
+    let events = batch(128);
+    let eng = engine();
+    let seq = eng.logprob_many(&events).unwrap();
+
+    // Same compiled model, caches dropped: the parallel run starts cold.
+    // (Bit-identity is guaranteed per compiled model instance; a
+    // *separately built* factory may order sum children differently by
+    // pointer and round a last ulp differently in logsumexp.)
+    eng.clear_caches();
+    let pool = Pool::new(8);
+    let par = eng.par_logprob_many_in(&pool, &events).unwrap();
+    assert_eq!(seq.len(), par.len());
+    for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+        assert_eq!(s.to_bits(), p.to_bits(), "event {i} diverged");
+    }
+
+    // Re-running the parallel batch is answered from cache, still
+    // bit-identical.
+    let warm = eng.par_logprob_many_in(&pool, &events).unwrap();
+    for (s, w) in seq.iter().zip(&warm) {
+        assert_eq!(s.to_bits(), w.to_bits());
+    }
+    // Through the global pool too.
+    let global = eng.par_logprob_many(&events).unwrap();
+    for (s, g) in seq.iter().zip(&global) {
+        assert_eq!(s.to_bits(), g.to_bits());
+    }
+}
+
+#[test]
+fn many_threads_querying_one_engine_agree() {
+    let eng = Arc::new(engine());
+    let events = batch(64);
+    let reference = eng.logprob_many(&events).unwrap();
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let eng = Arc::clone(&eng);
+            let events = &events;
+            let reference = &reference;
+            s.spawn(move || {
+                // Stagger starting offsets so threads collide on different
+                // cache shards over time.
+                for i in 0..events.len() {
+                    let j = (i + t * 7) % events.len();
+                    let got = eng.logprob(&events[j]).unwrap();
+                    assert_eq!(got.to_bits(), reference[j].to_bits());
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn concurrent_interning_preserves_pointer_identity() {
+    let f = Factory::new();
+    let handles: Vec<Spe> = std::thread::scope(|s| {
+        let threads: Vec<_> = (0..8).map(|_| s.spawn(|| build_model(&f))).collect();
+        threads.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+    for h in &handles[1..] {
+        assert!(
+            h.same(&handles[0]),
+            "racing builders of identical structure must intern one node"
+        );
+    }
+}
+
+/// Regression test for generation invalidation under races: readers
+/// hammer the engine while a writer repeatedly clears all caches.
+/// Every answer must stay bit-identical to the reference (no stale or
+/// torn entry may ever be served), and a final quiescent clear must leave
+/// empty statistics.
+#[test]
+fn clear_caches_racing_queries_never_serves_stale_entries() {
+    let eng = Arc::new(engine());
+    let events = batch(48);
+    let reference = eng.logprob_many(&events).unwrap();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let eng = Arc::clone(&eng);
+            let events = &events;
+            let reference = &reference;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut i = t;
+                while !stop.load(Ordering::Relaxed) {
+                    let j = i % events.len();
+                    let got = eng.logprob(&events[j]).unwrap();
+                    assert_eq!(
+                        got.to_bits(),
+                        reference[j].to_bits(),
+                        "query {j} diverged while racing clear_caches"
+                    );
+                    i += 1;
+                }
+            });
+        }
+        // Clear through both entry points, repeatedly, while the readers
+        // run. Each clear bumps the factory generation.
+        let clearer = {
+            let eng = Arc::clone(&eng);
+            let stop = &stop;
+            s.spawn(move || {
+                for k in 0..200 {
+                    if k % 2 == 0 {
+                        eng.clear_caches();
+                    } else {
+                        eng.factory().clear_caches();
+                    }
+                    std::thread::yield_now();
+                }
+                stop.store(true, Ordering::Relaxed);
+            })
+        };
+        clearer.join().unwrap();
+    });
+
+    assert!(eng.factory().cache_generation() >= 200);
+    // Quiescent clear: everything must read as empty...
+    eng.clear_caches();
+    assert_eq!(eng.stats(), CacheStats::default());
+    assert_eq!(eng.factory().prob_cache_stats(), CacheStats::default());
+    assert_eq!(eng.factory().cond_cache_stats(), CacheStats::default());
+    // ...and the engine still answers correctly afterwards.
+    let again = eng.logprob_many(&events).unwrap();
+    for (a, r) in again.iter().zip(&reference) {
+        assert_eq!(a.to_bits(), r.to_bits());
+    }
+}
+
+#[test]
+fn conditioning_races_queries_without_deadlock() {
+    let eng = Arc::new(engine());
+    let x = Transform::id(Var::new("X"));
+    let y = Transform::id(Var::new("Y"));
+    let chain = [Event::le(x.clone(), 1.5), Event::gt(y.clone(), -2.0)];
+    let expected_posterior = eng.condition_chain(&chain).unwrap();
+    let probe = Event::and(vec![Event::le(x, 0.0), Event::le(y, 0.0)]);
+    let expected_probe = expected_posterior.prob(&probe).unwrap();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let eng = Arc::clone(&eng);
+            let chain = &chain;
+            let probe = &probe;
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let post = eng.condition_chain(chain).unwrap();
+                    let p = post.prob(probe).unwrap();
+                    assert_eq!(p.to_bits(), expected_probe.to_bits());
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn shared_cache_concurrent_engines_stay_consistent() {
+    let cache = Arc::new(SharedCache::new(256));
+    let engines: Vec<Arc<QueryEngine>> = (0..3)
+        .map(|_| {
+            let f = Factory::new();
+            let m = build_model(&f);
+            Arc::new(QueryEngine::new(f, m).with_shared_cache(Arc::clone(&cache)))
+        })
+        .collect();
+    let events = batch(64);
+    // Prefill through the first engine: the reference values land in the
+    // shared cache, so every other engine is served those exact bits
+    // rather than recomputing (separately compiled factories may differ
+    // in the last ulp — the shared cache is precisely what makes answers
+    // consistent across sessions).
+    let reference = engines[0].logprob_many(&events).unwrap();
+    std::thread::scope(|s| {
+        for eng in &engines {
+            let eng = Arc::clone(eng);
+            let events = &events;
+            let reference = &reference;
+            s.spawn(move || {
+                let got = eng.par_logprob_many(events).unwrap();
+                for (g, r) in got.iter().zip(reference) {
+                    assert_eq!(g.to_bits(), r.to_bits());
+                }
+            });
+        }
+    });
+    let stats = cache.stats();
+    assert!(stats.entries > 0 && stats.entries <= 256);
+    assert!(
+        stats.hits > 0,
+        "later engines must be served from the shared cache"
+    );
+}

@@ -238,9 +238,7 @@ impl Cdf {
                 let k = x.floor();
                 if k < 0.0 {
                     0.0
-                } else if k >= n as f64 {
-                    1.0
-                } else if p == 0.0 {
+                } else if k >= n as f64 || p == 0.0 {
                     1.0
                 } else if p == 1.0 {
                     0.0

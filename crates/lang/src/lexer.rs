@@ -113,10 +113,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
                 col += 1;
             }
             '\n' => {
-                if depth == 0 {
-                    if !matches!(out.last().map(|t| &t.tok), Some(Tok::Newline) | None) {
-                        push!(Tok::Newline, l0, c0);
-                    }
+                if depth == 0 && !matches!(out.last().map(|t| &t.tok), Some(Tok::Newline) | None) {
+                    push!(Tok::Newline, l0, c0);
                 }
                 i += 1;
                 line += 1;

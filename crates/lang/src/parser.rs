@@ -4,6 +4,9 @@ use crate::ast::{BinOp, CmpOp, Command, Expr, Program, Target, UnOp};
 use crate::diagnostics::{LangError, Span};
 use crate::lexer::{lex, Kw, Sym, Tok, Token};
 
+/// Parsed call arguments: positional, then `name=value` keyword pairs.
+type CallArgs = (Vec<Expr>, Vec<(String, Expr)>);
+
 /// Parses a full program.
 ///
 /// # Errors
@@ -416,7 +419,7 @@ impl Parser {
         Ok(e)
     }
 
-    fn call_args(&mut self) -> Result<(Vec<Expr>, Vec<(String, Expr)>), LangError> {
+    fn call_args(&mut self) -> Result<CallArgs, LangError> {
         let mut args = Vec::new();
         let mut kwargs = Vec::new();
         if self.peek() == &Tok::Sym(Sym::RParen) {

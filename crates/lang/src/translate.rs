@@ -26,6 +26,10 @@ use sppl_num::Polynomial;
 use sppl_sets::{Interval, OutcomeSet};
 
 use crate::ast::{BinOp, CmpOp, Command, Expr, Program, Target, UnOp};
+
+/// One `if`/`elif`/`switch` branch: guard event, body, and the optional
+/// constant binding a `switch` case introduces.
+type Branch = (Event, Vec<Command>, Option<(String, Value)>);
 use crate::diagnostics::{LangError, Span};
 
 /// Translates a parsed program into a sum-product expression.
@@ -172,7 +176,7 @@ impl<'f> Translator<'f> {
                 otherwise,
                 span,
             } => {
-                let mut branches: Vec<(Event, Vec<Command>, Option<(String, Value)>)> = Vec::new();
+                let mut branches: Vec<Branch> = Vec::new();
                 let mut negations: Vec<Event> = Vec::new();
                 for (guard, body) in arms {
                     let raw = self.eval_event(guard)?;
@@ -266,11 +270,7 @@ impl<'f> Translator<'f> {
     /// Shared machinery of `(IfElse)` (Lst. 3) for `if`/`elif`/`else` and
     /// desugared `switch`: condition the current expression on each branch
     /// event, translate the branch body, and mix by branch probability.
-    fn exec_branches(
-        &mut self,
-        branches: Vec<(Event, Vec<Command>, Option<(String, Value)>)>,
-        span: Span,
-    ) -> Result<(), LangError> {
+    fn exec_branches(&mut self, branches: Vec<Branch>, span: Span) -> Result<(), LangError> {
         let mut survivors: Vec<(State, f64)> = Vec::new();
         for (event, body, binding) in &branches {
             let ln_p = self.branch_logprob(event, span)?;
@@ -407,7 +407,7 @@ impl<'f> Translator<'f> {
                 let base = t.the_var().ok_or_else(|| {
                     err(
                         span,
-                        format!("transform must involve exactly one variable (R3)"),
+                        "transform must involve exactly one variable (R3)".to_string(),
                     )
                 })?;
                 let spe = self.state.spe.clone().ok_or_else(|| {

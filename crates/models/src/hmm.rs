@@ -135,6 +135,17 @@ pub fn smoothing_queries(n_step: usize) -> Vec<Event> {
     (0..n_step).map(hidden_state_event).collect()
 }
 
+/// Pairwise regime-persistence queries `Z[t] = 1 ∧ Z[t+1] = 1` for
+/// `t = 0..n_step-1` — a second, disjoint family of smoothing marginals
+/// used to widen batches for the parallel-inference benchmarks
+/// ([`QueryEngine::par_logprob_many`](sppl_core::engine::QueryEngine::par_logprob_many))
+/// and stress tests.
+pub fn pairwise_queries(n_step: usize) -> Vec<Event> {
+    (0..n_step.saturating_sub(1))
+        .map(|t| Event::and(vec![hidden_state_event(t), hidden_state_event(t + 1)]))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +200,21 @@ mod tests {
             "tree/physical = {}",
             stats.compression_ratio()
         );
+    }
+
+    #[test]
+    fn pairwise_queries_shape_and_semantics() {
+        assert!(pairwise_queries(0).is_empty());
+        assert!(pairwise_queries(1).is_empty());
+        let qs = pairwise_queries(5);
+        assert_eq!(qs.len(), 4);
+        // P[Z_t=1 ∧ Z_{t+1}=1] ≤ P[Z_t=1] on any posterior.
+        let f = Factory::new();
+        let m = hierarchical_hmm(5).compile(&f).unwrap();
+        let engine = QueryEngine::new(f, m);
+        let joint = engine.prob(&qs[0]).unwrap();
+        let single = engine.prob(&hidden_state_event(0)).unwrap();
+        assert!(joint > 0.0 && joint <= single);
     }
 
     #[test]

@@ -226,7 +226,7 @@ pub fn student_interviews(n_students: usize) -> Model {
             "if (Perfect_{i} == 1) {{ Gpa[{i}] ~ atomic(4) }}\n"
         ));
         src.push_str(&format!("else {{ Gpa[{i}] ~ beta(7, 3, 4) }}\n"));
-        src.push_str(&format!("switch Recruiters cases (r in range(1, 16)) {{\n"));
+        src.push_str("switch Recruiters cases (r in range(1, 16)) {\n");
         src.push_str(&format!(
             "    if (Gpa[{i}] > 3.5) {{ Interviews[{i}] ~ binomial(n=r, p=0.9) }}\n"
         ));

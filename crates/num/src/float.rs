@@ -138,8 +138,8 @@ mod tests {
 
     #[test]
     fn logaddexp_matches_direct() {
-        for &(a, b) in &[(0.3, 0.4), (1e-12, 0.9), (0.5, 0.5)] {
-            let l = logaddexp((a as f64).ln(), (b as f64).ln());
+        for &(a, b) in &[(0.3f64, 0.4f64), (1e-12, 0.9), (0.5, 0.5)] {
+            let l = logaddexp(a.ln(), b.ln());
             assert!(approx_eq(l.exp(), a + b, 1e-12), "{a} {b}");
         }
     }

@@ -305,7 +305,7 @@ impl Polynomial {
     /// [`Polynomial::as_constant`] first.
     pub fn solve_lte(&self, r: f64) -> SignRegions {
         assert!(
-            self.degree().map_or(false, |d| d >= 1),
+            self.degree().is_some_and(|d| d >= 1),
             "solve_lte requires a non-constant polynomial"
         );
         if r == f64::NEG_INFINITY {

@@ -77,7 +77,7 @@ fn finite_bracket<F: Fn(f64) -> f64>(g: &F, lo: f64, hi: f64) -> Option<(f64, f6
     } else {
         1.0
     };
-    if !(a < b) {
+    if a >= b {
         return None;
     }
     let mut step = 1.0;

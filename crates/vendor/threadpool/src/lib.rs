@@ -1,0 +1,383 @@
+//! Vendored, API-compatible subset of the `scoped_threadpool` crate
+//! (v0.1.9): a fixed-size thread pool whose jobs may borrow from the
+//! caller's stack.
+//!
+//! The build environment is offline (no crates.io, and deliberately no
+//! rayon), so this in-tree subset provides the one primitive the SPPL
+//! query engine needs for parallel batch inference: fan a set of
+//! borrowed-data jobs out over N worker threads and block until every job
+//! has finished.
+//!
+//! Deviations from upstream, documented per the workspace's vendoring
+//! convention:
+//!
+//! * [`Pool::scoped`] takes `&self` rather than `&mut self`, so one pool
+//!   can be shared behind an `Arc`/`static` by many concurrent callers
+//!   (each scope tracks its own pending-job count; jobs from concurrent
+//!   scopes interleave on the same workers).
+//! * There is no work stealing and no `thread_count` growth: the queue is
+//!   a single mutex-protected FIFO, which is exactly enough for the wide,
+//!   coarse-chunked batches the engine submits.
+//! * Nested scopes (calling [`Pool::scoped`] from inside a job running on
+//!   this same pool) are not supported and may deadlock — the outer scope
+//!   would occupy a worker while waiting for jobs that need that worker.
+//!
+//! # Example
+//!
+//! ```
+//! use scoped_threadpool::Pool;
+//!
+//! let pool = Pool::new(4);
+//! let mut out = vec![0u64; 8];
+//! let input = [1u64, 2, 3, 4, 5, 6, 7, 8];
+//! pool.scoped(|scope| {
+//!     for (o, i) in out.chunks_mut(2).zip(input.chunks(2)) {
+//!         scope.execute(move || {
+//!             for (o, i) in o.iter_mut().zip(i) {
+//!                 *o = i * i;
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(out, vec![1, 4, 9, 16, 25, 36, 49, 64]);
+//! ```
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// Erased job stored in the shared queue. The `'static` bound is a lie
+/// told by [`Scope::execute`]'s transmute; soundness is restored by the
+/// scope blocking until its pending count reaches zero, so no job ever
+/// outlives the borrows it captured.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Recovers a usable guard from a poisoned mutex: every protected
+/// structure here is valid after a panic (counters and queues are updated
+/// in single operations), so propagating the poison would only cascade an
+/// unrelated test panic into a deadlocked teardown.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signalled when a job is pushed or shutdown begins.
+    available: Condvar,
+}
+
+/// A fixed-size pool of worker threads executing scoped jobs.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns a pool with `threads` workers (clamped to at least one).
+    pub fn new(threads: u32) -> Pool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("scoped-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool { shared, workers }
+    }
+
+    /// The number of worker threads.
+    pub fn thread_count(&self) -> u32 {
+        self.workers.len() as u32
+    }
+
+    /// Runs `f` with a [`Scope`] on which borrowed-data jobs can be
+    /// spawned, then blocks until every spawned job has completed. If a
+    /// job panicked, the first panic payload is resumed on this thread
+    /// (after all jobs have still been waited for, keeping the borrows
+    /// sound even on the unwind path).
+    pub fn scoped<'pool, 'scope, F, R>(&'pool self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'pool, 'scope>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            sync: Arc::new(ScopeSync {
+                state: Mutex::new(ScopeState {
+                    pending: 0,
+                    panic: None,
+                }),
+                done: Condvar::new(),
+            }),
+            _marker: PhantomData,
+        };
+        // The guard waits for outstanding jobs even when `f` itself
+        // unwinds, so jobs can never observe freed stack memory.
+        let guard = JoinGuard { sync: &scope.sync };
+        let result = f(&scope);
+        drop(guard);
+        if let Some(payload) = lock(&scope.sync.state).panic.take() {
+            resume_unwind(payload);
+        }
+        result
+    }
+
+    fn push(&self, job: Job) {
+        lock(&self.shared.queue).jobs.push_back(job);
+        self.shared.available.notify_one();
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        lock(&self.shared.queue).shutdown = true;
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked already recorded the payload in its
+            // scope; joining only reaps the thread.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+struct ScopeState {
+    pending: usize,
+    panic: Option<Box<dyn Any + Send + 'static>>,
+}
+
+struct ScopeSync {
+    state: Mutex<ScopeState>,
+    done: Condvar,
+}
+
+impl ScopeSync {
+    fn wait_all(&self) {
+        let mut state = lock(&self.state);
+        while state.pending > 0 {
+            state = self
+                .done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Waits for the scope's jobs on drop, making `scoped` panic-safe.
+struct JoinGuard<'a> {
+    sync: &'a Arc<ScopeSync>,
+}
+
+impl Drop for JoinGuard<'_> {
+    fn drop(&mut self) {
+        self.sync.wait_all();
+    }
+}
+
+/// Handle for spawning jobs that may borrow data outliving the
+/// [`Pool::scoped`] call. Invariant in `'scope` so the borrow checker
+/// cannot shrink the scope lifetime out from under spawned jobs.
+pub struct Scope<'pool, 'scope> {
+    pool: &'pool Pool,
+    sync: Arc<ScopeSync>,
+    _marker: PhantomData<std::cell::Cell<&'scope mut ()>>,
+}
+
+impl<'scope> Scope<'_, 'scope> {
+    /// Submits a job to the pool. The job may borrow anything that lives
+    /// for `'scope`; [`Pool::scoped`] does not return until it completes.
+    pub fn execute<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        lock(&self.sync.state).pending += 1;
+        let sync = Arc::clone(&self.sync);
+        let wrapped = move || {
+            let outcome = catch_unwind(AssertUnwindSafe(f));
+            let mut state = lock(&sync.state);
+            if let Err(payload) = outcome {
+                state.panic.get_or_insert(payload);
+            }
+            state.pending -= 1;
+            if state.pending == 0 {
+                sync.done.notify_all();
+            }
+        };
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(wrapped);
+        // SAFETY: the queue requires 'static jobs, but every job spawned
+        // through this scope is joined before `scoped` returns (including
+        // on panic, via JoinGuard), so the 'scope borrows captured by the
+        // job strictly outlive its execution.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.pool.push(job);
+    }
+
+    /// Blocks until every job spawned so far on this scope has finished.
+    /// Called implicitly at the end of [`Pool::scoped`]; useful for
+    /// barriers between waves of jobs.
+    pub fn join_all(&self) {
+        self.sync.wait_all();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // Panics are caught and recorded by the scope wrapper inside the
+        // job itself, so a panicking job never kills the worker.
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_jobs_with_borrowed_data() {
+        let pool = Pool::new(4);
+        let mut out = vec![0usize; 100];
+        pool.scoped(|scope| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                scope.execute(move || *slot = i * 2);
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.thread_count(), 1);
+        let hits = AtomicUsize::new(0);
+        pool.scoped(|scope| {
+            for _ in 0..8 {
+                scope.execute(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn scoped_returns_closure_result() {
+        let pool = Pool::new(2);
+        let n = pool.scoped(|scope| {
+            scope.execute(|| {});
+            41 + 1
+        });
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn join_all_is_a_barrier() {
+        let pool = Pool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scoped(|scope| {
+            for _ in 0..16 {
+                scope.execute(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            scope.join_all();
+            assert_eq!(counter.load(Ordering::SeqCst), 16);
+            scope.execute(|| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 17);
+    }
+
+    #[test]
+    fn job_panic_propagates_after_all_jobs_finish() {
+        let pool = Pool::new(2);
+        let finished = Arc::new(AtomicUsize::new(0));
+        let fin = Arc::clone(&finished);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                scope.execute(|| panic!("job boom"));
+                for _ in 0..8 {
+                    let fin = Arc::clone(&fin);
+                    scope.execute(move || {
+                        fin.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "job panic must resurface in scoped()");
+        assert_eq!(finished.load(Ordering::SeqCst), 8);
+        // The pool survives and keeps working.
+        let again = AtomicUsize::new(0);
+        pool.scoped(|scope| {
+            scope.execute(|| {
+                again.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(again.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_scopes_share_the_pool() {
+        let pool = Arc::new(Pool::new(4));
+        let total = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                s.spawn(move || {
+                    pool.scoped(|scope| {
+                        for _ in 0..25 {
+                            let total = Arc::clone(&total);
+                            scope.execute(move || {
+                                total.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 100);
+    }
+}

@@ -73,9 +73,7 @@ fn main() {
         let guess = u8::from(*p > 0.5);
         correct += usize::from(guess == trace.z[t]);
         if t % 10 == 0 {
-            let bar: String = std::iter::repeat('#')
-                .take((p * 30.0).round() as usize)
-                .collect();
+            let bar: String = "#".repeat((p * 30.0).round() as usize);
             println!("{t:>3}     {}   {p:.3} {bar}", trace.z[t]);
         }
     }

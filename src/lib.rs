@@ -16,7 +16,11 @@
 //! * [`sample`](sppl_core::Spe::sample) — joint ancestral sampling,
 //! * [`QueryEngine`](sppl_core::engine::QueryEngine) — memoized, batched
 //!   `logprob`/`condition` over one compiled model, with cache
-//!   statistics.
+//!   statistics; wide batches fan out over a thread pool
+//!   ([`par_logprob_many`](sppl_core::engine::QueryEngine::par_logprob_many),
+//!   the core is `Send + Sync`), and engines over the same model can
+//!   share one bounded LRU result cache
+//!   ([`SharedCache`](sppl_core::SharedCache)).
 //!
 //! # Quickstart
 //!

@@ -1,7 +1,10 @@
-//! Smoke tests mirroring `examples/quickstart.rs` and
-//! `examples/hmm_smoothing.rs` end to end, so the example workflows are
-//! exercised by `cargo test` in-process (CI additionally runs the actual
-//! example binaries via `cargo run --example`).
+//! Smoke tests mirroring `examples/quickstart.rs`,
+//! `examples/hmm_smoothing.rs`, and `examples/parallel_serving.rs` end to
+//! end, so the example workflows are exercised by `cargo test` in-process
+//! (CI additionally runs the actual example binaries via
+//! `cargo run --example`).
+
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -109,5 +112,44 @@ fn hmm_smoothing_flow_recovers_hidden_states() {
     assert!(
         correct * 2 > n_step,
         "MAP state matches truth at only {correct}/{n_step} steps"
+    );
+}
+
+/// The parallel-serving workflow at a reduced trace length: two sessions
+/// over the same model share a bounded cache; batches fan out over the
+/// global pool and agree bit-for-bit.
+#[test]
+fn parallel_serving_flow_shares_answers_across_sessions() {
+    let n_step = 12;
+    let cache = Arc::new(SharedCache::new(1024));
+    let open_session = || {
+        let factory = Factory::new();
+        let model = hmm::hierarchical_hmm(n_step)
+            .compile(&factory)
+            .expect("HMM compiles");
+        let x: Vec<f64> = (0..n_step).map(|t| 5.0 + f64::from(t as u32 % 3)).collect();
+        let y: Vec<f64> = (0..n_step).map(|t| f64::from(4 + (t as u32 % 4))).collect();
+        let posterior = constrain(&factory, &model, &hmm::observation_assignment(&x, &y))
+            .expect("positive density");
+        QueryEngine::new(factory, posterior).with_shared_cache(Arc::clone(&cache))
+    };
+    let mut batch = hmm::smoothing_queries(n_step);
+    batch.extend(hmm::pairwise_queries(n_step));
+
+    let session1 = open_session();
+    let answers1 = session1.par_logprob_many(&batch).expect("batch");
+    let misses_before = cache.stats().misses;
+
+    let session2 = open_session();
+    assert_eq!(session1.model_digest(), session2.model_digest());
+    let answers2 = session2.par_logprob_many(&batch).expect("batch");
+    assert!(answers1
+        .iter()
+        .zip(&answers2)
+        .all(|(a, b)| a.to_bits() == b.to_bits()));
+    assert_eq!(
+        cache.stats().misses,
+        misses_before,
+        "second session must be pure shared-cache hits"
     );
 }

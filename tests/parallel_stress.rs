@@ -1,0 +1,95 @@
+//! End-to-end parallel inference stress: the real HMM smoothing workload
+//! (translate → constrain → wide batched queries) run through
+//! `par_logprob_many` across thread counts and through a shared
+//! cross-engine cache, asserting exact agreement with the sequential API.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sppl::models::hmm;
+use sppl::prelude::*;
+
+const N_STEP: usize = 24;
+
+fn smoothing_engine() -> QueryEngine {
+    let factory = Factory::new();
+    let model = hmm::hierarchical_hmm(N_STEP)
+        .compile(&factory)
+        .expect("HMM compiles");
+    let mut rng = StdRng::seed_from_u64(99);
+    let trace = hmm::simulate_trace(&mut rng, N_STEP);
+    let posterior = constrain(
+        &factory,
+        &model,
+        &hmm::observation_assignment(&trace.x, &trace.y),
+    )
+    .expect("positive density");
+    QueryEngine::new(factory, posterior)
+}
+
+/// Smoothing marginals plus pairwise persistence queries: a 47-event
+/// batch of genuinely distinct posterior questions.
+fn wide_batch() -> Vec<Event> {
+    let mut events = hmm::smoothing_queries(N_STEP);
+    events.extend(hmm::pairwise_queries(N_STEP));
+    events
+}
+
+#[test]
+fn par_smoothing_matches_sequential_across_thread_counts() {
+    let engine = smoothing_engine();
+    let events = wide_batch();
+    assert!(events.len() >= 40);
+    let reference = engine.logprob_many(&events).unwrap();
+    for threads in [2u32, 4, 8] {
+        engine.clear_caches();
+        let pool = Pool::new(threads);
+        let par = engine.par_logprob_many_in(&pool, &events).unwrap();
+        assert_eq!(par.len(), reference.len());
+        for (i, (p, r)) in par.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                p.to_bits(),
+                r.to_bits(),
+                "event {i} diverged at {threads} threads"
+            );
+        }
+    }
+    // Probabilities too, via the global pool.
+    engine.clear_caches();
+    let probs = engine.par_prob_many(&events).unwrap();
+    for (p, r) in probs.iter().zip(&reference) {
+        assert_eq!(p.to_bits(), r.exp().clamp(0.0, 1.0).to_bits());
+    }
+}
+
+#[test]
+fn shared_cache_serves_second_session_without_reevaluation() {
+    let cache = Arc::new(SharedCache::new(4096));
+    let engine1 = {
+        let (factory, root) = smoothing_engine().into_parts();
+        QueryEngine::new(factory, root).with_shared_cache(Arc::clone(&cache))
+    };
+    let events = wide_batch();
+    let reference = engine1.par_logprob_many(&events).unwrap();
+
+    // A second session over the same model content: the posterior is
+    // rebuilt from scratch in its own factory, but every query is served
+    // the first session's exact bits from the shared cache.
+    let engine2 = {
+        let (factory, root) = smoothing_engine().into_parts();
+        QueryEngine::new(factory, root).with_shared_cache(Arc::clone(&cache))
+    };
+    assert_eq!(engine1.model_digest(), engine2.model_digest());
+    let misses_before = cache.stats().misses;
+    let got = engine2.par_logprob_many(&events).unwrap();
+    for (g, r) in got.iter().zip(&reference) {
+        assert_eq!(g.to_bits(), r.to_bits());
+    }
+    assert_eq!(
+        cache.stats().misses,
+        misses_before,
+        "second session must be answered entirely from the shared cache"
+    );
+    assert_eq!(cache.evictions(), 0);
+}

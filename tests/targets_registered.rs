@@ -15,12 +15,14 @@ const ROOT_SUITES: &[&str] = &[
     "tests/closure_properties.rs",
     "tests/engine_agreement.rs",
     "tests/paper_golden.rs",
+    "tests/parallel_stress.rs",
     "tests/roundtrip.rs",
     "tests/examples_smoke.rs",
 ];
 
 const CRATE_SUITES: &[&str] = &[
     "crates/sets/tests/algebra.rs",
+    "crates/core/tests/concurrency.rs",
     "crates/core/tests/differential_enumerative.rs",
     "crates/core/tests/engine_cache.rs",
     "crates/core/tests/transform_soundness.rs",
