@@ -1,7 +1,9 @@
 //! Fig. 3: hierarchical HMM smoothing and the linear growth of the
-//! optimized sum-product expression, plus the memoized-query-engine
-//! speedup on repeated smoothing passes and the parallel-batch speedup of
-//! `par_logprob_many` over the sequential path.
+//! optimized sum-product expression, plus the memoized-session speedup on
+//! repeated smoothing passes and the parallel-batch speedup of
+//! `par_logprob_many` over the sequential path — all through the
+//! session-first [`Model`](sppl_core::Model) API (conditioning returns a
+//! queryable posterior model).
 //!
 //! Flags:
 //!
@@ -16,10 +18,8 @@ use rand::SeedableRng;
 use sppl_bench::cli::BenchArgs;
 use sppl_bench::json::JsonObject;
 use sppl_bench::{bits_match, fmt_count, fmt_secs, timed, Table};
-use sppl_core::density::constrain;
-use sppl_core::engine::QueryEngine;
 use sppl_core::stats::graph_stats;
-use sppl_core::{Event, Factory};
+use sppl_core::Event;
 use sppl_models::hmm;
 
 fn main() {
@@ -38,13 +38,8 @@ fn main() {
     // Growth of the expression with the horizon (Fig. 3c vs 3d).
     let mut table = Table::new(["Steps", "Physical nodes", "Tree-expanded", "Translate"]);
     for &steps in growth {
-        let factory = Factory::new();
-        let (spe, t) = timed(|| {
-            hmm::hierarchical_hmm(steps)
-                .compile(&factory)
-                .expect("compiles")
-        });
-        let stats = graph_stats(&spe);
+        let (model, t) = timed(|| hmm::hierarchical_hmm(steps).session().expect("compiles"));
+        let stats = graph_stats(model.root());
         table.row([
             steps.to_string(),
             stats.physical_nodes.to_string(),
@@ -56,21 +51,13 @@ fn main() {
     table.print();
 
     // Smoothing on a simulated trace (Fig. 3b, bottom panel).
-    let factory = Factory::new();
-    let (model, translate_t) = timed(|| {
-        hmm::hierarchical_hmm(n)
-            .compile(&factory)
-            .expect("compiles")
-    });
+    let (model, translate_t) = timed(|| hmm::hierarchical_hmm(n).session().expect("compiles"));
     let mut rng = StdRng::seed_from_u64(33);
     let trace = hmm::simulate_trace(&mut rng, n);
     let (posterior, constrain_t) = timed(|| {
-        constrain(
-            &factory,
-            &model,
-            &hmm::observation_assignment(&trace.x, &trace.y),
-        )
-        .expect("positive density")
+        model
+            .constrain(&hmm::observation_assignment(&trace.x, &trace.y))
+            .expect("positive density")
     });
     println!(
         "\nsmoothing {n} steps: conditioned in {}",
@@ -79,30 +66,29 @@ fn main() {
 
     // Repeated smoothing: every pass re-asks all marginals. The uncached
     // path re-evaluates each query from scratch (per-call memo only); the
-    // query engine memoizes whole queries across passes.
+    // posterior session memoizes whole queries across passes.
     let queries = hmm::smoothing_queries(n);
     let (series, uncached_t) = timed(|| {
         let mut last = Vec::new();
         for _ in 0..passes {
             last = queries
                 .iter()
-                .map(|q| posterior.prob(q).expect("query"))
+                .map(|q| posterior.root().prob(q).expect("query"))
                 .collect::<Vec<f64>>();
         }
         last
     });
 
-    let engine = QueryEngine::new(factory, posterior);
     let (cached_series, cached_t) = timed(|| {
         let mut last = Vec::new();
         for _ in 0..passes {
-            last = engine.prob_many(&queries).expect("query");
+            last = posterior.prob_many(&queries).expect("query");
         }
         last
     });
-    assert_eq!(series, cached_series, "engine must answer exactly");
+    assert_eq!(series, cached_series, "session must answer exactly");
 
-    let stats = engine.stats();
+    let stats = posterior.stats();
     println!(
         "{passes}x{n} smoothing queries: uncached {} vs cached {} — {:.1}x speedup",
         fmt_secs(uncached_t),
@@ -116,7 +102,7 @@ fn main() {
         stats.misses,
         stats.entries,
         stats.hit_rate() * 100.0,
-        engine.factory().prob_cache_stats().entries,
+        posterior.factory().prob_cache_stats().entries,
     );
 
     // Parallel batch inference: the smoothing marginals plus the pairwise
@@ -130,12 +116,13 @@ fn main() {
         b
     };
     let pool = args.pool();
-    engine.logprob_many(&batch).expect("warmup"); // touch every code path once
-    engine.clear_caches();
-    let (seq_cold, seq_cold_t) = timed(|| engine.logprob_many(&batch).expect("sequential batch"));
-    engine.clear_caches();
+    posterior.logprob_many(&batch).expect("warmup"); // touch every code path once
+    posterior.clear_caches();
+    let (seq_cold, seq_cold_t) =
+        timed(|| posterior.logprob_many(&batch).expect("sequential batch"));
+    posterior.clear_caches();
     let (par_cold, par_cold_t) = timed(|| {
-        engine
+        posterior
             .par_logprob_many_in(&pool, &batch)
             .expect("parallel batch")
     });
@@ -153,11 +140,11 @@ fn main() {
 
     // Warm parallel pass: everything is engine-cache hits.
     let (_, par_warm_t) = timed(|| {
-        engine
+        posterior
             .par_logprob_many_in(&pool, &batch)
             .expect("warm batch")
     });
-    let final_stats = engine.stats();
+    let final_stats = posterior.stats();
     println!(
         "warm parallel repeat: {} (engine hit rate now {:.0}%)",
         fmt_secs(par_warm_t),

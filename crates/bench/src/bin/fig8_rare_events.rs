@@ -1,5 +1,6 @@
 //! Fig. 8: exact rare-event probabilities vs rejection-sampling
-//! trajectories.
+//! trajectories, answered through the session-first
+//! [`Model`](sppl_core::Model) API.
 //!
 //! Flags:
 //!
@@ -16,9 +17,7 @@ use sppl_baseline::sampler::RejectionEstimator;
 use sppl_bench::cli::BenchArgs;
 use sppl_bench::json::JsonObject;
 use sppl_bench::{bits_match, fmt_secs, timed};
-use sppl_core::engine::QueryEngine;
 use sppl_core::event::Event;
-use sppl_core::Factory;
 use sppl_models::rare_event;
 
 fn main() {
@@ -26,30 +25,28 @@ fn main() {
     let chain_len = if args.test { 12 } else { 20 };
     let max_samples = if args.test { 20_000 } else { 400_000 };
 
-    let factory = Factory::new();
     let (model, translate_t) = timed(|| {
         rare_event::chain_network(chain_len)
-            .compile(&factory)
+            .session()
             .expect("compiles")
     });
     println!("chain network translated in {}\n", fmt_secs(translate_t));
 
-    // Batched exact answers through the query engine — every prefix
+    // Batched exact answers through the session — every prefix
     // probability P[O[0..k] all 1] for k = 1..=chain_len: cold (first
     // pass, populating the cache), cold again through the parallel path,
     // then warm (repeat of the same batch).
     let events: Vec<Event> = (1..=chain_len).map(rare_event::all_ones_event).collect();
-    let engine = QueryEngine::new(factory, model.clone());
-    let (cold, cold_t) = timed(|| engine.logprob_many(&events).expect("exact"));
+    let (cold, cold_t) = timed(|| model.logprob_many(&events).expect("exact"));
     let pool = args.pool();
-    engine.clear_caches();
+    model.clear_caches();
     let (par_cold, par_cold_t) =
-        timed(|| engine.par_logprob_many_in(&pool, &events).expect("exact"));
+        timed(|| model.par_logprob_many_in(&pool, &events).expect("exact"));
     let results_match = bits_match(&cold, &par_cold);
     assert!(results_match, "parallel batch must be bit-identical");
-    let (warm, warm_t) = timed(|| engine.logprob_many(&events).expect("exact"));
+    let (warm, warm_t) = timed(|| model.logprob_many(&events).expect("exact"));
     assert_eq!(cold, warm, "warm batch must be bit-identical");
-    let stats = engine.stats();
+    let stats = model.stats();
     println!(
         "batched exact answers over {} prefixes: cold {} vs parallel-cold {} ({} threads) \
          vs warm {} ({} hits / {} misses / {} entries)\n",
@@ -76,7 +73,7 @@ fn main() {
             max_samples,
             checkpoint_every: max_samples / 4,
         };
-        for p in estimator.estimate(&model, &event, &mut rng) {
+        for p in estimator.estimate(model.root(), &event, &mut rng) {
             let log_est = if p.estimate > 0.0 {
                 format!("{:.2}", p.estimate.ln())
             } else {

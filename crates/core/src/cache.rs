@@ -6,7 +6,8 @@
 //! from many sessions: each session builds its own engine (and possibly
 //! its own [`Factory`](crate::spe::Factory)), but the hot query working
 //! set is shared. The [`SharedCache`] is one process-wide table keyed by
-//! `(model digest, canonical event fingerprint)` — [`Spe::digest`] is a
+//! `(model digest, canonical event fingerprint)` —
+//! [`Spe::digest`](crate::spe::Spe::digest) is a
 //! deep content digest, so engines over *separately compiled* copies of
 //! the same model hit the same entries. Capacity is bounded with
 //! least-recently-used eviction, and hit/miss/eviction counts are exposed

@@ -64,6 +64,7 @@
 //! assert_eq!(engine.stats().hits, 1);
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -135,12 +136,16 @@ pub fn global_pool() -> &'static Pool {
 /// A memoized query engine over one compiled SPE (see the [module
 /// docs](self)).
 ///
-/// The engine owns its [`Factory`]; build the model first, then hand both
-/// over. All methods take `&self` and the engine is `Send + Sync` —
-/// caches live behind sharded locks and atomics, matching the factory's
-/// own memo tables.
+/// The engine holds its [`Factory`] behind an `Arc`; build the model
+/// first, then hand both over ([`QueryEngine::new`] accepts either an
+/// owned factory or an existing `Arc<Factory>`, so engines can share one
+/// factory — the [`Model`](crate::model::Model) session API relies on
+/// this to give every posterior the same intern table and node-level
+/// memos as its parent). All methods take `&self` and the engine is
+/// `Send + Sync` — caches live behind sharded locks and atomics,
+/// matching the factory's own memo tables.
 pub struct QueryEngine {
-    factory: Factory,
+    factory: Arc<Factory>,
     root: Spe,
     /// Deep model digest, computed lazily (used only by the shared cache).
     digest: OnceLock<u64>,
@@ -166,8 +171,12 @@ fn chain_key(prefix: u64, fingerprint: u64) -> u64 {
 }
 
 impl QueryEngine {
-    /// Wraps a factory and the root expression it built.
-    pub fn new(factory: Factory, root: Spe) -> QueryEngine {
+    /// Wraps a factory and the root expression it built. Accepts either
+    /// an owned [`Factory`] or an `Arc<Factory>` shared with other
+    /// engines (posteriors conditioned from the same session keep the
+    /// parent's intern table and node-level memos this way).
+    pub fn new(factory: impl Into<Arc<Factory>>, root: Spe) -> QueryEngine {
+        let factory = factory.into();
         let generation = factory.cache_generation();
         QueryEngine {
             factory,
@@ -210,13 +219,21 @@ impl QueryEngine {
         &self.factory
     }
 
+    /// The shared handle to the wrapped factory, for building further
+    /// engines over the same intern table and node-level memos
+    /// (`Arc::clone` is the whole cost).
+    pub fn factory_arc(&self) -> &Arc<Factory> {
+        &self.factory
+    }
+
     /// The root expression queries are answered against.
     pub fn root(&self) -> &Spe {
         &self.root
     }
 
-    /// Releases the factory and root.
-    pub fn into_parts(self) -> (Factory, Spe) {
+    /// Releases the factory handle and root. The factory comes back as
+    /// the shared `Arc` — other engines built over it stay valid.
+    pub fn into_parts(self) -> (Arc<Factory>, Spe) {
         (self.factory, self.root)
     }
 
@@ -340,7 +357,10 @@ impl QueryEngine {
     /// Same conditions as [`Spe::logprob`]. Unlike the sequential path,
     /// all events are evaluated even when one errors; the error returned
     /// is the earliest-indexed one, matching what `logprob_many` would
-    /// have reported.
+    /// have reported. A worker that *panics* mid-evaluation (an engine
+    /// bug, by definition) is reported as [`SpplError::Internal`] instead
+    /// of resurfacing the panic in the caller; the pool and the engine
+    /// caches remain usable.
     pub fn par_logprob_many(&self, events: &[Event]) -> Result<Vec<f64>, SpplError> {
         self.par_logprob_many_in(global_pool(), events)
     }
@@ -364,20 +384,7 @@ impl QueryEngine {
         // other workers idle behind one long chunk.
         let jobs = (pool.thread_count() as usize * 4).min(events.len());
         let chunk = events.len().div_ceil(jobs);
-        let mut out: Vec<Option<Result<f64, SpplError>>> = Vec::new();
-        out.resize_with(events.len(), || None);
-        pool.scoped(|scope| {
-            for (evs, outs) in events.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                scope.execute(move || {
-                    for (event, slot) in evs.iter().zip(outs.iter_mut()) {
-                        *slot = Some(self.logprob(event));
-                    }
-                });
-            }
-        });
-        out.into_iter()
-            .map(|slot| slot.expect("scoped pool evaluated every chunk"))
-            .collect()
+        par_eval_chunks(pool, events, chunk, |event| self.logprob(event))
     }
 
     /// Parallel [`QueryEngine::prob_many`] with the same clamping.
@@ -470,6 +477,78 @@ impl QueryEngine {
     }
 }
 
+/// Fans `items` out over `pool` in `chunk`-sized jobs, evaluating each
+/// with `eval` and preserving input order. The workhorse behind the
+/// `par_*_many` methods.
+///
+/// Error discipline: every item is evaluated even when one errors, and
+/// the earliest-indexed error wins — matching the sequential path. A
+/// panicking job is contained here rather than resurfacing in the caller:
+/// the scope's recorded panic is caught, any slot the panicked worker
+/// never filled becomes [`SpplError::Internal`] carrying the panic
+/// message, and the pool stays usable (its workers catch job panics and
+/// keep running). Without this containment a single panicking evaluation
+/// would abort the whole batch with an opaque payload and leave the
+/// caller unable to distinguish an engine bug from a bad query.
+fn par_eval_chunks<T, F>(
+    pool: &Pool,
+    items: &[T],
+    chunk: usize,
+    eval: F,
+) -> Result<Vec<f64>, SpplError>
+where
+    T: Sync,
+    F: Fn(&T) -> Result<f64, SpplError> + Sync,
+{
+    let mut out: Vec<Option<Result<f64, SpplError>>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    // The JoinGuard inside `scoped` waits for every job even on the
+    // unwind path, so by the time `catch_unwind` returns all borrows of
+    // `out` have ended and the filled slots are safe to read.
+    let panicked = catch_unwind(AssertUnwindSafe(|| {
+        pool.scoped(|scope| {
+            let eval = &eval;
+            for (evs, outs) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.execute(move || {
+                    for (item, slot) in evs.iter().zip(outs.iter_mut()) {
+                        *slot = Some(eval(item));
+                    }
+                });
+            }
+        });
+    }))
+    .err()
+    .map(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    });
+    let collected: Result<Vec<f64>, SpplError> = {
+        let internal = |slot: Option<Result<f64, SpplError>>| {
+            slot.unwrap_or_else(|| {
+                Err(SpplError::Internal {
+                    message: format!(
+                        "parallel batch worker panicked: {}",
+                        panicked.as_deref().unwrap_or("no panic recorded")
+                    ),
+                })
+            })
+        };
+        out.into_iter().map(internal).collect()
+    };
+    match (collected, panicked) {
+        // A panic with every slot filled would mean the panic escaped the
+        // evaluation loop itself; refuse to return values computed under
+        // a broken scope.
+        (Ok(_), Some(message)) => Err(SpplError::Internal {
+            message: format!("parallel batch scope panicked: {message}"),
+        }),
+        (result, _) => result,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -541,6 +620,55 @@ mod tests {
         for (lp, p) in par.iter().zip(&par_probs) {
             assert_eq!(lp.exp().clamp(0.0, 1.0).to_bits(), p.to_bits());
         }
+    }
+
+    #[test]
+    fn worker_panic_becomes_internal_error_and_pool_survives() {
+        let pool = Pool::new(2);
+        let items: Vec<u32> = (0..16).collect();
+        let result = par_eval_chunks(&pool, &items, 2, |&i| {
+            if i == 5 {
+                panic!("evaluator exploded on item {i}");
+            }
+            Ok(f64::from(i))
+        });
+        match result {
+            Err(SpplError::Internal { message }) => {
+                assert!(
+                    message.contains("evaluator exploded"),
+                    "panic message must be preserved, got: {message}"
+                );
+            }
+            other => panic!("expected SpplError::Internal, got {other:?}"),
+        }
+        // The pool is not poisoned: the same pool serves the next batch.
+        let again = par_eval_chunks(&pool, &items, 4, |&i| Ok(f64::from(i) * 2.0)).unwrap();
+        assert_eq!(again.len(), items.len());
+        assert_eq!(again[7], 14.0);
+    }
+
+    #[test]
+    fn earliest_error_beats_later_panic() {
+        // A structured error in an earlier chunk outranks a panic in a
+        // later one, matching the sequential earliest-index discipline.
+        let pool = Pool::new(2);
+        let items: Vec<u32> = (0..8).collect();
+        let result = par_eval_chunks(&pool, &items, 1, |&i| {
+            if i == 7 {
+                panic!("late panic");
+            }
+            if i == 1 {
+                Err(SpplError::Numeric {
+                    message: "early structured error".into(),
+                })
+            } else {
+                Ok(f64::from(i))
+            }
+        });
+        assert!(
+            matches!(result, Err(SpplError::Numeric { .. })),
+            "{result:?}"
+        );
     }
 
     #[test]

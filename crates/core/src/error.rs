@@ -39,6 +39,15 @@ pub enum SpplError {
         /// Description of the numeric failure.
         message: String,
     },
+    /// An engine invariant was violated at runtime — e.g. a parallel-batch
+    /// worker panicked mid-evaluation. Inference state is still consistent
+    /// (caches only ever hold completed results), but the failing batch
+    /// produced no answer. This is always a bug report, never an expected
+    /// outcome of a well-formed query.
+    Internal {
+        /// Description of the violated invariant.
+        message: String,
+    },
 }
 
 impl fmt::Display for SpplError {
@@ -60,6 +69,9 @@ impl fmt::Display for SpplError {
                 write!(f, "measure-zero constraint on transformed variable: {var}")
             }
             SpplError::Numeric { message } => write!(f, "numeric error: {message}"),
+            SpplError::Internal { message } => {
+                write!(f, "internal engine error (please report): {message}")
+            }
         }
     }
 }

@@ -8,21 +8,25 @@
 //!
 //! Layout (paper reference in parentheses):
 //!
-//! * [`var`] — interned variable names,
+//! * [`mod@var`] — interned variable names,
 //! * [`transform`] — the `Transform` domain with the symbolic preimage
 //!   solver (Lst. 17–23, Appx. C),
 //! * [`event`] — the `Event` domain: containment, conjunction,
 //!   disjunction, negation, DNF (Lst. 1c, Lst. 14–15),
 //! * [`disjoin`] — solved-DNF clauses and the `disjoin` decomposition into
 //!   pairwise-disjoint hyperrectangles (Lst. 5, Appx. D.1),
-//! * [`spe`] — SPE nodes, the hash-consing [`Factory`](spe::Factory) with
+//! * [`spe`] — SPE nodes, the hash-consing [`Factory`] with
 //!   factorization/deduplication (Sec. 5.1), well-formedness C1–C5,
 //! * [`prob`] — the distribution semantics `P⟦S⟧ e` (Lst. 1f) with
 //!   memoization,
-//! * [`condition`] — the `condition` algorithm (Lst. 6, Thm. 4.1),
-//! * [`engine`] — the memoized [`QueryEngine`](engine::QueryEngine):
+//! * [`mod@condition`] — the `condition` algorithm (Lst. 6, Thm. 4.1),
+//! * [`engine`] — the memoized [`QueryEngine`]:
 //!   batched `logprob`/`condition` over one compiled SPE with
 //!   canonicalized-event caching and cache statistics,
+//! * [`model`] — the session-first [`Model`] handle:
+//!   `Arc<Factory>` + root + engine in one `Clone + Send + Sync` object
+//!   whose `condition`/`constrain` return posteriors as first-class
+//!   models (the public face of Thm. 4.1's closure property),
 //! * [`density`] — the lexicographic density semantics `P₀` (Lst. 1d) and
 //!   `condition0`/`constrain` for measure-zero events (Lst. 7),
 //! * [`simulate`] — ancestral sampling (Prop. A.1),
@@ -72,6 +76,7 @@ pub mod disjoin;
 pub mod engine;
 pub mod error;
 pub mod event;
+pub mod model;
 pub mod prob;
 pub mod simulate;
 pub mod spe;
@@ -85,7 +90,8 @@ pub use condition::condition;
 pub use density::{constrain, Assignment};
 pub use engine::{default_threads, global_pool, CacheStats, QueryEngine};
 pub use error::SpplError;
-pub use event::Event;
+pub use event::{var, Event, Scalar};
+pub use model::Model;
 pub use spe::{Factory, Spe};
 pub use transform::Transform;
 pub use var::Var;
@@ -101,7 +107,8 @@ pub mod prelude {
     pub use crate::density::{constrain, Assignment};
     pub use crate::engine::{default_threads, global_pool, CacheStats, QueryEngine};
     pub use crate::error::SpplError;
-    pub use crate::event::Event;
+    pub use crate::event::{var, Event, Scalar};
+    pub use crate::model::Model;
     pub use crate::simulate::Sample;
     pub use crate::spe::{Factory, Spe};
     pub use crate::transform::Transform;

@@ -259,7 +259,7 @@ impl Default for FactoryOptions {
 /// node (the stored `Spe` handle), making address reuse impossible.
 ///
 /// The factory is `Send + Sync`: the intern table and both memo tables
-/// are sharded [`ShardedMap`]s, and the statistics/generation counters are
+/// are sharded `ShardedMap`s, and the statistics/generation counters are
 /// atomics, so one factory can serve interning and memoized inference from
 /// many threads at once ([`QueryEngine::par_logprob_many`] relies on
 /// this).

@@ -16,7 +16,7 @@ use sppl_core::transform::Transform;
 use sppl_core::var::Var;
 use sppl_core::{Spe, SpplError};
 
-use crate::Model;
+use crate::ModelSource;
 
 /// Population (data-generating) models from the FairSquare suite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -322,7 +322,7 @@ pub struct FairnessTask {
     /// Which population model.
     pub population: Population,
     /// The combined SPPL program.
-    pub model: Model,
+    pub model: ModelSource,
     /// The fairness tolerance ε of Eq. (7).
     pub epsilon: f64,
 }
@@ -334,7 +334,7 @@ pub fn task(tree: DecisionTree, population: Population) -> FairnessTask {
         name: format!("{}/{}", tree.name(), population.name()),
         tree,
         population,
-        model: Model::new(format!("{}-{}", tree.name(), population.name()), source),
+        model: ModelSource::new(format!("{}-{}", tree.name(), population.name()), source),
         epsilon: 0.15,
     }
 }

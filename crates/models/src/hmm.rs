@@ -10,14 +10,14 @@ use sppl_core::transform::Transform;
 use sppl_core::var::Var;
 use sppl_sets::Outcome;
 
-use crate::Model;
+use crate::ModelSource;
 
 /// The Fig. 3a program with `n_step` time points: Bernoulli hidden states
 /// `Z[t]`, Normal observations `X[t]`, Poisson observations `Y[t]`, and a
 /// top-level `separated` switch controlling how far apart the two regimes
 /// are. Means follow the paper's tables `mu_x = [[5,7],[5,15]]`,
 /// `mu_y = [[5,8],[3,8]]`.
-pub fn hierarchical_hmm(n_step: usize) -> Model {
+pub fn hierarchical_hmm(n_step: usize) -> ModelSource {
     let source = format!(
         "
 mu_x = [[5, 7], [5, 15]]
@@ -48,7 +48,7 @@ switch separated cases (s in [0, 1]) {{
 ",
         n = n_step
     );
-    Model::new(format!("HierarchicalHMM-{n_step}"), source)
+    ModelSource::new(format!("HierarchicalHMM-{n_step}"), source)
 }
 
 /// Ground-truth simulation of the generative process (used to make the

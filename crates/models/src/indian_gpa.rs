@@ -6,11 +6,11 @@ use sppl_core::transform::Transform;
 use sppl_core::var::Var;
 use sppl_sets::Interval;
 
-use crate::Model;
+use crate::ModelSource;
 
 /// The Fig. 2a program.
-pub fn model() -> Model {
-    Model::new(
+pub fn model() -> ModelSource {
+    ModelSource::new(
         "IndianGPA",
         "
 Nationality ~ choice({'India': 0.5, 'USA': 0.5})

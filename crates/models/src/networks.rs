@@ -1,14 +1,14 @@
 //! Discrete Bayesian-network benchmarks used in the Table 1 compression
-//! measurements: Hiring [FairSquare], Alarm / Grass / Noisy-OR [R2], and
-//! the Heart Disease network [Spiegelhalter et al.], re-encoded from
+//! measurements: Hiring (FairSquare), Alarm / Grass / Noisy-OR (R2), and
+//! the Heart Disease network (Spiegelhalter et al.), re-encoded from
 //! their published structure.
 
-use crate::Model;
+use crate::ModelSource;
 
 /// The FairSquare running example: ethnicity, college rank, years of
 /// experience, and a small hiring decision tree.
-pub fn hiring() -> Model {
-    Model::new(
+pub fn hiring() -> ModelSource {
+    ModelSource::new(
         "Hiring",
         "
 ethnicity ~ bernoulli(p=0.33)
@@ -30,8 +30,8 @@ if (col_rank <= 5.0) {
 }
 
 /// The classic burglary/earthquake alarm network (R2 suite).
-pub fn alarm() -> Model {
-    Model::new(
+pub fn alarm() -> ModelSource {
+    ModelSource::new(
         "Alarm",
         "
 burglary ~ bernoulli(p=0.001)
@@ -52,8 +52,8 @@ else { mary_calls ~ bernoulli(p=0.01) }
 }
 
 /// The sprinkler/rain/wet-grass network (R2 suite).
-pub fn grass() -> Model {
-    Model::new(
+pub fn grass() -> ModelSource {
+    ModelSource::new(
         "Grass",
         "
 cloudy ~ bernoulli(p=0.5)
@@ -77,7 +77,7 @@ else { slippery ~ bernoulli(p=0.0) }
 /// A noisy-OR network with `n_causes` independent causes and one effect
 /// whose activation probability grows with the number of active causes
 /// (R2 suite's NoisyOR, parameterized).
-pub fn noisy_or(n_causes: usize) -> Model {
+pub fn noisy_or(n_causes: usize) -> ModelSource {
     let mut src = String::new();
     for i in 0..n_causes {
         src.push_str(&format!("cause_{i} ~ bernoulli(p=0.3)\n"));
@@ -101,13 +101,13 @@ pub fn noisy_or(n_causes: usize) -> Model {
         src.push_str(&format!("{pad}}}\n"));
     }
     chain(0, n_causes, 0, &mut src, 0);
-    Model::new(format!("NoisyOR-{n_causes}"), src)
+    ModelSource::new(format!("NoisyOR-{n_causes}"), src)
 }
 
 /// A Heart-Disease-style diagnosis network (Spiegelhalter et al. 1993),
 /// mixing discrete risk factors and continuous measurements.
-pub fn heart_disease() -> Model {
-    Model::new(
+pub fn heart_disease() -> ModelSource {
+    ModelSource::new(
         "HeartDisease",
         "
 smoking ~ bernoulli(p=0.3)
@@ -140,7 +140,7 @@ else { heart_rate ~ normal(75.0, 9.0) }
 }
 
 /// The seven Table 1 benchmark models.
-pub fn table1_models() -> Vec<Model> {
+pub fn table1_models() -> Vec<ModelSource> {
     vec![
         hiring(),
         alarm(),

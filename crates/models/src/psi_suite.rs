@@ -13,7 +13,7 @@ use sppl_core::transform::Transform;
 use sppl_core::var::Var;
 use sppl_sets::Outcome;
 
-use crate::Model;
+use crate::ModelSource;
 
 fn tvar(name: &str) -> Transform {
     Transform::id(Var::new(name))
@@ -23,7 +23,7 @@ fn tvar(name: &str) -> Transform {
 
 /// Digit Recognition (C × B^npixels): a categorical class and
 /// class-conditional Bernoulli pixels from deterministic templates.
-pub fn digit_recognition(n_pixels: usize) -> Model {
+pub fn digit_recognition(n_pixels: usize) -> ModelSource {
     // Per-class pixel probabilities come from a deterministic template,
     // so the class dispatch is expanded as an if/elif chain rather than a
     // `switch` (whose binder could not index the template).
@@ -46,7 +46,7 @@ pub fn digit_recognition(n_pixels: usize) -> Model {
         }
         src.push_str("}\n");
     }
-    Model::new(format!("DigitRecognition-{n_pixels}"), src)
+    ModelSource::new(format!("DigitRecognition-{n_pixels}"), src)
 }
 
 /// Deterministic class-conditional pixel-on probability (a stand-in for
@@ -78,8 +78,8 @@ pub fn digit_query(d: usize) -> Event {
 /// TrueSkill (P × Bi²): a truncated-Poisson skill and two Binomial match
 /// performances whose success rate grows with skill (discretized per R4
 /// via `switch`).
-pub fn trueskill() -> Model {
-    Model::new(
+pub fn trueskill() -> ModelSource {
+    ModelSource::new(
         "TrueSkill",
         "
 Skill ~ poisson(mu=5)
@@ -109,7 +109,7 @@ pub fn trueskill_query(k: u32) -> Event {
 /// Clinical Trial (B × U³ × B^n × B^n): effectiveness flag, discretized
 /// uniform response rates (the Lst. 4 binspace/switch pattern), and `n`
 /// Bernoulli outcomes per arm.
-pub fn clinical_trial(n_treated: usize, n_control: usize) -> Model {
+pub fn clinical_trial(n_treated: usize, n_control: usize) -> ModelSource {
     let mut src = String::new();
     src.push_str(&format!("Treated = array({n_treated})\n"));
     src.push_str(&format!("Control = array({n_control})\n"));
@@ -142,7 +142,7 @@ pub fn clinical_trial(n_treated: usize, n_control: usize) -> Model {
     }
     src.push_str("    }\n");
     src.push_str("}\n");
-    Model::new(format!("ClinicalTrial-{n_treated}x{n_control}"), src)
+    ModelSource::new(format!("ClinicalTrial-{n_treated}x{n_control}"), src)
 }
 
 /// A clinical-trial dataset: outcomes drawn with distinct treated/control
@@ -177,8 +177,8 @@ pub fn clinical_trial_query() -> Event {
 /// Gamma Transforms (G × T × (T + T)): the Sec. 6.2 robustness benchmark
 /// for many-to-one transforms. `X ~ Gamma(3, 1)`; `Y = 1/exp(X²)` when
 /// `X < 1` else `1/ln(X)`; `Z = -Y³ + Y² + 6Y`.
-pub fn gamma_transforms() -> Model {
-    Model::new(
+pub fn gamma_transforms() -> ModelSource {
+    ModelSource::new(
         "GammaTransforms",
         "
 X ~ gamma(3, 1)
@@ -213,7 +213,7 @@ pub fn gamma_query() -> Event {
 /// Student Interviews (P × B^s × Bi^2s × (A + Be)^s for `s` students):
 /// a truncated-Poisson recruiter count; per student a mixed atomic/beta
 /// GPA, an interview count, and an offer count.
-pub fn student_interviews(n_students: usize) -> Model {
+pub fn student_interviews(n_students: usize) -> ModelSource {
     let mut src = String::new();
     src.push_str(&format!("Gpa = array({n})\n", n = n_students));
     src.push_str(&format!("Interviews = array({n})\n", n = n_students));
@@ -240,7 +240,7 @@ pub fn student_interviews(n_students: usize) -> Model {
         src.push_str(&format!("    Offers[{i}] ~ binomial(n=k, p=0.5)\n"));
         src.push_str("}\n");
     }
-    Model::new(format!("StudentInterviews-{n_students}"), src)
+    ModelSource::new(format!("StudentInterviews-{n_students}"), src)
 }
 
 /// A Student-Interviews dataset: observed offer counts per student.
@@ -263,7 +263,7 @@ pub fn student_interviews_query() -> Event {
 
 /// Markov Switching (B × B^n × N^n × P^n): the hierarchical HMM of
 /// Sec. 2.2 with `n` steps, reused from [`crate::hmm`].
-pub fn markov_switching(n: usize) -> Model {
+pub fn markov_switching(n: usize) -> ModelSource {
     let mut m = crate::hmm::hierarchical_hmm(n);
     m.name = format!("MarkovSwitching-{n}");
     m

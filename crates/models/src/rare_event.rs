@@ -8,12 +8,12 @@ use sppl_core::event::Event;
 use sppl_core::transform::Transform;
 use sppl_core::var::Var;
 
-use crate::Model;
+use crate::ModelSource;
 
 /// A two-state Markov chain (`S[t]`) with sticky transitions and noisy
 /// Bernoulli emissions (`O[t]`). The rare events fix a long run of
 /// emissions that is only plausible from the rare state.
-pub fn chain_network(n: usize) -> Model {
+pub fn chain_network(n: usize) -> ModelSource {
     let mut src = String::new();
     src.push_str(&format!("S = array({n})\nO = array({n})\n"));
     src.push_str("S[0] ~ bernoulli(p=0.01)\n");
@@ -27,7 +27,7 @@ pub fn chain_network(n: usize) -> Model {
             "switch S[{t}] cases (z in [0, 1]) {{ O[{t}] ~ bernoulli(p=0.03 + 0.67*z) }}\n"
         ));
     }
-    Model::new(format!("RareEventChain-{n}"), src)
+    ModelSource::new(format!("RareEventChain-{n}"), src)
 }
 
 /// The rare event: the first `k` emissions are all 1 (the chain almost

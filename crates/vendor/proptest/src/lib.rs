@@ -2,10 +2,10 @@
 //! API), used because the build environment has no network access to
 //! crates.io.
 //!
-//! Supported surface: the [`Strategy`] trait with `prop_map`,
-//! `prop_filter`, `prop_recursive`, and `boxed`; range / tuple / [`Just`]
-//! strategies; [`any`] via [`Arbitrary`]; `prop::collection::{vec,
-//! btree_set}`; `prop::sample::select`; the [`proptest!`] runner macro
+//! Supported surface: the `Strategy` trait with `prop_map`,
+//! `prop_filter`, `prop_recursive`, and `boxed`; range / tuple / `Just`
+//! strategies; `any` via `Arbitrary`; `prop::collection::{vec,
+//! btree_set}`; `prop::sample::select`; the `proptest!` runner macro
 //! with `#![proptest_config(..)]`; and the `prop_assert*` / `prop_assume`
 //! macros.
 //!

@@ -3,10 +3,12 @@
 //! response-rate prior discretized with `binspace` + `switch` to satisfy
 //! restriction R4).
 //!
-//! The model is translated **once**; each new dataset is conditioned
-//! against the same prior expression, and each posterior supports as many
-//! queries as needed — the amortization that single-stage engines (like
-//! the paper's PSI baseline) cannot exploit.
+//! The model is translated **once** into a [`Model`] session; each new
+//! dataset is conditioned against the same prior (the posterior is
+//! another `Model` over the same factory, so node-level memos stay warm
+//! across datasets), and each posterior supports as many queries as
+//! needed — the amortization that single-stage engines (like the paper's
+//! PSI baseline) cannot exploit.
 //!
 //! Run with: `cargo run --release --example clinical_trial`
 
@@ -15,17 +17,16 @@ use sppl::prelude::*;
 
 fn main() {
     let (n_treated, n_control) = (20, 20);
-    let factory = Factory::new();
 
     // Stage S1: translate once.
     let start = std::time::Instant::now();
     let model = psi_suite::clinical_trial(n_treated, n_control)
-        .compile(&factory)
+        .session()
         .expect("model compiles");
     println!(
         "S1 translate: {:.1} ms ({} physical nodes)\n",
         start.elapsed().as_secs_f64() * 1000.0,
-        physical_node_count(&model)
+        physical_node_count(model.root())
     );
 
     // Stages S2+S3, repeated for several observed trials.
@@ -44,7 +45,7 @@ fn main() {
             *p_control,
         );
         let t0 = std::time::Instant::now();
-        let posterior = constrain(&factory, &model, &data).expect("positive density");
+        let posterior = model.constrain(&data).expect("positive density");
         let cond_ms = t0.elapsed().as_secs_f64() * 1000.0;
 
         let t1 = std::time::Instant::now();
@@ -52,9 +53,7 @@ fn main() {
             .prob(&psi_suite::clinical_trial_query())
             .expect("query");
         // The posterior is reusable: ask further questions for free.
-        let p_high_control = posterior
-            .prob(&Event::gt(Transform::id(Var::new("ProbControl")), 0.5))
-            .expect("query");
+        let p_high_control = posterior.prob(&var("ProbControl").gt(0.5)).expect("query");
         let query_ms = t1.elapsed().as_secs_f64() * 1000.0;
 
         println!("dataset {i}: {label}");

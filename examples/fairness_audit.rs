@@ -9,18 +9,16 @@ use rand::SeedableRng;
 use sppl::baseline::fairsquare::VolumeVerifier;
 use sppl::baseline::verifair::AdaptiveSampler;
 use sppl::models::fairness::{self, DecisionTree, Population};
-use sppl::prelude::*;
 
 fn main() {
-    let factory = Factory::new();
     let mut rng = StdRng::seed_from_u64(7);
 
     for tree in [DecisionTree::Dt4, DecisionTree::Dt14, DecisionTree::Dt16A] {
         for pop in [Population::Independent, Population::BayesNet1] {
             let task = fairness::task(tree, pop);
             let start = std::time::Instant::now();
-            let spe = task.model.compile(&factory).expect("task compiles");
-            let ratio = fairness::fairness_ratio(&spe).expect("exact ratio");
+            let model = task.model.session().expect("task compiles");
+            let ratio = fairness::fairness_ratio(model.root()).expect("exact ratio");
             let sppl_s = start.elapsed().as_secs_f64();
             let verdict = if fairness::is_fair(ratio, task.epsilon) {
                 "FAIR"
@@ -28,9 +26,9 @@ fn main() {
                 "UNFAIR"
             };
 
-            let vf = AdaptiveSampler::default().verify(&spe, &mut rng);
+            let vf = AdaptiveSampler::default().verify(model.root(), &mut rng);
             let fs = VolumeVerifier::default()
-                .verify(&spe, &tree.spec())
+                .verify(model.root(), &tree.spec())
                 .expect("volume verifier");
 
             println!("{:<22} ({} LoC)", task.name, task.model.lines_of_code());

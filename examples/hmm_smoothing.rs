@@ -12,14 +12,13 @@ use sppl::prelude::*;
 
 fn main() {
     let n_step = 100;
-    let factory = Factory::new();
 
     println!("translating the {n_step}-step hierarchical HMM…");
     let start = std::time::Instant::now();
     let model = hmm::hierarchical_hmm(n_step)
-        .compile(&factory)
+        .session()
         .expect("model compiles");
-    let stats = graph_stats(&model);
+    let stats = graph_stats(model.root());
     println!(
         "  {:.2}s — {} physical nodes vs {:.3e} tree-expanded nodes \
          (compression {:.3e}x)",
@@ -42,28 +41,26 @@ fn main() {
         }
     );
 
-    // Exact smoothing: condition on all observations at once.
+    // Exact smoothing: condition on all observations at once. The
+    // posterior comes back as another Model — same factory, warm caches,
+    // ready for batched queries.
     let start = std::time::Instant::now();
-    let posterior = constrain(
-        &factory,
-        &model,
-        &hmm::observation_assignment(&trace.x, &trace.y),
-    )
-    .expect("observations have positive density");
+    let posterior = model
+        .constrain(&hmm::observation_assignment(&trace.x, &trace.y))
+        .expect("observations have positive density");
     println!(
         "conditioning on 2×{n_step} observations: {:.2}s",
         start.elapsed().as_secs_f64()
     );
 
-    // All smoothing marginals in one batched call through the memoized
-    // query engine; a second pass is answered entirely from cache.
-    let engine = QueryEngine::new(factory, posterior);
+    // All smoothing marginals in one batched call through the posterior
+    // session; a second pass is answered entirely from cache.
     let queries = hmm::smoothing_queries(n_step);
     let start = std::time::Instant::now();
-    let series = engine.prob_many(&queries).expect("smoothing queries");
+    let series = posterior.prob_many(&queries).expect("smoothing queries");
     let cold = start.elapsed().as_secs_f64();
     let start = std::time::Instant::now();
-    let warm_series = engine.prob_many(&queries).expect("smoothing queries");
+    let warm_series = posterior.prob_many(&queries).expect("smoothing queries");
     let warm = start.elapsed().as_secs_f64();
     assert_eq!(series, warm_series, "warm pass must be bit-identical");
 
@@ -77,7 +74,7 @@ fn main() {
             println!("{t:>3}     {}   {p:.3} {bar}", trace.z[t]);
         }
     }
-    let stats = engine.stats();
+    let stats = posterior.stats();
     println!(
         "\n{} smoothing queries: cold {:.2}s, warm {:.4}s \
          ({} hits / {} misses); MAP state matches truth at {}/{} steps",

@@ -1,7 +1,8 @@
-//! Serving-shaped inference: two independent sessions (each with its own
-//! factory and engine) answer wide query batches in parallel over a
-//! thread pool, sharing one bounded cross-engine LRU cache keyed by the
-//! model's content digest.
+//! Serving-shaped inference: two independent sessions (each its own
+//! [`Model`] with its own factory) answer wide query batches in parallel
+//! over a thread pool, sharing one bounded cross-session LRU cache keyed
+//! by the model's content digest. Conditioning returns posterior models
+//! that inherit the cache automatically.
 //!
 //! Run with `cargo run --release --example parallel_serving`; set
 //! `SPPL_THREADS` to pin the pool width.
@@ -14,19 +15,19 @@ use sppl::prelude::*;
 
 const N_STEP: usize = 30;
 
-/// One "session": translate the model, condition on the observations, and
-/// wrap the posterior in a query engine attached to the shared cache.
-fn open_session(cache: &Arc<SharedCache>) -> QueryEngine {
-    let factory = Factory::new();
+/// One "session": translate the model, attach the shared cache, and
+/// condition on the observations — the posterior `Model` keeps the cache.
+fn open_session(cache: &Arc<SharedCache>) -> Model {
     let model = hmm::hierarchical_hmm(N_STEP)
-        .compile(&factory)
-        .expect("model compiles");
+        .session()
+        .expect("model compiles")
+        .with_shared_cache(Arc::clone(cache));
     // Fixed synthetic observations so both sessions see the same model.
     let x: Vec<f64> = (0..N_STEP).map(|t| 5.0 + f64::from(t as u32 % 3)).collect();
     let y: Vec<f64> = (0..N_STEP).map(|t| f64::from(4 + (t as u32 % 4))).collect();
-    let posterior = constrain(&factory, &model, &hmm::observation_assignment(&x, &y))
-        .expect("positive density");
-    QueryEngine::new(factory, posterior).with_shared_cache(Arc::clone(cache))
+    model
+        .constrain(&hmm::observation_assignment(&x, &y))
+        .expect("positive density")
 }
 
 fn main() {

@@ -1,7 +1,9 @@
 //! Quickstart: the Indian GPA problem (paper Sec. 2.1, Fig. 2).
 //!
-//! Demonstrates the full modular workflow of Fig. 1: model → translate →
-//! query the prior → condition → query the posterior → sample.
+//! Demonstrates the full modular workflow of Fig. 1 on the session-first
+//! API: compile a [`Model`] → query the prior → condition (the posterior
+//! is another `Model`) → query the posterior → sample. Events are built
+//! with the fluent DSL (`var(..)`, `&`, `|`).
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -10,11 +12,8 @@ use rand::SeedableRng;
 use sppl::prelude::*;
 
 fn main() {
-    let factory = Factory::new();
-
-    // ---- modeling (Fig. 2a) ----
-    let model = compile(
-        &factory,
+    // ---- modeling (Fig. 2a): source straight to a queryable session ----
+    let model = Model::compile(
         r#"
 Nationality ~ choice({'India': 0.5, 'USA': 0.5})
 if (Nationality == 'India') {
@@ -28,64 +27,45 @@ if (Nationality == 'India') {
     )
     .expect("the model is well-formed");
 
-    let nationality = Transform::id(Var::new("Nationality"));
-    let perfect = Transform::id(Var::new("Perfect"));
-    let gpa = Transform::id(Var::new("GPA"));
-
     // ---- prior queries (Fig. 2b) ----
     println!("== prior marginals ==");
     println!(
         "P[Nationality = USA]  = {:.4}",
-        model
-            .prob(&Event::eq_str(nationality.clone(), "USA"))
-            .unwrap()
+        model.prob(&var("Nationality").eq("USA")).unwrap()
     );
     println!(
         "P[Perfect = 1]        = {:.4}",
-        model.prob(&Event::eq_real(perfect.clone(), 1.0)).unwrap()
+        model.prob(&var("Perfect").eq(1.0)).unwrap()
     );
     println!("GPA CDF (note the atoms at 4 and 10):");
     for x in [2.0, 3.9999, 4.0, 8.0, 9.9999, 10.0] {
         println!(
             "  P[GPA <= {x:>7.4}] = {:.4}",
-            model.prob(&Event::le(gpa.clone(), x)).unwrap()
+            model.prob(&var("GPA").le(x)).unwrap()
         );
     }
 
     // ---- a joint query (Fig. 2c) ----
-    let joint = Event::or(vec![
-        Event::eq_real(perfect.clone(), 1.0),
-        Event::and(vec![
-            Event::eq_str(nationality.clone(), "India"),
-            Event::gt(gpa.clone(), 3.0),
-        ]),
-    ]);
+    let joint = var("Perfect").eq(1.0) | (var("Nationality").eq("India") & var("GPA").gt(3.0));
     println!(
         "\nP[(Perfect = 1) or (India and GPA > 3)] = {:.4}",
         model.prob(&joint).unwrap()
     );
 
-    // ---- conditioning (Fig. 2f) ----
-    let evidence = Event::or(vec![
-        Event::and(vec![
-            Event::eq_str(nationality.clone(), "USA"),
-            Event::gt(gpa.clone(), 3.0),
-        ]),
-        Event::in_interval(gpa.clone(), Interval::open(8.0, 10.0)),
-    ]);
-    let posterior = condition(&factory, &model, &evidence).expect("positive probability");
+    // ---- conditioning (Fig. 2f): the posterior is a Model too ----
+    let evidence = (var("Nationality").eq("USA") & var("GPA").gt(3.0))
+        | var("GPA").in_interval(Interval::open(8.0, 10.0));
+    let posterior = model.condition(&evidence).expect("positive probability");
 
     // ---- posterior queries (Fig. 2h) ----
     println!("\n== posterior marginals given ((USA and GPA > 3) or (8 < GPA < 10)) ==");
     println!(
         "P[Nationality = India | e] = {:.4}   (paper: 0.33)",
-        posterior
-            .prob(&Event::eq_str(nationality, "India"))
-            .unwrap()
+        posterior.prob(&var("Nationality").eq("India")).unwrap()
     );
     println!(
         "P[Perfect = 1 | e]         = {:.4}   (paper: 0.28)",
-        posterior.prob(&Event::eq_real(perfect, 1.0)).unwrap()
+        posterior.prob(&var("Perfect").eq(1.0)).unwrap()
     );
 
     // ---- simulation ----

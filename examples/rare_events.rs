@@ -9,12 +9,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sppl::baseline::sampler::RejectionEstimator;
 use sppl::models::rare_event;
-use sppl::prelude::*;
 
 fn main() {
-    let factory = Factory::new();
     let model = rare_event::chain_network(20)
-        .compile(&factory)
+        .session()
         .expect("chain compiles");
     let mut rng = StdRng::seed_from_u64(99);
 
@@ -33,7 +31,7 @@ fn main() {
             max_samples: 100_000,
             checkpoint_every: 25_000,
         };
-        let trajectory = estimator.estimate(&model, &event, &mut rng);
+        let trajectory = estimator.estimate(model.root(), &event, &mut rng);
         for point in trajectory {
             let log_est = if point.estimate > 0.0 {
                 format!("{:.2}", point.estimate.ln())

@@ -7,10 +7,8 @@
 use sppl::prelude::*;
 
 fn main() {
-    let factory = Factory::new();
     // Fig. 4a: X ~ Normal(0,2); Z = -X³+X²+6X if X < 1 else -5√X + 11.
-    let model = compile(
-        &factory,
+    let model = Model::compile(
         "
 X ~ normal(0, 2)
 if (X < 1) { Z = -(X**3) + X**2 + 6*X }
@@ -19,40 +17,32 @@ else { Z = -5*sqrt(X) + 11 }
     )
     .expect("model compiles");
 
-    let x = Transform::id(Var::new("X"));
-    let z = Transform::id(Var::new("Z"));
-
     println!("== prior ==");
     println!(
         "P[X < 1]  = {:.4}  (branch weight, paper: .69)",
-        model.prob(&Event::lt(x.clone(), 1.0)).unwrap()
+        model.prob(&var("X").lt(1.0)).unwrap()
     );
-    println!(
-        "P[Z <= 0] = {:.4}",
-        model.prob(&Event::le(z.clone(), 0.0)).unwrap()
-    );
+    println!("P[Z <= 0] = {:.4}", model.prob(&var("Z").le(0.0)).unwrap());
 
-    // Fig. 4c: condition on Z² ≤ 4 ∧ Z ≥ 0, i.e. Z ∈ [0, 2].
-    let evidence = Event::and(vec![
-        Event::le(z.clone().pow_int(2), 4.0),
-        Event::ge(z.clone(), 0.0),
-    ]);
-    let posterior = condition(&factory, &model, &evidence).expect("positive probability");
+    // Fig. 4c: condition on Z² ≤ 4 ∧ Z ≥ 0, i.e. Z ∈ [0, 2]. The
+    // posterior is another Model over the same factory.
+    let evidence = var("Z").pow_int(2).le(4.0) & var("Z").ge(0.0);
+    let posterior = model.condition(&evidence).expect("positive probability");
 
     println!("\n== posterior given Z² <= 4 and Z >= 0 ==");
     // The three components of Fig. 4d: X ∈ [-2.17, -2] ∪ [0, 0.32] ∪ [3.24, 4.84].
     let components = [
         (
             "X in [-2.18, -2.0]",
-            Event::in_interval(x.clone(), Interval::closed(-2.18, -2.0)),
+            var("X").in_interval(Interval::closed(-2.18, -2.0)),
         ),
         (
             "X in [0.0, 0.33]",
-            Event::in_interval(x.clone(), Interval::closed(0.0, 0.33)),
+            var("X").in_interval(Interval::closed(0.0, 0.33)),
         ),
         (
             "X in [3.24, 4.84]",
-            Event::in_interval(x.clone(), Interval::closed(3.24, 4.84)),
+            var("X").in_interval(Interval::closed(3.24, 4.84)),
         ),
     ];
     let mut total = 0.0;
@@ -67,6 +57,6 @@ else { Z = -5*sqrt(X) + 11 }
     // The closure property: the posterior answers further queries.
     println!(
         "\nP[Z > 1 | e] = {:.4}",
-        posterior.prob(&Event::gt(z, 1.0)).unwrap()
+        posterior.prob(&var("Z").gt(1.0)).unwrap()
     );
 }

@@ -4,32 +4,39 @@
 //! Exact Symbolic Inference"* (Saad, Rinard, Mansinghka — PLDI 2021).
 //!
 //! SPPL translates generative probabilistic programs into **sum-product
-//! expressions**, a symbolic representation closed under conditioning, and
-//! answers inference queries *exactly*:
+//! expressions**, a symbolic representation closed under conditioning
+//! (Thm. 4.1), and answers inference queries *exactly*. The public face
+//! of that closure result is [`Model`]: a cheaply-cloneable,
+//! `Send + Sync` session handle whose `condition`/`constrain` return
+//! **posteriors that are themselves models** — same factory, same warm
+//! node-level memos, same cross-session cache.
 //!
-//! * [`prob`](sppl_core::Spe::prob) — the probability of any event over
-//!   (possibly transformed) program variables,
-//! * [`condition`](sppl_core::condition) — the full posterior distribution
-//!   given an event (Thm. 4.1 of the paper),
-//! * [`constrain`](sppl_core::constrain) — conditioning on measure-zero
-//!   equality observations,
-//! * [`sample`](sppl_core::Spe::sample) — joint ancestral sampling,
-//! * [`QueryEngine`](sppl_core::engine::QueryEngine) — memoized, batched
-//!   `logprob`/`condition` over one compiled model, with cache
-//!   statistics; wide batches fan out over a thread pool
-//!   ([`par_logprob_many`](sppl_core::engine::QueryEngine::par_logprob_many),
-//!   the core is `Send + Sync`), and engines over the same model can
-//!   share one bounded LRU result cache
-//!   ([`SharedCache`](sppl_core::SharedCache)).
+//! * [`Model::compile`](sppl_lang::CompileModel::compile) — SPPL source →
+//!   queryable session,
+//! * [`Model::prob`](sppl_core::Model::prob) /
+//!   [`logprob`](sppl_core::Model::logprob) — exact probability of any
+//!   event over (possibly transformed) program variables, memoized;
+//!   `*_many` batches share sub-expression evaluations and
+//!   [`par_*_many`](sppl_core::Model::par_logprob_many) fan wide batches
+//!   over a thread pool with bit-identical results,
+//! * [`Model::condition`](sppl_core::Model::condition) /
+//!   [`constrain`](sppl_core::Model::constrain) — the full posterior
+//!   given an event (or measure-zero equality observations), as a new
+//!   [`Model`] sharing the parent's caches,
+//! * [`Model::sample`](sppl_core::Model::sample) — joint ancestral
+//!   sampling,
+//! * [`var()`] and the `&`/`|`/`!` operators — a fluent event DSL:
+//!   `var("GPA").le(4.0) & var("Nationality").eq("India")`,
+//! * [`SharedCache`](sppl_core::SharedCache) — a bounded cross-session
+//!   LRU serving repeated queries across separately compiled sessions.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use sppl::prelude::*;
 //!
-//! // The Indian GPA problem (paper Fig. 2).
-//! let factory = Factory::new();
-//! let model = compile(&factory, r#"
+//! // The Indian GPA problem (paper Fig. 2): compile straight to a session.
+//! let model = Model::compile(r#"
 //!     Nationality ~ choice({'India': 0.5, 'USA': 0.5})
 //!     if (Nationality == 'India') {
 //!         Perfect ~ bernoulli(p=0.10)
@@ -42,29 +49,48 @@
 //!
 //! // Exact prior query with an atom in the CDF:
 //! // P[GPA ≤ 4] = 0.5·(0.9·0.4) + 0.5·(0.15 + 0.85) = 0.68.
-//! let gpa = Transform::id(Var::new("GPA"));
-//! assert!((model.prob(&Event::le(gpa.clone(), 4.0)).unwrap() - 0.68).abs() < 1e-9);
+//! assert!((model.prob(&var("GPA").le(4.0)).unwrap() - 0.68).abs() < 1e-9);
 //!
-//! // Exact posterior (paper Fig. 2f/2g).
-//! let e = Event::or(vec![
-//!     Event::and(vec![
-//!         Event::eq_str(Transform::id(Var::new("Nationality")), "USA"),
-//!         Event::gt(gpa.clone(), 3.0),
-//!     ]),
-//!     Event::in_interval(gpa, Interval::open(8.0, 10.0)),
-//! ]);
-//! let posterior = condition(&factory, &model, &e).unwrap();
-//! let p_india = posterior
-//!     .prob(&Event::eq_str(Transform::id(Var::new("Nationality")), "India"))
-//!     .unwrap();
+//! // Exact posterior (paper Fig. 2f/2g) — conditioning returns a Model,
+//! // so the posterior is immediately queryable (and itself conditionable).
+//! let evidence = (var("Nationality").eq("USA") & var("GPA").gt(3.0))
+//!     | var("GPA").in_interval(Interval::open(8.0, 10.0));
+//! let posterior = model.condition(&evidence).unwrap();
+//! let p_india = posterior.prob(&var("Nationality").eq("India")).unwrap();
 //! assert!((p_india - 0.3318).abs() < 1e-3);
+//!
+//! // The posterior shares the parent session's factory and caches.
+//! assert!(std::sync::Arc::ptr_eq(model.factory_arc(), posterior.factory_arc()));
 //! ```
+//!
+//! # Migrating from `Factory`/`condition`
+//!
+//! Earlier revisions exposed the workflow as free functions over
+//! `(Factory, Spe)` pairs; those remain available as thin shims —
+//! [`compile`](sppl_lang::compile), [`condition`](sppl_core::condition()),
+//! [`constrain`](sppl_core::constrain) — for code that manages its own
+//! factories. The mapping:
+//!
+//! | legacy | session-first |
+//! |---|---|
+//! | `let f = Factory::new(); let spe = compile(&f, src)?` | `let m = Model::compile(src)?` |
+//! | `spe.prob(&e)` / `QueryEngine::new(f, spe).prob(&e)` | `m.prob(&e)` |
+//! | `condition(&f, &spe, &e)` → bare `Spe` | `m.condition(&e)` → queryable `Model` |
+//! | `constrain(&f, &spe, &obs)` → bare `Spe` | `m.constrain(&obs)` → queryable `Model` |
+//! | `Event::and(vec![Event::le(Transform::id(Var::new("X")), 1.0), …])` | `var("X").le(1.0) & …` |
+//! | rebuild engine per posterior, re-attach `SharedCache` | automatic: posteriors inherit both |
+//!
+//! Hand-built expressions still work: construct nodes with a
+//! [`Factory`](sppl_core::Factory) and wrap them with
+//! [`Model::new`](sppl_core::Model::new) (the factory may be shared, as
+//! an `Arc`). The engine layer ([`QueryEngine`](sppl_core::QueryEngine))
+//! stays public for code that wants explicit pool plumbing.
 //!
 //! # Crate map
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`sppl_core`] | sum-product expressions, events, transforms, exact inference |
+//! | [`sppl_core`] | sum-product expressions, events, transforms, exact inference, [`Model`] |
 //! | [`sppl_lang`] | SPPL parser + translator (`→SPE`) + reverse translation |
 //! | [`sppl_dists`] | primitive distributions and CDFs |
 //! | [`sppl_sets`] | the outcome set algebra |
@@ -80,10 +106,13 @@ pub use sppl_models as models;
 pub use sppl_num as num;
 pub use sppl_sets as sets;
 
+pub use sppl_core::{var, Event, Model};
+pub use sppl_lang::{compile_model, CompileModel};
+
 /// One-stop import for applications and examples.
 pub mod prelude {
     pub use sppl_core::density::Assignment;
     pub use sppl_core::prelude::*;
     pub use sppl_core::stats::{graph_stats, physical_node_count, tree_node_count};
-    pub use sppl_lang::{compile, parse, translate, untranslate};
+    pub use sppl_lang::{compile, compile_model, parse, translate, untranslate, CompileModel};
 }

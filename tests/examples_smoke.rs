@@ -2,7 +2,8 @@
 //! `examples/hmm_smoothing.rs`, and `examples/parallel_serving.rs` end to
 //! end, so the example workflows are exercised by `cargo test` in-process
 //! (CI additionally runs the actual example binaries via
-//! `cargo run --example`).
+//! `cargo run --example`). Like the examples, they run on the
+//! session-first `Model` API and the event DSL.
 
 use std::sync::Arc;
 
@@ -26,31 +27,20 @@ if (Nationality == 'India') {
 /// posterior query → sample, with the paper's Fig. 2 numbers.
 #[test]
 fn quickstart_flow_matches_paper_figures() {
-    let factory = Factory::new();
-    let model = compile(&factory, INDIAN_GPA).expect("quickstart model compiles");
-
-    let nationality = Transform::id(Var::new("Nationality"));
-    let gpa = Transform::id(Var::new("GPA"));
+    let model = Model::compile(INDIAN_GPA).expect("quickstart model compiles");
 
     // Prior: P[GPA <= 4] = 0.5·(0.9·0.4) + 0.5·(0.15 + 0.85) = 0.68, with
     // an atom at 4 (approaching from below loses the USA point mass).
-    let p_le_4 = model.prob(&Event::le(gpa.clone(), 4.0)).unwrap();
+    let p_le_4 = model.prob(&var("GPA").le(4.0)).unwrap();
     assert!((p_le_4 - 0.68).abs() < 1e-9, "P[GPA <= 4] = {p_le_4}");
-    let p_lt_4 = model.prob(&Event::le(gpa.clone(), 3.9999)).unwrap();
+    let p_lt_4 = model.prob(&var("GPA").le(3.9999)).unwrap();
     assert!(p_le_4 - p_lt_4 > 0.07, "missing atom at GPA = 4");
 
-    // Posterior of Fig. 2f/2g.
-    let evidence = Event::or(vec![
-        Event::and(vec![
-            Event::eq_str(nationality.clone(), "USA"),
-            Event::gt(gpa.clone(), 3.0),
-        ]),
-        Event::in_interval(gpa, Interval::open(8.0, 10.0)),
-    ]);
-    let posterior = condition(&factory, &model, &evidence).expect("P[e] > 0");
-    let p_india = posterior
-        .prob(&Event::eq_str(nationality, "India"))
-        .unwrap();
+    // Posterior of Fig. 2f/2g — a Model, straight from `condition`.
+    let evidence = (var("Nationality").eq("USA") & var("GPA").gt(3.0))
+        | var("GPA").in_interval(Interval::open(8.0, 10.0));
+    let posterior = model.condition(&evidence).expect("P[e] > 0");
+    let p_india = posterior.prob(&var("Nationality").eq("India")).unwrap();
     assert!((p_india - 0.3318).abs() < 1e-3, "P[India | e] = {p_india}");
     assert!(
         (posterior.prob(&Event::always()).unwrap() - 1.0).abs() < 1e-9,
@@ -78,12 +68,11 @@ fn quickstart_flow_matches_paper_figures() {
 #[test]
 fn hmm_smoothing_flow_recovers_hidden_states() {
     let n_step = 20;
-    let factory = Factory::new();
     let model = hmm::hierarchical_hmm(n_step)
-        .compile(&factory)
+        .session()
         .expect("HMM compiles");
 
-    let stats = graph_stats(&model);
+    let stats = graph_stats(model.root());
     assert!(
         stats.compression_ratio() > 1.0,
         "factorized SPE should be smaller than its tree expansion"
@@ -93,12 +82,9 @@ fn hmm_smoothing_flow_recovers_hidden_states() {
     let trace = hmm::simulate_trace(&mut rng, n_step);
     assert_eq!(trace.z.len(), n_step);
 
-    let posterior = constrain(
-        &factory,
-        &model,
-        &hmm::observation_assignment(&trace.x, &trace.y),
-    )
-    .expect("observations have positive density");
+    let posterior = model
+        .constrain(&hmm::observation_assignment(&trace.x, &trace.y))
+        .expect("observations have positive density");
 
     let mut correct = 0;
     for t in 0..n_step {
@@ -116,22 +102,22 @@ fn hmm_smoothing_flow_recovers_hidden_states() {
 }
 
 /// The parallel-serving workflow at a reduced trace length: two sessions
-/// over the same model share a bounded cache; batches fan out over the
-/// global pool and agree bit-for-bit.
+/// over the same model share a bounded cache (posteriors inherit it);
+/// batches fan out over the global pool and agree bit-for-bit.
 #[test]
 fn parallel_serving_flow_shares_answers_across_sessions() {
     let n_step = 12;
     let cache = Arc::new(SharedCache::new(1024));
     let open_session = || {
-        let factory = Factory::new();
         let model = hmm::hierarchical_hmm(n_step)
-            .compile(&factory)
-            .expect("HMM compiles");
+            .session()
+            .expect("HMM compiles")
+            .with_shared_cache(Arc::clone(&cache));
         let x: Vec<f64> = (0..n_step).map(|t| 5.0 + f64::from(t as u32 % 3)).collect();
         let y: Vec<f64> = (0..n_step).map(|t| f64::from(4 + (t as u32 % 4))).collect();
-        let posterior = constrain(&factory, &model, &hmm::observation_assignment(&x, &y))
-            .expect("positive density");
-        QueryEngine::new(factory, posterior).with_shared_cache(Arc::clone(&cache))
+        model
+            .constrain(&hmm::observation_assignment(&x, &y))
+            .expect("positive density")
     };
     let mut batch = hmm::smoothing_queries(n_step);
     batch.extend(hmm::pairwise_queries(n_step));

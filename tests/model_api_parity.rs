@@ -1,0 +1,247 @@
+//! API-parity suite: every [`Model`] query must be **bit-identical** to
+//! the legacy `Factory`/`QueryEngine`/free-function path on the paper's
+//! models — the session-first surface is a re-packaging, not a
+//! re-implementation. Also pins the redesign's headline guarantees:
+//! posteriors share the parent's factory pointer-identically, and a
+//! conditioning chain keeps serving (and filling) the parent's
+//! [`SharedCache`].
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sppl::models::{hmm, indian_gpa};
+use sppl::prelude::*;
+
+/// The Fig. 2 evidence, in DSL form.
+fn gpa_evidence() -> Event {
+    (var("Nationality").eq("USA") & var("GPA").gt(3.0))
+        | var("GPA").in_interval(Interval::open(8.0, 10.0))
+}
+
+/// A spread of Indian-GPA queries touching atoms, intervals, nominals,
+/// and conjunctions/disjunctions.
+fn gpa_queries() -> Vec<Event> {
+    vec![
+        var("GPA").le(4.0),
+        var("GPA").lt(4.0),
+        var("GPA").in_interval(Interval::open(8.0, 10.0)),
+        var("Nationality").eq("India"),
+        var("Perfect").eq(1.0),
+        var("Perfect").eq(1.0) | (var("Nationality").eq("India") & var("GPA").gt(3.0)),
+        gpa_evidence(),
+    ]
+}
+
+#[test]
+fn indian_gpa_model_matches_legacy_path_bit_for_bit() {
+    let source = indian_gpa::model().source;
+
+    // One compiled artifact, two API surfaces. (Bit-identity across
+    // *separately compiled* copies is a different guarantee — sum-child
+    // order is pointer-determined, see the ROADMAP — and is covered to
+    // tolerance by `independently_compiled_session_agrees_numerically`.)
+    let factory = Arc::new(Factory::new());
+    let spe = compile(&factory, &source).expect("compiles");
+
+    // Legacy: hand-threaded (Factory, Spe) pair plus a separate engine.
+    let legacy = QueryEngine::new(Arc::clone(&factory), spe.clone());
+
+    // Session-first.
+    let model = Model::new(factory, spe);
+
+    for q in gpa_queries() {
+        assert_eq!(
+            legacy.logprob(&q).unwrap().to_bits(),
+            model.logprob(&q).unwrap().to_bits(),
+            "logprob diverged on {q}"
+        );
+        assert_eq!(
+            legacy.prob(&q).unwrap().to_bits(),
+            model.prob(&q).unwrap().to_bits(),
+            "prob diverged on {q}"
+        );
+    }
+
+    // Batched and parallel variants agree with each other and the
+    // single-query path.
+    let batch = gpa_queries();
+    let legacy_many = legacy.logprob_many(&batch).unwrap();
+    let model_many = model.logprob_many(&batch).unwrap();
+    let model_par = model.par_logprob_many(&batch).unwrap();
+    let model_probs = model.prob_many(&batch).unwrap();
+    let model_par_probs = model.par_prob_many(&batch).unwrap();
+    for i in 0..batch.len() {
+        assert_eq!(legacy_many[i].to_bits(), model_many[i].to_bits());
+        assert_eq!(model_many[i].to_bits(), model_par[i].to_bits());
+        assert_eq!(model_probs[i].to_bits(), model_par_probs[i].to_bits());
+    }
+
+    // Posterior parity: legacy condition() hands back a bare Spe; the
+    // model's posterior must answer identically (and from an identical
+    // expression — conditioning is memoized in the shared factory).
+    let evidence = gpa_evidence();
+    let legacy_posterior = legacy.condition(&evidence).unwrap();
+    let model_posterior = model.condition(&evidence).unwrap();
+    for q in gpa_queries() {
+        assert_eq!(
+            legacy_posterior.logprob(&q).unwrap().to_bits(),
+            model_posterior.logprob(&q).unwrap().to_bits(),
+            "posterior logprob diverged on {q}"
+        );
+    }
+
+    // Sampling parity: same structure + same seed ⇒ same draws.
+    let mut rng_a = StdRng::seed_from_u64(7);
+    let mut rng_b = StdRng::seed_from_u64(7);
+    for _ in 0..32 {
+        assert_eq!(
+            legacy_posterior.sample(&mut rng_a),
+            model_posterior.sample(&mut rng_b)
+        );
+    }
+}
+
+#[test]
+fn hmm_smoothing_matches_legacy_path_bit_for_bit() {
+    const N: usize = 12;
+    let source = hmm::hierarchical_hmm(N).source;
+    let mut rng = StdRng::seed_from_u64(4242);
+    let trace = hmm::simulate_trace(&mut rng, N);
+    let observations = hmm::observation_assignment(&trace.x, &trace.y);
+
+    // One compiled artifact, two surfaces (see the Indian-GPA test).
+    let factory = Arc::new(Factory::new());
+    let spe = compile(&factory, &source).expect("compiles");
+
+    // Legacy: constrain through the free function, query through an
+    // engine built by hand over the posterior.
+    let legacy_posterior = constrain(&factory, &spe, &observations).expect("positive density");
+    let legacy = QueryEngine::new(Arc::clone(&factory), legacy_posterior);
+
+    // Session-first: constrain returns the posterior session directly.
+    let model = Model::new(factory, spe);
+    let posterior = model.constrain(&observations).expect("positive density");
+
+    let mut batch = hmm::smoothing_queries(N);
+    batch.extend(hmm::pairwise_queries(N));
+    let legacy_answers = legacy.logprob_many(&batch).unwrap();
+    let model_answers = posterior.logprob_many(&batch).unwrap();
+    let model_par = posterior.par_logprob_many(&batch).unwrap();
+    for i in 0..batch.len() {
+        assert_eq!(
+            legacy_answers[i].to_bits(),
+            model_answers[i].to_bits(),
+            "smoothing query {i} diverged"
+        );
+        assert_eq!(model_answers[i].to_bits(), model_par[i].to_bits());
+    }
+
+    // condition_chain parity against the engine's chain on the same
+    // posterior, including the documented empty-chain identity.
+    let chain = [hmm::hidden_state_event(0), hmm::hidden_state_event(1)];
+    let legacy_chained = legacy.condition_chain(&chain).unwrap();
+    let model_chained = posterior.condition_chain(&chain).unwrap();
+    let probe = hmm::hidden_state_event(2);
+    assert_eq!(
+        legacy_chained.logprob(&probe).unwrap().to_bits(),
+        model_chained.logprob(&probe).unwrap().to_bits()
+    );
+    assert!(posterior
+        .condition_chain(&[])
+        .unwrap()
+        .root()
+        .same(posterior.root()));
+}
+
+#[test]
+fn independently_compiled_session_agrees_numerically() {
+    // `Model::compile` builds its own factory; answers must agree with a
+    // hand-threaded compilation to floating-point tolerance (bitwise
+    // agreement across separate compiles is not promised — sum-child
+    // evaluation order is pointer-determined; the SharedCache papers over
+    // the last ulp in serving setups).
+    let source = indian_gpa::model().source;
+    let factory = Factory::new();
+    let spe = compile(&factory, &source).expect("compiles");
+    let legacy = QueryEngine::new(factory, spe);
+    let model = Model::compile(&source).expect("compiles");
+    assert_eq!(legacy.model_digest(), model.model_digest());
+    for q in gpa_queries() {
+        let a = legacy.prob(&q).unwrap();
+        let b = model.prob(&q).unwrap();
+        assert!((a - b).abs() < 1e-12, "{q}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn condition_chain_shares_factory_and_serves_shared_cache_hits() {
+    let cache = Arc::new(SharedCache::new(1024));
+    let model = indian_gpa::model()
+        .session()
+        .expect("compiles")
+        .with_shared_cache(Arc::clone(&cache));
+
+    // A two-step conditioning chain; every link must keep the parent's
+    // factory pointer-identically (one intern table, warm node memos).
+    let step1 = model.condition(&var("GPA").gt(3.0)).unwrap();
+    let step2 = step1.condition(&var("Nationality").eq("USA")).unwrap();
+    assert!(Arc::ptr_eq(model.factory_arc(), step1.factory_arc()));
+    assert!(Arc::ptr_eq(model.factory_arc(), step2.factory_arc()));
+    assert!(step2.shared_cache().is_some());
+
+    // The posterior's queries key the shared cache under the posterior's
+    // own digest (≠ parent's, the distributions differ)…
+    assert_ne!(model.model_digest(), step1.model_digest());
+    assert_ne!(step1.model_digest(), step2.model_digest());
+    let probe = var("Perfect").eq(1.0);
+    let before = cache.stats();
+    let first = step2.prob(&probe).unwrap();
+    assert_eq!(
+        cache.stats().entries,
+        before.entries + 1,
+        "posterior query must fill the shared cache"
+    );
+
+    // …so a *separately derived* copy of the same posterior — the second
+    // session of a serving deployment re-running the same chain — is
+    // answered from the shared cache without touching the evaluator.
+    let twin = model
+        .condition(&var("GPA").gt(3.0))
+        .unwrap()
+        .condition(&var("Nationality").eq("USA"))
+        .unwrap();
+    assert_eq!(twin.model_digest(), step2.model_digest());
+    let hits_before = cache.stats().hits;
+    let second = twin.prob(&probe).unwrap();
+    assert_eq!(first.to_bits(), second.to_bits());
+    assert_eq!(
+        cache.stats().hits,
+        hits_before + 1,
+        "rerun chain must be served from the shared cache"
+    );
+    // The twin's engine saw a local miss (fresh engine) but the shared
+    // layer answered; its own cache is now promoted for the next call.
+    assert_eq!(twin.stats().misses, 1);
+    twin.prob(&probe).unwrap();
+    assert_eq!(twin.stats().hits, 1);
+}
+
+#[test]
+fn posterior_queries_reuse_parent_factory_node_memos() {
+    // Conditioning chains stay warm at the node level too: the posterior
+    // shares the factory, so sub-expressions shared between the prior and
+    // the posterior (untouched product factors) hit the same memo table.
+    let model = indian_gpa::model().session().expect("compiles");
+    model.prob(&var("GPA").le(4.0)).unwrap();
+    let node_entries_before = model.factory().prob_cache_stats().entries;
+    assert!(node_entries_before > 0);
+    let posterior = model.condition(&var("GPA").gt(3.0)).unwrap();
+    posterior.prob(&var("GPA").le(4.0)).unwrap();
+    let stats = posterior.factory().prob_cache_stats();
+    assert!(
+        stats.entries > node_entries_before,
+        "posterior evaluation must extend the shared node-level memo, not a fresh one"
+    );
+    assert!(stats.hits > 0, "shared sub-expressions must hit");
+}

@@ -10,27 +10,25 @@
 //!   `α_t(s') = Σ_s α_{t-1}(s)·T(s,s')·P(O=1|s')` evaluated in IEEE
 //!   doubles.
 //!
-//! Every value is queried cold (fresh engine) and warm (second pass over
-//! the same [`QueryEngine`]) and must be bit-identical between the two.
+//! Every value is queried cold (fresh session) and warm (second pass over
+//! the same [`Model`]) and must be bit-identical between the two.
 
 use sppl::models::{indian_gpa, rare_event};
 use sppl::prelude::*;
 
-fn gpa_engine() -> QueryEngine {
-    let f = Factory::new();
-    let model = indian_gpa::model().compile(&f).expect("Fig. 2 compiles");
-    QueryEngine::new(f, model)
+fn gpa_model() -> Model {
+    indian_gpa::model().session().expect("Fig. 2 compiles")
 }
 
 fn gpa(v: f64) -> Event {
-    Event::le(Transform::id(Var::new("GPA")), v)
+    var("GPA").le(v)
 }
 
 /// Queries cold and warm, asserting bit-identical answers, and checks the
 /// pinned golden value.
-fn assert_golden(engine: &QueryEngine, event: &Event, expected: f64, tol: f64, what: &str) {
-    let cold = engine.prob(event).unwrap();
-    let warm = engine.prob(event).unwrap();
+fn assert_golden(model: &Model, event: &Event, expected: f64, tol: f64, what: &str) {
+    let cold = model.prob(event).unwrap();
+    let warm = model.prob(event).unwrap();
     assert_eq!(
         cold.to_bits(),
         warm.to_bits(),
@@ -44,14 +42,12 @@ fn assert_golden(engine: &QueryEngine, event: &Event, expected: f64, tol: f64, w
 
 #[test]
 fn indian_gpa_prior_golden_values() {
-    let engine = gpa_engine();
+    let model = gpa_model();
     // P[GPA ≤ 4] = 0.5·(0.9·0.4) + 0.5·(0.15 + 0.85) — the USA atom at 4
     // is included.
-    assert_golden(&engine, &gpa(4.0), 0.68, 1e-12, "P[GPA <= 4]");
+    assert_golden(&model, &gpa(4.0), 0.68, 1e-12, "P[GPA <= 4]");
     // The atom's jump: P[GPA ≤ 4] − P[GPA < 4] = 0.5·0.15.
-    let below = engine
-        .prob(&Event::lt(Transform::id(Var::new("GPA")), 4.0))
-        .unwrap();
+    let below = model.prob(&var("GPA").lt(4.0)).unwrap();
     assert!(
         (below - 0.605).abs() < 1e-12,
         "P[GPA < 4]: got {below:.17}, pinned 0.605"
@@ -59,27 +55,31 @@ fn indian_gpa_prior_golden_values() {
     // P[8 < GPA < 10] = 0.5·0.9·0.2 (India's uniform body only; the atom
     // at 10 is outside the open interval).
     assert_golden(
-        &engine,
-        &Event::in_interval(Transform::id(Var::new("GPA")), Interval::open(8.0, 10.0)),
+        &model,
+        &var("GPA").in_interval(Interval::open(8.0, 10.0)),
         0.09,
         1e-12,
         "P[8 < GPA < 10]",
     );
     // The full support has probability one.
-    assert_golden(&engine, &gpa(12.0), 1.0, 1e-12, "P[GPA <= 12]");
+    assert_golden(&model, &gpa(12.0), 1.0, 1e-12, "P[GPA <= 12]");
 }
 
 #[test]
 fn indian_gpa_posterior_golden_values() {
-    let engine = gpa_engine();
+    let model = gpa_model();
     let evidence = indian_gpa::condition_event();
     // P(e) = 0.5·0.3625 + 0.5·0.18 = 0.27125.
-    assert_golden(&engine, &evidence, 0.27125, 1e-12, "P[Fig. 2f evidence]");
+    assert_golden(&model, &evidence, 0.27125, 1e-12, "P[Fig. 2f evidence]");
 
-    // Fig. 2g: P(India | e) = 0.09 / 0.27125 = 72/217.
-    let posterior = engine.condition(&evidence).unwrap();
-    let india = Event::eq_str(Transform::id(Var::new("Nationality")), "India");
-    let p_india = posterior.prob(&india).unwrap();
+    // Fig. 2g: P(India | e) = 0.09 / 0.27125 = 72/217 — the posterior is
+    // itself a session over the same factory.
+    let posterior = model.condition(&evidence).unwrap();
+    assert!(std::sync::Arc::ptr_eq(
+        model.factory_arc(),
+        posterior.factory_arc()
+    ));
+    let p_india = posterior.prob(&var("Nationality").eq("India")).unwrap();
     assert!(
         (p_india - 0.331_797_235_023_041_5).abs() < 1e-12,
         "P[India | e]: got {p_india:.17}, pinned 72/217"
@@ -88,9 +88,7 @@ fn indian_gpa_posterior_golden_values() {
 
 #[test]
 fn rare_event_chain_golden_log_probabilities() {
-    let f = Factory::new();
-    let model = rare_event::chain_network(20).compile(&f).expect("compiles");
-    let engine = QueryEngine::new(f, model);
+    let model = rare_event::chain_network(20).session().expect("compiles");
     // Forward recursion over [P(O=1|S) = 0.03/0.70, P(S'=1|S) = 0.01/0.75],
     // S0 ~ Bernoulli(0.01): ln P[O[0..k] all 1].
     let golden = [
@@ -102,8 +100,8 @@ fn rare_event_chain_golden_log_probabilities() {
     ];
     for (k, expected_ln) in golden {
         let event = rare_event::all_ones_event(k);
-        let cold = engine.logprob(&event).unwrap();
-        let warm = engine.logprob(&event).unwrap();
+        let cold = model.logprob(&event).unwrap();
+        let warm = model.logprob(&event).unwrap();
         assert_eq!(cold.to_bits(), warm.to_bits(), "k={k} warm pass");
         assert!(
             (cold - expected_ln).abs() < 1e-9,
@@ -115,7 +113,7 @@ fn rare_event_chain_golden_log_probabilities() {
         .iter()
         .map(|&(k, _)| rare_event::all_ones_event(k))
         .collect();
-    let batch = engine.logprob_many(&events).unwrap();
+    let batch = model.logprob_many(&events).unwrap();
     for ((k, expected_ln), got) in golden.iter().zip(&batch) {
         assert!(
             (got - expected_ln).abs() < 1e-9,

@@ -1,7 +1,8 @@
 //! End-to-end parallel inference stress: the real HMM smoothing workload
 //! (translate → constrain → wide batched queries) run through
-//! `par_logprob_many` across thread counts and through a shared
-//! cross-engine cache, asserting exact agreement with the sequential API.
+//! `Model::par_logprob_many` across thread counts and through a shared
+//! cross-session cache, asserting exact agreement with the sequential
+//! API.
 
 use std::sync::Arc;
 
@@ -12,20 +13,21 @@ use sppl::prelude::*;
 
 const N_STEP: usize = 24;
 
-fn smoothing_engine() -> QueryEngine {
-    let factory = Factory::new();
-    let model = hmm::hierarchical_hmm(N_STEP)
-        .compile(&factory)
+/// One smoothing session: translate, optionally attach a shared cache,
+/// and condition on a fixed simulated trace. The posterior comes back as
+/// a queryable [`Model`] inheriting the cache.
+fn smoothing_model(cache: Option<&Arc<SharedCache>>) -> Model {
+    let mut model = hmm::hierarchical_hmm(N_STEP)
+        .session()
         .expect("HMM compiles");
+    if let Some(cache) = cache {
+        model = model.with_shared_cache(Arc::clone(cache));
+    }
     let mut rng = StdRng::seed_from_u64(99);
     let trace = hmm::simulate_trace(&mut rng, N_STEP);
-    let posterior = constrain(
-        &factory,
-        &model,
-        &hmm::observation_assignment(&trace.x, &trace.y),
-    )
-    .expect("positive density");
-    QueryEngine::new(factory, posterior)
+    model
+        .constrain(&hmm::observation_assignment(&trace.x, &trace.y))
+        .expect("positive density")
 }
 
 /// Smoothing marginals plus pairwise persistence queries: a 47-event
@@ -38,14 +40,14 @@ fn wide_batch() -> Vec<Event> {
 
 #[test]
 fn par_smoothing_matches_sequential_across_thread_counts() {
-    let engine = smoothing_engine();
+    let posterior = smoothing_model(None);
     let events = wide_batch();
     assert!(events.len() >= 40);
-    let reference = engine.logprob_many(&events).unwrap();
+    let reference = posterior.logprob_many(&events).unwrap();
     for threads in [2u32, 4, 8] {
-        engine.clear_caches();
+        posterior.clear_caches();
         let pool = Pool::new(threads);
-        let par = engine.par_logprob_many_in(&pool, &events).unwrap();
+        let par = posterior.par_logprob_many_in(&pool, &events).unwrap();
         assert_eq!(par.len(), reference.len());
         for (i, (p, r)) in par.iter().zip(&reference).enumerate() {
             assert_eq!(
@@ -56,8 +58,8 @@ fn par_smoothing_matches_sequential_across_thread_counts() {
         }
     }
     // Probabilities too, via the global pool.
-    engine.clear_caches();
-    let probs = engine.par_prob_many(&events).unwrap();
+    posterior.clear_caches();
+    let probs = posterior.par_prob_many(&events).unwrap();
     for (p, r) in probs.iter().zip(&reference) {
         assert_eq!(p.to_bits(), r.exp().clamp(0.0, 1.0).to_bits());
     }
@@ -66,23 +68,17 @@ fn par_smoothing_matches_sequential_across_thread_counts() {
 #[test]
 fn shared_cache_serves_second_session_without_reevaluation() {
     let cache = Arc::new(SharedCache::new(4096));
-    let engine1 = {
-        let (factory, root) = smoothing_engine().into_parts();
-        QueryEngine::new(factory, root).with_shared_cache(Arc::clone(&cache))
-    };
+    let session1 = smoothing_model(Some(&cache));
     let events = wide_batch();
-    let reference = engine1.par_logprob_many(&events).unwrap();
+    let reference = session1.par_logprob_many(&events).unwrap();
 
     // A second session over the same model content: the posterior is
     // rebuilt from scratch in its own factory, but every query is served
     // the first session's exact bits from the shared cache.
-    let engine2 = {
-        let (factory, root) = smoothing_engine().into_parts();
-        QueryEngine::new(factory, root).with_shared_cache(Arc::clone(&cache))
-    };
-    assert_eq!(engine1.model_digest(), engine2.model_digest());
+    let session2 = smoothing_model(Some(&cache));
+    assert_eq!(session1.model_digest(), session2.model_digest());
     let misses_before = cache.stats().misses;
-    let got = engine2.par_logprob_many(&events).unwrap();
+    let got = session2.par_logprob_many(&events).unwrap();
     for (g, r) in got.iter().zip(&reference) {
         assert_eq!(g.to_bits(), r.to_bits());
     }
@@ -92,4 +88,31 @@ fn shared_cache_serves_second_session_without_reevaluation() {
         "second session must be answered entirely from the shared cache"
     );
     assert_eq!(cache.evictions(), 0);
+}
+
+#[test]
+fn cloned_sessions_share_caches_across_threads() {
+    // The "millions of users" shape: one posterior session cloned into
+    // several request threads, every thread answering the same working
+    // set; totals must add up and answers must be bit-identical.
+    let posterior = smoothing_model(None);
+    let events = wide_batch();
+    let reference = posterior.logprob_many(&events).unwrap();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let session = posterior.clone();
+            let events = &events;
+            let reference = &reference;
+            s.spawn(move || {
+                let got = session.logprob_many(events).unwrap();
+                for (g, r) in got.iter().zip(reference) {
+                    assert_eq!(g.to_bits(), r.to_bits());
+                }
+            });
+        }
+    });
+    let stats = posterior.stats();
+    // First pass filled the cache; the 4 cloned threads were pure hits.
+    assert_eq!(stats.misses, events.len() as u64);
+    assert_eq!(stats.hits, 4 * events.len() as u64);
 }

@@ -14,8 +14,10 @@ fn root() -> &'static Path {
 const ROOT_SUITES: &[&str] = &[
     "tests/closure_properties.rs",
     "tests/engine_agreement.rs",
+    "tests/model_api_parity.rs",
     "tests/paper_golden.rs",
     "tests/parallel_stress.rs",
+    "tests/public_api.rs",
     "tests/roundtrip.rs",
     "tests/examples_smoke.rs",
 ];
