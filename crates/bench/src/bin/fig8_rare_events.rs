@@ -10,6 +10,11 @@
 //!   `BENCH_fig8.json` in the working directory.
 //! * `--threads N` — thread count for the parallel batch (default:
 //!   `SPPL_THREADS` or the machine's available parallelism).
+//! * `--cache-snapshot PATH` — load a `SharedCache` snapshot from `PATH`
+//!   when it exists and save one on exit (warm restart across
+//!   processes; pure hits asserted when a snapshot was loaded).
+
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,6 +23,7 @@ use sppl_bench::cli::BenchArgs;
 use sppl_bench::json::JsonObject;
 use sppl_bench::{bits_match, fmt_secs, timed};
 use sppl_core::event::Event;
+use sppl_core::SharedCache;
 use sppl_models::rare_event;
 
 fn main() {
@@ -25,6 +31,9 @@ fn main() {
     let chain_len = if args.test { 12 } else { 20 };
     let max_samples = if args.test { 20_000 } else { 400_000 };
 
+    // The main session runs *without* the shared cache so the cold
+    // numbers below measure the evaluator and engine cache alone; the
+    // shared cache gets its own session (and numbers) afterwards.
     let (model, translate_t) = timed(|| {
         rare_event::chain_network(chain_len)
             .session()
@@ -90,6 +99,72 @@ fn main() {
     println!("\nExact answers are O(ms) and deterministic; sampler estimates fluctuate");
     println!("and may report zero hits long past the exact answer's availability.");
 
+    // Cross-process persistence (see fig3_hmm): a separate session over
+    // the run's SharedCache fills it on a cold start; on a
+    // snapshot-loaded run every lookup must be a hit.
+    let (cache, snapshot_loaded) = args.shared_cache(1 << 16);
+    if snapshot_loaded > 0 {
+        println!("\nwarm restart: loaded {snapshot_loaded} shared-cache entries from snapshot");
+    }
+    let shared_session = rare_event::chain_network(chain_len)
+        .session()
+        .expect("compiles")
+        .with_shared_cache(Arc::clone(&cache));
+    let (shared_answers, shared_fill_t) =
+        timed(|| shared_session.logprob_many(&events).expect("batch"));
+    assert!(
+        bits_match(&cold, &shared_answers),
+        "shared-cache session must agree bit-for-bit"
+    );
+    let shared = cache.stats();
+    if snapshot_loaded > 0 {
+        assert_eq!(
+            shared.misses, 0,
+            "snapshot-warm run must be pure shared-cache hits ({shared:?}) — \
+             run the writer and reader with the same mode/size flags"
+        );
+    }
+    let snapshot_saved = args.save_cache(&cache);
+    println!(
+        "shared cache: batch in {} — {} hits / {} misses / {} entries \
+         (loaded {snapshot_loaded}, saved {snapshot_saved})",
+        fmt_secs(shared_fill_t),
+        shared.hits,
+        shared.misses,
+        shared.entries,
+    );
+
+    // Warm-restart demonstration, in-process (see fig3_hmm): a fresh
+    // session over a fresh cache restored from the snapshot replays the
+    // batch as pure hits, bit-identical to the cold pass.
+    let mut warm_restart_batch_s = 0.0;
+    let mut warm_restart_pure_hits = false;
+    if let Some(path) = &args.cache_snapshot {
+        let restored = Arc::new(SharedCache::new(1 << 16));
+        let reloaded = restored.load_snapshot(path).expect("reload own snapshot");
+        let session = rare_event::chain_network(chain_len)
+            .session()
+            .expect("compiles")
+            .with_shared_cache(Arc::clone(&restored));
+        let (replay, t) = timed(|| session.logprob_many(&events).expect("warm batch"));
+        warm_restart_batch_s = t;
+        let rs = restored.stats();
+        assert_eq!(
+            rs.misses, 0,
+            "restored snapshot must answer the batch without the evaluator ({rs:?})"
+        );
+        assert!(bits_match(&cold, &replay), "replay must be bit-identical");
+        warm_restart_pure_hits = true;
+        println!(
+            "warm restart replay: {} events in {} from {reloaded} restored entries \
+             (cold pass was {}) — {:.0}x",
+            events.len(),
+            fmt_secs(t),
+            fmt_secs(cold_t),
+            cold_t / t,
+        );
+    }
+
     if args.json {
         let json = JsonObject::new()
             .str("bench", "fig8_rare_events")
@@ -103,7 +178,23 @@ fn main() {
             .num("par_speedup", cold_t / par_cold_t)
             .num("warm_s", warm_t)
             .num("engine_hit_rate", stats.hit_rate())
-            .bool("par_matches_seq_bitwise", results_match);
+            .bool("par_matches_seq_bitwise", results_match)
+            .int("shared_hits", shared.hits)
+            .int("shared_misses", shared.misses)
+            .int("shared_entries", shared.entries as u64)
+            .num("shared_batch_s", shared_fill_t)
+            .int("snapshot_loaded", snapshot_loaded as u64)
+            .int("snapshot_saved", snapshot_saved as u64)
+            .num("warm_restart_batch_s", warm_restart_batch_s)
+            .num(
+                "warm_restart_speedup",
+                if warm_restart_batch_s > 0.0 {
+                    cold_t / warm_restart_batch_s
+                } else {
+                    0.0
+                },
+            )
+            .bool("warm_restart_pure_hits", warm_restart_pure_hits);
         json.write("BENCH_fig8.json")
             .expect("write BENCH_fig8.json");
         println!("\nwrote BENCH_fig8.json");

@@ -1,8 +1,11 @@
 //! Shared flag parsing for the fig/table binaries that support smoke
 //! mode and machine-readable output (`fig3_hmm`, `fig8_rare_events`).
 
+use std::path::PathBuf;
+use std::sync::Arc;
+
 use sppl_core::engine::default_threads;
-use sppl_core::Pool;
+use sppl_core::{Pool, SharedCache};
 
 /// Flags common to the JSON-emitting bench binaries.
 pub struct BenchArgs {
@@ -13,6 +16,11 @@ pub struct BenchArgs {
     /// `--threads N`: parallel-path thread count (defaults to
     /// [`default_threads`]).
     pub threads: usize,
+    /// `--cache-snapshot PATH`: persist the run's [`SharedCache`] to
+    /// `PATH` on exit, loading it first when the file already exists —
+    /// the warm-restart demonstration (run the binary twice with the
+    /// same path; the second process must be pure shared-cache hits).
+    pub cache_snapshot: Option<PathBuf>,
 }
 
 impl BenchArgs {
@@ -27,6 +35,7 @@ impl BenchArgs {
             test: false,
             json: false,
             threads: default_threads(),
+            cache_snapshot: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -41,10 +50,47 @@ impl BenchArgs {
                     assert!(n >= 1, "--threads takes a positive integer");
                     args.threads = n;
                 }
-                other => panic!("unknown flag {other} (expected --test, --json, --threads N)"),
+                "--cache-snapshot" => {
+                    let path = it.next().expect("--cache-snapshot takes a file path");
+                    args.cache_snapshot = Some(PathBuf::from(path));
+                }
+                other => panic!(
+                    "unknown flag {other} (expected --test, --json, --threads N, \
+                     --cache-snapshot PATH)"
+                ),
             }
         }
         args
+    }
+
+    /// A [`SharedCache`] for the run, warm-loaded from `--cache-snapshot`
+    /// when the file exists. Returns the cache and the number of entries
+    /// loaded (0 on a cold start; a rejected snapshot — wrong version or
+    /// corrupt — prints a warning and starts cold, per the cache's
+    /// never-wrong-answers contract).
+    pub fn shared_cache(&self, capacity: usize) -> (Arc<SharedCache>, usize) {
+        let cache = Arc::new(SharedCache::new(capacity));
+        let mut loaded = 0;
+        if let Some(path) = &self.cache_snapshot {
+            if path.exists() {
+                match cache.load_snapshot(path) {
+                    Ok(n) => loaded = n,
+                    Err(e) => eprintln!("warning: starting cold — {e}"),
+                }
+            }
+        }
+        (cache, loaded)
+    }
+
+    /// Persists `cache` to the `--cache-snapshot` path, if one was given.
+    /// Returns the number of entries written.
+    pub fn save_cache(&self, cache: &SharedCache) -> usize {
+        match &self.cache_snapshot {
+            Some(path) => cache
+                .save_snapshot(path)
+                .unwrap_or_else(|e| panic!("cannot save cache snapshot: {e}")),
+            None => 0,
+        }
     }
 
     /// `"test"` or `"full"` — the mode tag written into the JSON

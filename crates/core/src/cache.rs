@@ -1,17 +1,55 @@
-//! A bounded, shared LRU cache for whole-query results — the cross-engine
-//! layer above the [`QueryEngine`](crate::engine::QueryEngine)'s
-//! per-engine memo.
+//! A bounded, sharded, persistable LRU cache for whole-query results —
+//! the cross-engine (and, via snapshots, cross-*process*) layer above the
+//! [`QueryEngine`](crate::engine::QueryEngine)'s per-engine memo.
 //!
 //! A serving deployment answers queries against the same compiled model
 //! from many sessions: each session builds its own engine (and possibly
 //! its own [`Factory`](crate::spe::Factory)), but the hot query working
 //! set is shared. The [`SharedCache`] is one process-wide table keyed by
-//! `(model digest, canonical event fingerprint)` —
-//! [`Spe::digest`](crate::spe::Spe::digest) is a
-//! deep content digest, so engines over *separately compiled* copies of
-//! the same model hit the same entries. Capacity is bounded with
-//! least-recently-used eviction, and hit/miss/eviction counts are exposed
-//! for monitoring.
+//! `(`[`ModelDigest`]`, `[`Fingerprint`]`)` —
+//! [`Spe::digest`](crate::spe::Spe::digest) is a deep, *versioned*
+//! content digest (see [`crate::digest`]), so engines over separately
+//! compiled copies of the same model hit the same entries, in this
+//! process or the next one. Capacity is bounded with least-recently-used
+//! eviction, and hit/miss/eviction counts are exposed for monitoring.
+//!
+//! # Sharding
+//!
+//! The table is split into a fixed number of independent shards
+//! (currently 16) selected by key hash, each an exact LRU under its own
+//! mutex. Recency bookkeeping makes
+//! even `get` a write, so a single-mutex design would serialize a
+//! many-core *cold* fan-out (engines promote shared hits into their own
+//! caches, so only each engine's first sight of a key lands here — but a
+//! cold start is exactly when every lookup is a first sight). With
+//! sharding, concurrent lookups contend only when their keys collide on
+//! a shard. Global recency across shards is *approximate*: when the
+//! cache is over capacity, a round-robin eviction clock walks the shards
+//! and evicts the victim shard's least-recently-used entry, so eviction
+//! pressure spreads evenly and an entry's survival time approximates
+//! global LRU without any cross-shard ordering. Within one shard,
+//! eviction order is exact LRU.
+//!
+//! [`CacheStats`] returned by [`SharedCache::stats`] (and the eviction
+//! counter) are **aggregated across all shards** — one hit/miss/entry
+//! count for the whole cache, not per shard.
+//!
+//! # Persistence
+//!
+//! [`SharedCache::save_snapshot`] writes every entry to a small
+//! versioned, length-prefixed binary file, and
+//! [`SharedCache::load_snapshot`] reads one back — typically at process
+//! start, so a serving process restarts *warm*: queries whose `(model
+//! digest, fingerprint)` keys were computed by the previous process are
+//! answered from the snapshot without touching the evaluator. This is
+//! sound precisely because both key halves are versioned content hashes:
+//! a model recompiled from the same source in the new process has the
+//! same digest bit for bit. The header carries
+//! [`DIGEST_VERSION`]; a snapshot written
+//! under a different encoding scheme (or a corrupted file) is rejected
+//! with [`SpplError::Snapshot`] and the cache stays as it was — a
+//! version mismatch loads as *empty*, never as wrong answers. See
+//! [Snapshot format](#snapshot-format).
 //!
 //! Entries are pure values (`ln P⟦S⟧ e` is a function of the model content
 //! and the event alone), so there is no invalidation protocol: a factory
@@ -19,15 +57,36 @@
 //! shared caches, and [`SharedCache::clear`] exists only to release
 //! memory.
 //!
-//! Beyond speed, sharing also buys bit-level answer consistency across
-//! sessions: two *separately compiled* copies of a model can order sum
-//! children differently in memory and round a last ulp differently in
-//! log-sum-exp, but engines sharing a cache all serve whichever value
-//! landed first — for as long as that entry stays resident. (After an
-//! LRU eviction a later engine may recompute and re-seed the key with
-//! its own last-ulp variant; engines that promoted the evicted value
-//! into their local caches keep serving it. Size the cache to the hot
-//! working set when bit-stability across sessions matters.)
+//! Since sum-child evaluation order became content-canonical (see
+//! [`Factory::sum`](crate::spe::Factory::sum)), separately compiled
+//! copies of one model produce bit-identical answers on their own; the
+//! cache no longer papers over any last-ulp divergence — sharing now
+//! buys only speed, and first-write-wins insertion (see
+//! [`SharedCache::insert`]) is retained as defense in depth.
+//!
+//! # Snapshot format
+//!
+//! All integers little-endian. The file is:
+//!
+//! ```text
+//! magic          8 bytes   b"SPPLSNAP"
+//! format version u32       SNAPSHOT_FORMAT_VERSION (currently 1)
+//! digest version u32       DIGEST_VERSION of the writing build
+//! entry count    u64       number of 40-byte records that follow
+//! records        40 bytes each:
+//!     model digest   16 bytes  ModelDigest::to_le_bytes
+//!     fingerprint    16 bytes  Fingerprint::to_le_bytes
+//!     value          8 bytes   f64::to_bits of the log-probability
+//! checksum       16 bytes   keyed Sip128 over header + records
+//! ```
+//!
+//! A reader rejects (with [`SpplError::Snapshot`]) any file whose magic,
+//! format version, or digest version differs, whose length disagrees
+//! with the entry count, whose trailing checksum does not match the
+//! header + records (so a bit flip in a stored *value* is caught, not
+//! loaded as a wrong probability), or whose values include a NaN.
+//! Records are written least-recently-used first, so a sequential
+//! reload approximately reproduces recency.
 //!
 //! # Example
 //!
@@ -49,44 +108,121 @@
 //! a.logprob(&e).unwrap();
 //! b.logprob(&e).unwrap(); // answered from the shared cache
 //! assert_eq!(cache.stats().hits, 1);
+//!
+//! // Persist the warm state and restore it into a fresh cache (in a real
+//! // deployment: a fresh *process*).
+//! let path = std::env::temp_dir().join(format!("sppl-doc-snap-{}.bin", std::process::id()));
+//! cache.save_snapshot(&path).unwrap();
+//! let restored = Arc::new(SharedCache::new(1024));
+//! assert_eq!(restored.load_snapshot(&path).unwrap(), 1);
+//! let c = QueryEngine::new(Factory::new(), build().into_parts().1)
+//!     .with_shared_cache(Arc::clone(&restored));
+//! c.logprob(&e).unwrap(); // pure hit: no evaluator work in this "process"
+//! assert_eq!(restored.stats(), CacheStats { hits: 1, misses: 0, entries: 1 });
+//! std::fs::remove_file(&path).ok();
 //! ```
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
+use crate::digest::{Fingerprint, ModelDigest, DIGEST_VERSION};
 use crate::engine::CacheStats;
+use crate::error::SpplError;
 
-/// Cache key: (deep model digest, canonical event fingerprint).
-type Key = (u64, u64);
+/// Cache key: (deep model digest, canonical event fingerprint). Both
+/// halves are versioned content hashes ([`crate::digest`]), which is what
+/// makes the key meaningful across processes.
+type Key = (ModelDigest, Fingerprint);
+
+/// Number of independent LRU shards. Enough that a cold fan-out across
+/// tens of threads rarely contends; small enough that `clear`/`save`
+/// sweeps and the round-robin eviction clock stay cheap.
+const SHARDS: usize = 16;
+
+/// Snapshot file magic.
+const SNAPSHOT_MAGIC: [u8; 8] = *b"SPPLSNAP";
+
+/// Version of the snapshot *container* layout (header + record shape).
+/// Orthogonal to [`DIGEST_VERSION`], which versions the meaning of the
+/// keys inside; both are checked at load.
+const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// Bytes per record: 16 (digest) + 16 (fingerprint) + 8 (value bits).
+const RECORD_BYTES: usize = 40;
+
+/// Snapshot header bytes: magic + format version + digest version + count.
+const HEADER_BYTES: usize = 8 + 4 + 4 + 8;
+
+/// Trailing keyed checksum ([`crate::digest`]'s Sip128 over header +
+/// records): 16 bytes.
+const CHECKSUM_BYTES: usize = 16;
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Recency bookkeeping: `map` holds the values tagged with their last-use
-/// tick; `order` indexes keys by tick so the least-recently-used entry is
-/// the first `order` entry. Ticks are unique (assigned under the lock), so
-/// `order` is a faithful recency queue.
-struct Lru {
+/// One shard: an exact LRU. `map` holds values tagged with their
+/// last-use tick; `order` indexes keys by tick so the least-recently-used
+/// entry is the first `order` entry. Ticks are per-shard and unique
+/// (assigned under the shard lock), so `order` is a faithful recency
+/// queue within the shard.
+#[derive(Default)]
+struct Shard {
     map: HashMap<Key, (f64, u64)>,
     order: BTreeMap<u64, Key>,
     tick: u64,
 }
 
-/// A bounded cross-engine LRU cache of `logprob` results (see the
-/// [module docs](self)).
+impl Shard {
+    /// Refreshes recency of an existing entry and returns its value.
+    fn touch(&mut self, key: &Key) -> Option<f64> {
+        let entry = self.map.get_mut(key)?;
+        self.order.remove(&entry.1);
+        self.tick += 1;
+        self.order.insert(self.tick, *key);
+        entry.1 = self.tick;
+        Some(entry.0)
+    }
+
+    /// Inserts a key known to be absent.
+    fn insert_new(&mut self, key: Key, value: f64) {
+        self.tick += 1;
+        self.order.insert(self.tick, key);
+        self.map.insert(key, (value, self.tick));
+    }
+
+    /// Evicts this shard's least-recently-used entry, if any.
+    fn pop_lru(&mut self) -> bool {
+        if let Some((&oldest_tick, &oldest_key)) = self.order.iter().next() {
+            self.order.remove(&oldest_tick);
+            self.map.remove(&oldest_key);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A bounded, sharded, persistable cross-engine LRU cache of `logprob`
+/// results (see the [module docs](self)).
 ///
-/// One exact LRU under one mutex: recency bookkeeping makes even `get` a
-/// write, so lookups serialize. This is a deliberate tradeoff — engines
-/// promote shared hits into their own sharded caches, so steady-state
-/// traffic (repeat queries) never touches this lock; only each engine's
-/// *first* sight of a key does. If profiling ever shows contention on
-/// many-core cold fan-outs, shard the LRU per key hash (approximate
-/// global recency) — tracked on the ROADMAP.
+/// Lookups touch exactly one shard's mutex, so concurrent cold traffic
+/// from many cores scales with the shard count instead of serializing on
+/// one lock. Within a shard, recency is exact LRU; across shards, a
+/// round-robin eviction clock approximates global recency. All
+/// statistics ([`SharedCache::stats`], [`SharedCache::evictions`]) are
+/// aggregated across shards.
 pub struct SharedCache {
     capacity: usize,
-    inner: Mutex<Lru>,
+    shards: Box<[Mutex<Shard>]>,
+    /// Total entries across shards (kept outside the shard locks so the
+    /// capacity check never takes more than one shard lock at a time).
+    entries: AtomicUsize,
+    /// Round-robin eviction clock: the next shard asked to give up its
+    /// LRU entry when the cache is over capacity.
+    clock: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -103,11 +239,12 @@ impl SharedCache {
         assert!(capacity > 0, "SharedCache capacity must be positive");
         SharedCache {
             capacity,
-            inner: Mutex::new(Lru {
-                map: HashMap::new(),
-                order: BTreeMap::new(),
-                tick: 0,
-            }),
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            entries: AtomicUsize::new(0),
+            clock: AtomicUsize::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -119,72 +256,105 @@ impl SharedCache {
         self.capacity
     }
 
-    /// Looks up a cached log-probability, refreshing its recency.
-    pub fn get(&self, model_digest: u64, fingerprint: u64) -> Option<f64> {
+    /// The shard holding `key` (pure arithmetic on the key's own hash
+    /// bits — the fingerprint is already a high-quality hash, so no
+    /// second hashing pass is needed).
+    fn shard(&self, key: &Key) -> &Mutex<Shard> {
+        let mix = key.0.as_u128() ^ key.1.as_u128();
+        let h = (mix as u64) ^ ((mix >> 64) as u64);
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Looks up a cached log-probability, refreshing its recency within
+    /// its shard.
+    pub fn get(&self, model_digest: ModelDigest, fingerprint: Fingerprint) -> Option<f64> {
         let key = (model_digest, fingerprint);
-        let mut lru = lock(&self.inner);
-        // Destructure so the map entry borrow and the recency structures
-        // can be updated together in one probe (this single mutex is the
-        // contention point; keep its critical section minimal).
-        let Lru { map, order, tick } = &mut *lru;
-        if let Some(entry) = map.get_mut(&key) {
-            order.remove(&entry.1);
-            *tick += 1;
-            order.insert(*tick, key);
-            entry.1 = *tick;
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            Some(entry.0)
-        } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            None
+        let found = lock(self.shard(&key)).touch(&key);
+        match found {
+            Some(value) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
         }
     }
 
-    /// Stores a log-probability, evicting the least-recently-used entry
-    /// when the cache is full, and returns the value now authoritative
-    /// for the key.
+    /// Stores a log-probability, evicting least-recently-used entries
+    /// (round-robin across shards) when the cache is full, and returns
+    /// the value now authoritative for the key.
     ///
     /// First write wins: when the key is already present, only its
-    /// recency is refreshed — the stored value is kept and returned,
-    /// upholding the "all engines serve whichever value landed first"
-    /// consistency guarantee when two engines race to fill the same key
-    /// with last-ulp-different recomputations. Callers must serve the
-    /// *returned* value, not the one they computed.
-    pub fn insert(&self, model_digest: u64, fingerprint: u64, value: f64) -> f64 {
+    /// recency is refreshed — the stored value is kept and returned.
+    /// Callers must serve the *returned* value, not the one they
+    /// computed. (With content-canonical sum ordering two engines racing
+    /// on one key compute identical bits anyway; this discipline keeps
+    /// the consistency guarantee independent of that invariant.)
+    pub fn insert(&self, model_digest: ModelDigest, fingerprint: Fingerprint, value: f64) -> f64 {
         let key = (model_digest, fingerprint);
-        let mut lru = lock(&self.inner);
-        let Lru { map, order, tick } = &mut *lru;
-        if let Some(entry) = map.get_mut(&key) {
-            order.remove(&entry.1);
-            *tick += 1;
-            order.insert(*tick, key);
-            entry.1 = *tick;
-            return entry.0;
-        }
-        if map.len() >= self.capacity {
-            if let Some((&oldest_tick, &oldest_key)) = order.iter().next() {
-                order.remove(&oldest_tick);
-                map.remove(&oldest_key);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut shard = lock(self.shard(&key));
+            if let Some(existing) = shard.touch(&key) {
+                return existing;
             }
+            shard.insert_new(key, value);
+            // Count while still holding the shard lock: `clear` subtracts
+            // each shard's length under that shard's lock, so every
+            // mutation of `entries` is serialized against the shard that
+            // owns the entry — the counter can never underflow.
+            self.entries.fetch_add(1, Ordering::Relaxed);
         }
-        *tick += 1;
-        order.insert(*tick, key);
-        map.insert(key, (value, *tick));
+        self.evict_to_capacity();
         value
     }
 
-    /// Hit/miss/entry statistics (the same shape every other cache layer
-    /// reports).
+    /// Brings the cache back under its capacity bound by advancing the
+    /// round-robin clock and evicting the LRU entry of each visited
+    /// shard. Never holds two shard locks at once (an insert into shard A
+    /// may evict from shard B; lock-ordering freedom rules out deadlock).
+    fn evict_to_capacity(&self) {
+        while self.entries.load(Ordering::Relaxed) > self.capacity {
+            let mut evicted = false;
+            // One full sweep is always enough to find a victim unless
+            // concurrent clears/evictions drained the shards first.
+            for _ in 0..self.shards.len() {
+                let idx = self.clock.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+                let popped = {
+                    let mut shard = lock(&self.shards[idx]);
+                    let popped = shard.pop_lru();
+                    if popped {
+                        // Decrement under the lock (see `insert` for why).
+                        self.entries.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    popped
+                };
+                if popped {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    evicted = true;
+                    break;
+                }
+            }
+            if !evicted {
+                break;
+            }
+        }
+    }
+
+    /// Hit/miss/entry statistics, **aggregated across all shards** (the
+    /// same shape every other cache layer reports): one combined count
+    /// for the whole cache, not per shard.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: lock(&self.inner).map.len(),
+            entries: self.entries.load(Ordering::Relaxed),
         }
     }
 
-    /// Number of entries evicted to respect the capacity bound.
+    /// Number of entries evicted to respect the capacity bound,
+    /// aggregated across all shards.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
     }
@@ -192,12 +362,161 @@ impl SharedCache {
     /// Drops every entry and resets all statistics. Never required for
     /// correctness (entries are pure values); releases memory.
     pub fn clear(&self) {
-        let mut lru = lock(&self.inner);
-        lru.map.clear();
-        lru.order.clear();
+        for shard in self.shards.iter() {
+            let mut shard = lock(shard);
+            let removed = shard.map.len();
+            shard.map.clear();
+            shard.order.clear();
+            shard.tick = 0;
+            self.entries.fetch_sub(removed, Ordering::Relaxed);
+        }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// Writes every entry to `path` in the versioned binary format
+    /// described in the [module docs](self) and returns the number of
+    /// records written. Entries are serialized least-recently-used first
+    /// (per shard, walking shards in index order), so a later
+    /// [`load_snapshot`](SharedCache::load_snapshot) approximately
+    /// reproduces recency.
+    ///
+    /// # Errors
+    ///
+    /// [`SpplError::Snapshot`] when the file cannot be written.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<usize, SpplError> {
+        let path = path.as_ref();
+        let mut records: Vec<u8> = Vec::new();
+        let mut count: u64 = 0;
+        for shard in self.shards.iter() {
+            let shard = lock(shard);
+            for key in shard.order.values() {
+                let (value, _) = shard.map[key];
+                records.extend_from_slice(&key.0.to_le_bytes());
+                records.extend_from_slice(&key.1.to_le_bytes());
+                records.extend_from_slice(&value.to_bits().to_le_bytes());
+                count += 1;
+            }
+        }
+        let mut bytes = Vec::with_capacity(HEADER_BYTES + records.len() + CHECKSUM_BYTES);
+        bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&DIGEST_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&count.to_le_bytes());
+        bytes.extend_from_slice(&records);
+        let checksum = crate::digest::checksum128(&bytes);
+        bytes.extend_from_slice(&checksum);
+        std::fs::write(path, &bytes).map_err(|e| SpplError::Snapshot {
+            message: format!("cannot write {}: {e}", path.display()),
+        })?;
+        Ok(count as usize)
+    }
+
+    /// Reads a snapshot written by [`save_snapshot`](SharedCache::save_snapshot)
+    /// — usually by a *previous process* — and fills this cache with its
+    /// entries, returning how many were loaded. Existing entries win over
+    /// snapshot entries for the same key (first write wins, as with
+    /// [`insert`](SharedCache::insert)); loading stops silently once the
+    /// cache is at capacity. Loaded entries do not count as hits or
+    /// misses.
+    ///
+    /// # Errors
+    ///
+    /// [`SpplError::Snapshot`] when the file cannot be read, the magic or
+    /// either version differs (a
+    /// [`DIGEST_VERSION`] bump makes every
+    /// older snapshot unreadable *by design* — its keys mean something
+    /// else), the length disagrees with the entry count, or a value is
+    /// NaN. On error **nothing is loaded**: the cache keeps exactly the
+    /// entries it had, so a fresh cache degrades to cold, never to wrong.
+    pub fn load_snapshot(&self, path: impl AsRef<Path>) -> Result<usize, SpplError> {
+        let path = path.as_ref();
+        let reject = |message: String| SpplError::Snapshot { message };
+        let bytes = std::fs::read(path)
+            .map_err(|e| reject(format!("cannot read {}: {e}", path.display())))?;
+        if bytes.len() < HEADER_BYTES {
+            return Err(reject(format!(
+                "{}: truncated header ({} bytes)",
+                path.display(),
+                bytes.len()
+            )));
+        }
+        if bytes[..8] != SNAPSHOT_MAGIC {
+            return Err(reject(format!(
+                "{}: not a SharedCache snapshot (bad magic)",
+                path.display()
+            )));
+        }
+        let word32 = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+        let format = word32(8);
+        if format != SNAPSHOT_FORMAT_VERSION {
+            return Err(reject(format!(
+                "{}: snapshot format version {format} (this build reads {SNAPSHOT_FORMAT_VERSION})",
+                path.display()
+            )));
+        }
+        let digest_version = word32(12);
+        if digest_version != DIGEST_VERSION {
+            return Err(reject(format!(
+                "{}: digest version {digest_version} (this build keys with {DIGEST_VERSION}); \
+                 refusing to reinterpret foreign keys — delete the snapshot to start cold",
+                path.display()
+            )));
+        }
+        let count = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")) as usize;
+        let expected = HEADER_BYTES + count * RECORD_BYTES + CHECKSUM_BYTES;
+        if bytes.len() != expected {
+            return Err(reject(format!(
+                "{}: length {} disagrees with entry count {count} (expected {expected})",
+                path.display(),
+                bytes.len()
+            )));
+        }
+        // The trailing keyed checksum covers header *and* records, so a
+        // bit flip anywhere in the payload — not just a mangled header —
+        // is rejected rather than loaded as a wrong probability.
+        let body_end = bytes.len() - CHECKSUM_BYTES;
+        if crate::digest::checksum128(&bytes[..body_end]) != bytes[body_end..] {
+            return Err(reject(format!(
+                "{}: checksum mismatch — corrupt snapshot",
+                path.display()
+            )));
+        }
+        // Parse and validate every record before touching the cache, so a
+        // corrupt tail cannot leave a half-loaded state.
+        let mut parsed: Vec<(Key, f64)> = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = HEADER_BYTES + i * RECORD_BYTES;
+            let digest =
+                ModelDigest::from_le_bytes(bytes[at..at + 16].try_into().expect("16 bytes"));
+            let fingerprint =
+                Fingerprint::from_le_bytes(bytes[at + 16..at + 32].try_into().expect("16 bytes"));
+            let value = f64::from_bits(u64::from_le_bytes(
+                bytes[at + 32..at + 40].try_into().expect("8 bytes"),
+            ));
+            if value.is_nan() {
+                return Err(reject(format!(
+                    "{}: record {i} holds NaN — corrupt snapshot",
+                    path.display()
+                )));
+            }
+            parsed.push(((digest, fingerprint), value));
+        }
+        let mut loaded = 0;
+        for (key, value) in parsed {
+            if self.entries.load(Ordering::Relaxed) >= self.capacity {
+                break;
+            }
+            let mut shard = lock(self.shard(&key));
+            if shard.touch(&key).is_none() {
+                shard.insert_new(key, value);
+                // Counted under the shard lock (see `insert`).
+                self.entries.fetch_add(1, Ordering::Relaxed);
+                loaded += 1;
+            }
+        }
+        Ok(loaded)
     }
 }
 
@@ -206,6 +525,7 @@ impl std::fmt::Debug for SharedCache {
         let stats = self.stats();
         f.debug_struct("SharedCache")
             .field("capacity", &self.capacity)
+            .field("shards", &self.shards.len())
             .field("entries", &stats.entries)
             .field("hits", &stats.hits)
             .field("misses", &stats.misses)
@@ -218,6 +538,20 @@ impl std::fmt::Debug for SharedCache {
 mod tests {
     use super::*;
 
+    fn md(x: u128) -> ModelDigest {
+        ModelDigest::from_u128(x)
+    }
+
+    fn fp(x: u128) -> Fingerprint {
+        Fingerprint::from_u128(x)
+    }
+
+    /// Fingerprints that all land in one shard (digest 0), `n` apart in
+    /// shard-index space so recency behavior is exact within the shard.
+    fn same_shard_fp(i: u128) -> Fingerprint {
+        fp(i * (SHARDS as u128))
+    }
+
     #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
@@ -227,85 +561,225 @@ mod tests {
     #[test]
     fn hit_miss_and_stats() {
         let c = SharedCache::new(8);
-        assert_eq!(c.get(1, 1), None);
-        c.insert(1, 1, -0.5);
-        assert_eq!(c.get(1, 1), Some(-0.5));
-        assert_eq!(c.get(2, 1), None, "digest is part of the key");
+        assert_eq!(c.get(md(1), fp(1)), None);
+        c.insert(md(1), fp(1), -0.5);
+        assert_eq!(c.get(md(1), fp(1)), Some(-0.5));
+        assert_eq!(c.get(md(2), fp(1)), None, "digest is part of the key");
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 2, 1));
         assert_eq!(c.evictions(), 0);
     }
 
     #[test]
-    fn bound_is_respected_and_eviction_is_lru() {
+    fn bound_is_respected_and_eviction_is_lru_within_a_shard() {
         let c = SharedCache::new(3);
-        c.insert(0, 1, 1.0);
-        c.insert(0, 2, 2.0);
-        c.insert(0, 3, 3.0);
+        c.insert(md(0), same_shard_fp(1), 1.0);
+        c.insert(md(0), same_shard_fp(2), 2.0);
+        c.insert(md(0), same_shard_fp(3), 3.0);
         // Touch 1 so 2 becomes the least recently used.
-        assert_eq!(c.get(0, 1), Some(1.0));
-        c.insert(0, 4, 4.0);
+        assert_eq!(c.get(md(0), same_shard_fp(1)), Some(1.0));
+        c.insert(md(0), same_shard_fp(4), 4.0);
         assert_eq!(c.stats().entries, 3);
         assert_eq!(c.evictions(), 1);
-        assert_eq!(c.get(0, 2), None, "LRU entry must be the one evicted");
-        assert_eq!(c.get(0, 1), Some(1.0));
-        assert_eq!(c.get(0, 3), Some(3.0));
-        assert_eq!(c.get(0, 4), Some(4.0));
+        assert_eq!(
+            c.get(md(0), same_shard_fp(2)),
+            None,
+            "LRU entry must be the one evicted"
+        );
+        assert_eq!(c.get(md(0), same_shard_fp(1)), Some(1.0));
+        assert_eq!(c.get(md(0), same_shard_fp(3)), Some(3.0));
+        assert_eq!(c.get(md(0), same_shard_fp(4)), Some(4.0));
     }
 
     #[test]
     fn reinserting_existing_key_keeps_first_value_without_eviction() {
         let c = SharedCache::new(2);
-        c.insert(0, 1, 1.0);
-        c.insert(0, 2, 2.0);
-        // A racing recomputation (possibly a last-ulp-different value)
-        // must not displace what other engines were already served.
-        c.insert(0, 1, 10.0);
+        c.insert(md(0), same_shard_fp(1), 1.0);
+        c.insert(md(0), same_shard_fp(2), 2.0);
+        // A racing recomputation must not displace what other engines
+        // were already served.
+        assert_eq!(c.insert(md(0), same_shard_fp(1), 10.0), 1.0);
         assert_eq!(c.stats().entries, 2);
         assert_eq!(c.evictions(), 0);
-        assert_eq!(c.get(0, 1), Some(1.0));
+        assert_eq!(c.get(md(0), same_shard_fp(1)), Some(1.0));
         // The reinsert still refreshed recency: key 2 is now the LRU.
-        c.insert(0, 3, 3.0);
-        assert_eq!(c.get(0, 2), None);
-        assert_eq!(c.get(0, 1), Some(1.0));
+        c.insert(md(0), same_shard_fp(3), 3.0);
+        assert_eq!(c.get(md(0), same_shard_fp(2)), None);
+        assert_eq!(c.get(md(0), same_shard_fp(1)), Some(1.0));
     }
 
     #[test]
     fn entries_never_exceed_capacity_under_churn() {
         let c = SharedCache::new(16);
-        for i in 0..1000u64 {
-            c.insert(i % 7, i, i as f64);
+        for i in 0..1000u128 {
+            c.insert(md(i % 7), fp(i), i as f64);
             assert!(c.stats().entries <= 16);
         }
         assert_eq!(c.evictions(), 1000 - 16);
     }
 
     #[test]
+    fn eviction_clock_spreads_over_shards() {
+        // Keys spread across every shard; the round-robin clock must keep
+        // the *global* bound while each shard keeps a share.
+        let c = SharedCache::new(SHARDS * 2);
+        for i in 0..(SHARDS as u128 * 10) {
+            c.insert(md(i), fp(i * 31 + 7), i as f64);
+        }
+        assert_eq!(c.stats().entries, SHARDS * 2);
+        assert_eq!(c.evictions() as usize, SHARDS * 10 - SHARDS * 2);
+    }
+
+    #[test]
     fn clear_resets_everything() {
         let c = SharedCache::new(4);
-        c.insert(1, 1, 0.0);
-        c.get(1, 1);
-        c.get(1, 2);
+        c.insert(md(1), fp(1), 0.0);
+        c.get(md(1), fp(1));
+        c.get(md(1), fp(2));
         c.clear();
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
-        assert_eq!(c.get(1, 1), None);
+        assert_eq!(c.get(md(1), fp(1)), None);
     }
 
     #[test]
     fn concurrent_use_stays_bounded() {
         let c = std::sync::Arc::new(SharedCache::new(32));
         std::thread::scope(|s| {
-            for t in 0..4u64 {
+            for t in 0..4u128 {
                 let c = std::sync::Arc::clone(&c);
                 s.spawn(move || {
-                    for i in 0..500 {
-                        c.insert(t, i, (t * i) as f64);
-                        c.get(t, i.wrapping_sub(3));
+                    for i in 0..500u128 {
+                        c.insert(md(t), fp(i), (t * i) as f64);
+                        c.get(md(t), fp(i.wrapping_sub(3)));
                     }
                 });
             }
         });
         assert!(c.stats().entries <= 32);
+    }
+
+    fn snap_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sppl-cache-test-{tag}-{}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let path = snap_path("roundtrip");
+        let a = SharedCache::new(64);
+        a.insert(md(1), fp(10), -0.25);
+        a.insert(md(2), fp(20), f64::NEG_INFINITY); // log 0 is a legal value
+        a.insert(md(1), fp(30), -1.5);
+        assert_eq!(a.save_snapshot(&path).unwrap(), 3);
+
+        let b = SharedCache::new(64);
+        assert_eq!(b.load_snapshot(&path).unwrap(), 3);
+        assert_eq!(b.get(md(1), fp(10)), Some(-0.25));
+        assert_eq!(b.get(md(2), fp(20)), Some(f64::NEG_INFINITY));
+        assert_eq!(b.get(md(1), fp(30)), Some(-1.5));
+        // Loading counted no hits/misses; the three gets were all hits.
+        let s = b.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (3, 0, 3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_respects_capacity_and_existing_entries() {
+        let path = snap_path("capacity");
+        let a = SharedCache::new(64);
+        for i in 0..10u128 {
+            a.insert(md(i), fp(i), i as f64);
+        }
+        a.save_snapshot(&path).unwrap();
+
+        // Capacity 4: only four records fit.
+        let small = SharedCache::new(4);
+        assert_eq!(small.load_snapshot(&path).unwrap(), 4);
+        assert_eq!(small.stats().entries, 4);
+
+        // An existing entry wins over the snapshot's value for its key.
+        let warm = SharedCache::new(64);
+        warm.insert(md(3), fp(3), 99.0);
+        let loaded = warm.load_snapshot(&path).unwrap();
+        assert_eq!(loaded, 9, "the already-present key is not re-loaded");
+        assert_eq!(warm.get(md(3), fp(3)), Some(99.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_and_mismatched_snapshots_load_as_empty() {
+        let c = SharedCache::new(8);
+        c.insert(md(1), fp(1), -1.0);
+        let path = snap_path("corrupt");
+        c.save_snapshot(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let cases: Vec<(&str, Vec<u8>)> = vec![
+            ("bad magic", {
+                let mut b = good.clone();
+                b[0] ^= 0xff;
+                b
+            }),
+            ("format version bump", {
+                let mut b = good.clone();
+                b[8] = 0x7f;
+                b
+            }),
+            ("digest version mismatch", {
+                let mut b = good.clone();
+                b[12] ^= 0x01;
+                b
+            }),
+            ("count/length disagreement", {
+                let mut b = good.clone();
+                b[16] = 9;
+                b
+            }),
+            ("truncated record", good[..good.len() - 1].to_vec()),
+            ("truncated header", good[..10].to_vec()),
+            ("bit-flipped value (checksum)", {
+                // Flip one bit inside a stored *value*: header checks all
+                // pass; only the trailing checksum can catch this.
+                let mut b = good.clone();
+                b[HEADER_BYTES + 32] ^= 0x01;
+                b
+            }),
+            ("bit-flipped key (checksum)", {
+                let mut b = good.clone();
+                b[HEADER_BYTES + 3] ^= 0x80;
+                b
+            }),
+            ("nan value behind a recomputed checksum", {
+                // Even a snapshot whose checksum *matches* must not hand
+                // the cache a NaN (an adversarially rewritten file).
+                let mut b = good.clone();
+                let at = HEADER_BYTES + 32;
+                b[at..at + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+                let body_end = b.len() - 16;
+                let sum = crate::digest::checksum128(&b[..body_end]);
+                b[body_end..].copy_from_slice(&sum);
+                b
+            }),
+        ];
+        for (what, bytes) in cases {
+            std::fs::write(&path, &bytes).unwrap();
+            let fresh = SharedCache::new(8);
+            let err = fresh.load_snapshot(&path).unwrap_err();
+            assert!(
+                matches!(err, SpplError::Snapshot { .. }),
+                "{what}: wrong error {err:?}"
+            );
+            assert_eq!(
+                fresh.stats().entries,
+                0,
+                "{what}: rejected snapshot must load as empty"
+            );
+        }
+        // A missing file is also a surfaced error, not a panic.
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            SharedCache::new(8).load_snapshot(&path),
+            Err(SpplError::Snapshot { .. })
+        ));
     }
 }

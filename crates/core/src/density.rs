@@ -13,6 +13,7 @@ use sppl_dists::Distribution;
 use sppl_num::float::logsumexp;
 use sppl_sets::Outcome;
 
+use crate::digest::{Digester, Fingerprint};
 use crate::error::SpplError;
 use crate::spe::{Env, Factory, Node, Spe};
 use crate::var::Var;
@@ -68,29 +69,30 @@ impl Spe {
     }
 }
 
-fn assignment_fingerprint(assignment: &Assignment) -> u64 {
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+fn assignment_fingerprint(assignment: &Assignment) -> Fingerprint {
+    let mut d = Digester::new();
+    d.u8(crate::digest::TAG_ASSIGNMENT_STREAM);
+    d.len(assignment.len());
     for (v, o) in assignment {
-        v.hash(&mut h);
+        d.str(v.name());
         match o {
             Outcome::Real(r) => {
-                0u8.hash(&mut h);
-                r.to_bits().hash(&mut h);
+                d.u8(0);
+                d.f64(*r);
             }
             Outcome::Str(s) => {
-                1u8.hash(&mut h);
-                s.hash(&mut h);
+                d.u8(1);
+                d.str(s);
             }
         }
     }
-    h.finish()
+    Fingerprint::from_u128(d.finish())
 }
 
 fn logdensity_inner(
     spe: &Spe,
     assignment: &Assignment,
-    memo: &mut HashMap<(usize, u64), Density>,
+    memo: &mut HashMap<(usize, Fingerprint), Density>,
 ) -> Result<Density, SpplError> {
     let key = (spe.ptr_id(), assignment_fingerprint(assignment));
     if let Some(&d) = memo.get(&key) {
@@ -199,8 +201,8 @@ pub fn constrain(factory: &Factory, spe: &Spe, assignment: &Assignment) -> Resul
 /// duration, so plain pointer keys are safe here).
 #[derive(Default)]
 struct ConstrainMemos {
-    density: HashMap<(usize, u64), Density>,
-    result: HashMap<(usize, u64), Result<Spe, SpplError>>,
+    density: HashMap<(usize, Fingerprint), Density>,
+    result: HashMap<(usize, Fingerprint), Result<Spe, SpplError>>,
 }
 
 fn constrain_inner(

@@ -72,12 +72,15 @@ use scoped_threadpool::Pool;
 
 use crate::cache::SharedCache;
 use crate::condition::condition;
+use crate::digest::{Fingerprint, ModelDigest};
 use crate::error::SpplError;
 use crate::event::Event;
 use crate::spe::{Factory, Spe};
 use crate::sync_map::ShardedMap;
 
-/// Hit/miss/entry statistics for a memoization cache.
+/// Hit/miss/entry statistics for a memoization cache. Every cache layer
+/// reports this shape; for the sharded [`SharedCache`] the counts are
+/// aggregated across all shards.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
@@ -148,27 +151,21 @@ pub struct QueryEngine {
     factory: Arc<Factory>,
     root: Spe,
     /// Deep model digest, computed lazily (used only by the shared cache).
-    digest: OnceLock<u64>,
+    digest: OnceLock<ModelDigest>,
     /// Optional cross-engine result cache.
     shared: Option<Arc<SharedCache>>,
     /// Canonical event fingerprint → (generation tag, log-probability).
-    logprob_cache: ShardedMap<u64, (u64, f64)>,
+    logprob_cache: ShardedMap<Fingerprint, (u64, f64)>,
     /// Chain prefix key → (generation tag, posterior).
-    cond_cache: ShardedMap<u64, (u64, Spe)>,
+    cond_cache: ShardedMap<Fingerprint, (u64, Spe)>,
     hits: AtomicU64,
     misses: AtomicU64,
     seen_generation: AtomicU64,
 }
 
-/// Seed for conditioning-chain prefix keys, distinct from any single-event
-/// fingerprint path.
-const CHAIN_SEED: u64 = 0x51c5_a9b3_7f4e_d081;
-
-/// Order-sensitive combination of a chain prefix key with the next
-/// canonical event fingerprint.
-fn chain_key(prefix: u64, fingerprint: u64) -> u64 {
-    (prefix.rotate_left(17) ^ fingerprint).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-}
+/// Seed for conditioning-chain prefix keys; [`Fingerprint::chain`] keeps
+/// every chained key distinct from any single-event fingerprint path.
+const CHAIN_SEED: Fingerprint = Fingerprint::from_u128(0x51c5_a9b3_7f4e_d081);
 
 impl QueryEngine {
     /// Wraps a factory and the root expression it built. Accepts either
@@ -207,9 +204,11 @@ impl QueryEngine {
         self.shared.as_ref()
     }
 
-    /// The root expression's deep content digest (the model half of the
-    /// shared-cache key), computed on first use and then cached.
-    pub fn model_digest(&self) -> u64 {
+    /// The root expression's deep content digest — the model half of the
+    /// shared-cache key, and the identity under which snapshot files
+    /// persist results ([`Spe::digest`] documents the stability
+    /// guarantee). Computed on first use and then cached.
+    pub fn model_digest(&self) -> ModelDigest {
         *self.digest.get_or_init(|| self.root.digest())
     }
 
@@ -297,9 +296,11 @@ impl QueryEngine {
             }
         }
         let computed = self.factory.logprob(&self.root, &canonical)?;
-        // The shared cache is authoritative: if another engine won the
-        // first-fill race with a last-ulp-different recomputation, adopt
-        // and serve *its* value so every engine stays bit-consistent.
+        // The shared cache is authoritative: serve whatever value is now
+        // stored under the key. (Since sum-child order became content-
+        // canonical, a racing engine computes identical bits anyway —
+        // this discipline keeps consistency independent of that
+        // invariant.)
         let value = match &self.shared {
             Some(shared) => shared.insert(self.model_digest(), key, computed),
             None => computed,
@@ -436,7 +437,7 @@ impl QueryEngine {
         let mut key = CHAIN_SEED;
         for event in events {
             let canonical = event.canonical();
-            key = chain_key(key, canonical.fingerprint());
+            key = key.chain(canonical.fingerprint());
             if let Some((tag, posterior)) = self.cond_cache.get(&key) {
                 if tag == generation {
                     self.hits.fetch_add(1, Ordering::Relaxed);

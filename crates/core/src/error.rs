@@ -39,6 +39,16 @@ pub enum SpplError {
         /// Description of the numeric failure.
         message: String,
     },
+    /// A [`SharedCache`](crate::cache::SharedCache) snapshot could not be
+    /// written, or an on-disk snapshot was rejected at load time — wrong
+    /// magic, a [`DIGEST_VERSION`](crate::digest::DIGEST_VERSION)
+    /// mismatch, or corruption. Rejection is the *safe* outcome: the
+    /// cache degrades to cold (empty) instead of ever serving a value
+    /// keyed under a different encoding scheme.
+    Snapshot {
+        /// What the snapshot reader or writer rejected.
+        message: String,
+    },
     /// An engine invariant was violated at runtime — e.g. a parallel-batch
     /// worker panicked mid-evaluation. Inference state is still consistent
     /// (caches only ever hold completed results), but the failing batch
@@ -69,6 +79,9 @@ impl fmt::Display for SpplError {
                 write!(f, "measure-zero constraint on transformed variable: {var}")
             }
             SpplError::Numeric { message } => write!(f, "numeric error: {message}"),
+            SpplError::Snapshot { message } => {
+                write!(f, "cache snapshot rejected: {message}")
+            }
             SpplError::Internal { message } => {
                 write!(f, "internal engine error (please report): {message}")
             }

@@ -32,14 +32,13 @@
 //! assert_eq!(e, verbose);
 //! ```
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::hash::{Hash, Hasher};
 use std::ops::{BitAnd, BitOr, Not};
 
 use sppl_sets::{Interval, Outcome, OutcomeSet};
 
+use crate::digest::Fingerprint;
 use crate::transform::Transform;
 use crate::var::Var;
 
@@ -441,11 +440,15 @@ impl Event {
         }
     }
 
-    /// A 64-bit structural fingerprint, used as a memoization key.
-    pub fn fingerprint(&self) -> u64 {
-        let mut h = DefaultHasher::new();
-        self.hash(&mut h);
-        h.finish()
+    /// The 128-bit structural [`Fingerprint`] of the event, used as a
+    /// memoization and [`SharedCache`](crate::cache::SharedCache) key.
+    /// Computed by the explicit, versioned hash in [`crate::digest`]
+    /// (never `std`'s unstable `DefaultHasher`), so the value is identical
+    /// across processes and builds of one
+    /// [`DIGEST_VERSION`](crate::digest::DIGEST_VERSION) — the property
+    /// that lets persisted cache snapshots key on it.
+    pub fn fingerprint(&self) -> Fingerprint {
+        crate::digest::event_fingerprint(self)
     }
 
     /// The canonical structural form: conjunctions and disjunctions are

@@ -72,6 +72,7 @@
 pub mod cache;
 pub mod condition;
 pub mod density;
+pub mod digest;
 pub mod disjoin;
 pub mod engine;
 pub mod error;
@@ -88,6 +89,7 @@ pub mod var;
 pub use cache::SharedCache;
 pub use condition::condition;
 pub use density::{constrain, Assignment};
+pub use digest::{Fingerprint, ModelDigest, DIGEST_VERSION};
 pub use engine::{default_threads, global_pool, CacheStats, QueryEngine};
 pub use error::SpplError;
 pub use event::{var, Event, Scalar};
@@ -105,6 +107,7 @@ pub mod prelude {
     pub use crate::cache::SharedCache;
     pub use crate::condition::condition;
     pub use crate::density::{constrain, Assignment};
+    pub use crate::digest::{Fingerprint, ModelDigest, DIGEST_VERSION};
     pub use crate::engine::{default_threads, global_pool, CacheStats, QueryEngine};
     pub use crate::error::SpplError;
     pub use crate::event::{var, Event, Scalar};

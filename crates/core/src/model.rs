@@ -53,6 +53,7 @@ use scoped_threadpool::Pool;
 
 use crate::cache::SharedCache;
 use crate::density::{constrain, Assignment};
+use crate::digest::ModelDigest;
 use crate::engine::{CacheStats, QueryEngine};
 use crate::error::SpplError;
 use crate::event::Event;
@@ -169,9 +170,11 @@ impl Model {
     }
 
     /// The root expression's deep content digest — the model half of the
-    /// [`SharedCache`] key. Equal for any two sessions over identical
-    /// model content, even across factories and processes of one build.
-    pub fn model_digest(&self) -> u64 {
+    /// [`SharedCache`] key and the identity under which snapshots persist
+    /// results. Equal for any two sessions over identical model content,
+    /// across factories, processes, and builds of one
+    /// [`DIGEST_VERSION`](crate::digest::DIGEST_VERSION).
+    pub fn model_digest(&self) -> ModelDigest {
         self.engine.model_digest()
     }
 

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use sppl_num::float::logsumexp;
 
+use crate::digest::Fingerprint;
 use crate::disjoin::{solve_and_disjoin, Clause};
 use crate::error::SpplError;
 use crate::event::Event;
@@ -29,7 +30,7 @@ use crate::transform::Transform;
 /// benign).
 pub(crate) enum ProbMemo<'a> {
     /// Fresh per-call table.
-    Local(HashMap<(usize, u64), f64>),
+    Local(HashMap<(usize, Fingerprint), f64>),
     /// The factory's persistent, key-pinning concurrent table.
     Pinned(&'a Factory),
     /// Memoization disabled (the Sec. 5.1 ablation).
@@ -37,7 +38,7 @@ pub(crate) enum ProbMemo<'a> {
 }
 
 impl ProbMemo<'_> {
-    fn get(&self, key: &(usize, u64)) -> Option<f64> {
+    fn get(&self, key: &(usize, Fingerprint)) -> Option<f64> {
         match self {
             ProbMemo::Local(m) => m.get(key).copied(),
             ProbMemo::Pinned(factory) => {
@@ -53,7 +54,7 @@ impl ProbMemo<'_> {
         }
     }
 
-    fn insert(&mut self, spe: &Spe, key: (usize, u64), value: f64) {
+    fn insert(&mut self, spe: &Spe, key: (usize, Fingerprint), value: f64) {
         match self {
             ProbMemo::Local(m) => {
                 m.insert(key, value);

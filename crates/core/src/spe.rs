@@ -10,16 +10,15 @@
 //! instead of computing hash functions that require an expensive subtree
 //! traversal").
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::fmt;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use sppl_dists::{Cdf, Distribution};
+use sppl_dists::Distribution;
 use sppl_num::float::logsumexp;
 
+use crate::digest::{self, Digester, Fingerprint, ModelDigest};
 use crate::error::SpplError;
 use crate::event::Event;
 use crate::sync_map::ShardedMap;
@@ -95,14 +94,32 @@ pub enum Node {
     },
 }
 
+/// An interned node plus its lazily computed content digest. The digest
+/// is cached *per physical node* so Merkle-style recomputation is paid
+/// once per node for the lifetime of the DAG — sum construction sorts
+/// children by digest, so this cache is what keeps building an `n`-node
+/// model `O(n)` instead of `O(n²)`.
+#[derive(Debug)]
+struct SpeInner {
+    node: Node,
+    digest: OnceLock<ModelDigest>,
+}
+
 /// A handle to an immutable, interned sum-product expression.
 #[derive(Debug, Clone)]
-pub struct Spe(Arc<Node>);
+pub struct Spe(Arc<SpeInner>);
 
 impl Spe {
+    fn from_node(node: Node) -> Spe {
+        Spe(Arc::new(SpeInner {
+            node,
+            digest: OnceLock::new(),
+        }))
+    }
+
     /// The underlying node.
     pub fn node(&self) -> &Node {
-        &self.0
+        &self.0.node
     }
 
     /// A stable identifier for the physical node (pointer identity).
@@ -138,55 +155,68 @@ impl Spe {
         }
     }
 
-    /// A deep structural digest of the expression: equal for any two
-    /// expressions with identical content, regardless of which [`Factory`]
-    /// built them or in what order (sum and product children are folded in
-    /// a canonical, content-derived order). Computed in one DAG traversal
-    /// (shared subgraphs are hashed once, by pointer memo).
+    /// The deep, versioned content digest of the expression (see
+    /// [`crate::digest`] for the hash and byte-level encoding): equal for
+    /// any two expressions with identical content, regardless of which
+    /// [`Factory`] built them, in which process, or under which build —
+    /// the digest rides the explicit vendored hash, never `std`'s
+    /// unstable one. Sum children are folded as `(child digest, weight)`
+    /// pairs sorted by that pair and product children as sorted digests
+    /// (Merkle-style), so node identity is order-insensitive.
     ///
     /// This is the "model digest" half of the
     /// [`SharedCache`](crate::cache::SharedCache) key, letting engines
-    /// over separately compiled copies of the same model share one cache.
-    pub fn digest(&self) -> u64 {
-        fn rec(spe: &Spe, memo: &mut HashMap<usize, u64>) -> u64 {
-            if let Some(&d) = memo.get(&spe.ptr_id()) {
-                return d;
-            }
-            let mut h = DefaultHasher::new();
-            match spe.node() {
+    /// over separately compiled copies of the same model — even in
+    /// different processes, via snapshots — share one cache. Each
+    /// physical node caches its digest, so repeated calls (and the
+    /// factory's digest-ordered sum construction) cost one traversal per
+    /// node ever.
+    pub fn digest(&self) -> ModelDigest {
+        *self.0.digest.get_or_init(|| {
+            let mut d = Digester::new();
+            d.u8(digest::TAG_NODE_STREAM);
+            match self.node() {
                 Node::Leaf { var, dist, env, .. } => {
-                    0u8.hash(&mut h);
-                    var.hash(&mut h);
-                    hash_distribution(dist, &mut h);
-                    env.hash(&mut h);
+                    d.u8(0);
+                    digest::encode_var(&mut d, var);
+                    digest::encode_distribution(&mut d, dist);
+                    d.len(env.entries().len());
+                    for (v, t) in env.entries() {
+                        digest::encode_var(&mut d, v);
+                        digest::encode_transform(&mut d, t);
+                    }
                 }
                 Node::Sum { children, .. } => {
-                    1u8.hash(&mut h);
+                    d.u8(1);
                     // Pointer order is canonical only within one factory;
-                    // sort by (child digest, weight) for cross-factory
-                    // stability.
-                    let mut parts: Vec<(u64, u64)> = children
+                    // fold by sorted (child digest, weight) for
+                    // cross-factory stability.
+                    let mut parts: Vec<(ModelDigest, u64)> = children
                         .iter()
-                        .map(|(c, w)| (rec(c, memo), w.to_bits()))
+                        .map(|(c, w)| (c.digest(), w.to_bits()))
                         .collect();
                     parts.sort_unstable();
-                    parts.hash(&mut h);
+                    d.len(parts.len());
+                    for (cd, w) in parts {
+                        d.u128(cd.as_u128());
+                        d.u64(w);
+                    }
                 }
                 Node::Product { children, .. } => {
-                    2u8.hash(&mut h);
+                    d.u8(2);
                     // Factor order is already content-canonical (sorted by
                     // smallest scope variable, scopes disjoint), but sort
                     // digests anyway so the digest never depends on it.
-                    let mut parts: Vec<u64> = children.iter().map(|c| rec(c, memo)).collect();
+                    let mut parts: Vec<ModelDigest> = children.iter().map(Spe::digest).collect();
                     parts.sort_unstable();
-                    parts.hash(&mut h);
+                    d.len(parts.len());
+                    for cd in parts {
+                        d.u128(cd.as_u128());
+                    }
                 }
             }
-            let d = h.finish();
-            memo.insert(spe.ptr_id(), d);
-            d
-        }
-        rec(self, &mut HashMap::new())
+            ModelDigest::from_u128(d.finish())
+        })
     }
 }
 
@@ -269,9 +299,9 @@ impl Default for FactoryOptions {
 pub struct Factory {
     options: FactoryOptions,
     intern: ShardedMap<u64, Vec<Spe>>,
-    pub(crate) prob_cache: ShardedMap<(usize, u64), (Spe, f64)>,
+    pub(crate) prob_cache: ShardedMap<(usize, Fingerprint), (Spe, f64)>,
     #[allow(clippy::type_complexity)]
-    pub(crate) cond_cache: ShardedMap<(usize, u64), (Spe, Result<Spe, SpplError>)>,
+    pub(crate) cond_cache: ShardedMap<(usize, Fingerprint), (Spe, Result<Spe, SpplError>)>,
     pub(crate) prob_counters: CacheCounters,
     pub(crate) cond_counters: CacheCounters,
     generation: AtomicU64,
@@ -446,9 +476,12 @@ impl Factory {
                 return Ok(factored);
             }
         }
-        // Canonical child order for interning: sort by pointer id with
-        // weights attached — mixtures are order-insensitive semantically.
-        kept.sort_by_key(|(c, _)| c.ptr_id());
+        // Canonical child order for interning *and* evaluation: sort by
+        // (content digest, weight bits) — mixtures are order-insensitive
+        // semantically, and a content-derived order makes log-sum-exp
+        // evaluate in the same sequence in every factory and process, so
+        // separately compiled copies of one model answer bit-identically.
+        kept.sort_by_key(|(c, w)| (c.digest(), w.to_bits()));
         Ok(self.intern(Node::Sum {
             children: kept,
             scope,
@@ -512,7 +545,7 @@ impl Factory {
             return Ok(kept.pop().expect("len checked").0);
         }
         let scope = kept[0].0.scope().clone();
-        kept.sort_by_key(|(c, _)| c.ptr_id());
+        kept.sort_by_key(|(c, w)| (c.digest(), w.to_bits()));
         Ok(self.intern(Node::Sum {
             children: kept,
             scope,
@@ -614,7 +647,7 @@ impl Factory {
 
     fn intern(&self, node: Node) -> Spe {
         if !self.options.dedup {
-            return Spe(Arc::new(node));
+            return Spe::from_node(node);
         }
         let key = shallow_hash(&node);
         // Find-or-insert under the shard's exclusive lock, so two threads
@@ -627,38 +660,47 @@ impl Factory {
                     return existing.clone();
                 }
             }
-            let spe = Spe(Arc::new(node));
+            let spe = Spe::from_node(node);
             bucket.push(spe.clone());
             spe
         })
     }
 }
 
-/// Shallow structural hash: children by pointer, payloads by value.
+/// Shallow structural hash for the intern table: children by pointer,
+/// payloads by their documented digest encoding. Pointer identities make
+/// this a *per-process* hash (which is all interning needs) — the stable
+/// cross-process identity is [`Spe::digest`].
 fn shallow_hash(node: &Node) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut d = Digester::new();
     match node {
         Node::Leaf { var, dist, env, .. } => {
-            0u8.hash(&mut h);
-            var.hash(&mut h);
-            hash_distribution(dist, &mut h);
-            env.hash(&mut h);
+            d.u8(0);
+            digest::encode_var(&mut d, var);
+            digest::encode_distribution(&mut d, dist);
+            d.len(env.entries().len());
+            for (v, t) in env.entries() {
+                digest::encode_var(&mut d, v);
+                digest::encode_transform(&mut d, t);
+            }
         }
         Node::Sum { children, .. } => {
-            1u8.hash(&mut h);
+            d.u8(1);
+            d.len(children.len());
             for (c, w) in children {
-                c.ptr_id().hash(&mut h);
-                w.to_bits().hash(&mut h);
+                d.u64(c.ptr_id() as u64);
+                d.f64(*w);
             }
         }
         Node::Product { children, .. } => {
-            2u8.hash(&mut h);
+            d.u8(2);
+            d.len(children.len());
             for c in children {
-                c.ptr_id().hash(&mut h);
+                d.u64(c.ptr_id() as u64);
             }
         }
     }
-    h.finish()
+    d.finish() as u64
 }
 
 /// Shallow structural equality matching [`shallow_hash`].
@@ -692,72 +734,6 @@ fn shallow_eq(a: &Node, b: &Node) -> bool {
     }
 }
 
-fn hash_distribution<H: Hasher>(d: &Distribution, h: &mut H) {
-    match d {
-        Distribution::Real(dr) => {
-            0u8.hash(h);
-            hash_cdf(dr.cdf(), h);
-            dr.support().hash(h);
-        }
-        Distribution::Int(di) => {
-            1u8.hash(h);
-            hash_cdf(di.cdf(), h);
-            di.lo().to_bits().hash(h);
-            di.hi().to_bits().hash(h);
-        }
-        Distribution::Str(ds) => {
-            2u8.hash(h);
-            for (s, w) in ds.items() {
-                s.hash(h);
-                w.to_bits().hash(h);
-            }
-        }
-        Distribution::Atomic { loc } => {
-            3u8.hash(h);
-            loc.to_bits().hash(h);
-        }
-    }
-}
-
-fn hash_cdf<H: Hasher>(c: &Cdf, h: &mut H) {
-    std::mem::discriminant(c).hash(h);
-    match *c {
-        Cdf::Normal { mu, sigma } => {
-            mu.to_bits().hash(h);
-            sigma.to_bits().hash(h);
-        }
-        Cdf::Uniform { a, b } => {
-            a.to_bits().hash(h);
-            b.to_bits().hash(h);
-        }
-        Cdf::Exponential { rate } => rate.to_bits().hash(h),
-        Cdf::Gamma { shape, scale } => {
-            shape.to_bits().hash(h);
-            scale.to_bits().hash(h);
-        }
-        Cdf::Beta { a, b, scale } => {
-            a.to_bits().hash(h);
-            b.to_bits().hash(h);
-            scale.to_bits().hash(h);
-        }
-        Cdf::Cauchy { loc, scale } | Cdf::Laplace { loc, scale } | Cdf::Logistic { loc, scale } => {
-            loc.to_bits().hash(h);
-            scale.to_bits().hash(h);
-        }
-        Cdf::StudentT { df } => df.to_bits().hash(h),
-        Cdf::Poisson { mu } => mu.to_bits().hash(h),
-        Cdf::Binomial { n, p } => {
-            n.hash(h);
-            p.to_bits().hash(h);
-        }
-        Cdf::Geometric { p } => p.to_bits().hash(h),
-        Cdf::DiscreteUniform { lo, hi } => {
-            lo.hash(h);
-            hi.hash(h);
-        }
-    }
-}
-
 /// Helper used by inference: the outcome set of `event` along the leaf's
 /// base variable, after substituting derived variables with their
 /// transforms (`subsenv`, Lst. 13).
@@ -775,7 +751,7 @@ pub(crate) fn leaf_event_outcomes(var: &Var, env: &Env, event: &Event) -> sppl_s
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sppl_dists::{DistReal, DistStr};
+    use sppl_dists::{Cdf, DistReal, DistStr};
     use sppl_sets::Interval;
 
     fn normal_leaf(f: &Factory, name: &str) -> Spe {

@@ -12,10 +12,11 @@
 //! and the event), so the second insert is a harmless overwrite — the
 //! usual memo-table tradeoff that buys lock-free recursion.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::digest::stable_hash64;
 
 /// Shard count: enough to make contention unlikely at the batch widths
 /// the engine fans out (tens of threads), small enough to keep `len`/
@@ -51,9 +52,9 @@ impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
     }
 
     fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % self.shards.len()]
+        // Shard selection only needs within-process consistency, but the
+        // crate-wide rule stands: every hash is the explicit vendored one.
+        &self.shards[(stable_hash64(key) as usize) % self.shards.len()]
     }
 
     /// Clones the value for `key`, if present.

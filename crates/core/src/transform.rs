@@ -931,16 +931,18 @@ mod tests {
     }
 
     #[test]
-    fn hash_distinguishes_structure() {
-        use std::collections::hash_map::DefaultHasher;
-        fn h(t: &Transform) -> u64 {
-            let mut s = DefaultHasher::new();
-            t.hash(&mut s);
-            s.finish()
-        }
+    fn fingerprint_distinguishes_structure() {
+        use crate::digest::transform_fingerprint as h;
         let a = Transform::id(x()).pow_int(2);
         let b = Transform::id(x()).pow_int(3);
         assert_ne!(h(&a), h(&b));
         assert_eq!(h(&a), h(&Transform::id(x()).pow_int(2)));
+        // Structurally different spellings of different functions stay
+        // apart even through nesting.
+        assert_ne!(h(&Transform::id(x()).abs()), h(&Transform::id(x()).recip()));
+        assert_ne!(
+            h(&Transform::id(x()).ln().pow_int(2)),
+            h(&Transform::id(x()).pow_int(2).ln())
+        );
     }
 }

@@ -1,0 +1,110 @@
+//! Cross-process cache persistence: a [`SharedCache`] snapshot written
+//! by one process is loaded by another and serves **pure hits** — the
+//! warm-restart story for a serving deployment, exercised for real (the
+//! writer below is a genuinely separate OS process, spawned from this
+//! test binary with a role-selecting environment variable).
+//!
+//! This only works because both key halves are versioned content hashes:
+//! the reader process compiles the model *again*, from source, in a
+//! fresh factory with unrelated pointer addresses — and still derives
+//! the same [`ModelDigest`] bit for bit.
+
+use std::process::Command;
+use std::sync::Arc;
+
+use sppl::models::indian_gpa;
+use sppl::prelude::*;
+
+/// Role switch: when set, this process is the snapshot *writer* and the
+/// variable holds the path to write.
+const CHILD_ENV: &str = "SPPL_SNAPSHOT_CHILD_PATH";
+
+/// The query working set persisted across the "restart".
+fn queries() -> Vec<Event> {
+    vec![
+        var("GPA").le(4.0),
+        var("GPA").lt(4.0),
+        var("GPA").in_interval(Interval::open(8.0, 10.0)),
+        var("Nationality").eq("India"),
+        var("Perfect").eq(1.0),
+        (var("Nationality").eq("USA") & var("GPA").gt(3.0)) | var("GPA").gt(9.5),
+    ]
+}
+
+fn open_session(cache: &Arc<SharedCache>) -> Model {
+    indian_gpa::model()
+        .session()
+        .expect("compiles")
+        .with_shared_cache(Arc::clone(cache))
+}
+
+#[test]
+fn snapshot_crosses_processes_with_pure_hits() {
+    if let Ok(path) = std::env::var(CHILD_ENV) {
+        // Writer role (the "first" serving process): compile, answer the
+        // working set, persist the cache, exit.
+        let cache = Arc::new(SharedCache::new(1024));
+        let model = open_session(&cache);
+        model.logprob_many(&queries()).expect("queries");
+        let written = cache.save_snapshot(&path).expect("snapshot writes");
+        assert_eq!(written, queries().len());
+        return;
+    }
+
+    let path = std::env::temp_dir().join(format!("sppl-xproc-snapshot-{}.bin", std::process::id()));
+    let status = Command::new(std::env::current_exe().expect("test binary path"))
+        .args(["snapshot_crosses_processes_with_pure_hits", "--exact"])
+        .env(CHILD_ENV, &path)
+        .status()
+        .expect("spawn the writer process");
+    assert!(status.success(), "writer process failed");
+
+    // Reader role (the "restarted" serving process): fresh compile, load
+    // the previous process's snapshot, and answer the same working set.
+    let cache = Arc::new(SharedCache::new(1024));
+    let loaded = cache.load_snapshot(&path).expect("snapshot loads");
+    assert_eq!(loaded, queries().len());
+    let model = open_session(&cache);
+    let warm = model.logprob_many(&queries()).expect("queries");
+    let stats = cache.stats();
+    assert_eq!(
+        stats.misses, 0,
+        "warm restart must be pure shared-cache hits (got {stats:?})"
+    );
+    assert_eq!(stats.hits as usize, queries().len());
+
+    // The persisted answers equal a cold recompute bit for bit — the
+    // snapshot can only ever serve what this build would compute anyway.
+    let cold = indian_gpa::model().session().expect("compiles");
+    let recomputed = cold.logprob_many(&queries()).expect("queries");
+    for (i, (w, c)) in warm.iter().zip(&recomputed).enumerate() {
+        assert_eq!(w.to_bits(), c.to_bits(), "query {i} diverged");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn rejected_snapshot_degrades_to_cold_answers_not_wrong_ones() {
+    // A corrupt snapshot file surfaces an error, loads nothing, and the
+    // session simply computes cold — probabilities are never wrong.
+    let path = std::env::temp_dir().join(format!("sppl-bad-snapshot-{}.bin", std::process::id()));
+    std::fs::write(&path, b"definitely not a snapshot").expect("write garbage");
+    let cache = Arc::new(SharedCache::new(1024));
+    let err = cache
+        .load_snapshot(&path)
+        .expect_err("garbage must be rejected");
+    assert!(matches!(err, SpplError::Snapshot { .. }), "{err:?}");
+    assert_eq!(cache.stats().entries, 0, "rejected snapshot loads as empty");
+
+    let model = open_session(&cache);
+    let got = model.logprob_many(&queries()).expect("cold queries");
+    let reference = indian_gpa::model()
+        .session()
+        .expect("compiles")
+        .logprob_many(&queries())
+        .expect("queries");
+    for (g, r) in got.iter().zip(&reference) {
+        assert_eq!(g.to_bits(), r.to_bits());
+    }
+    std::fs::remove_file(&path).ok();
+}

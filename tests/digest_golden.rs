@@ -1,0 +1,211 @@
+//! Digest stability suite.
+//!
+//! 1. **Golden fixtures**: the [`ModelDigest`] values of the paper's two
+//!    headline models are pinned as hex strings. The digest is a
+//!    *persisted* identity (snapshot files key on it), so any accidental
+//!    change to the hash, the byte-level encoding, or the canonical SPE
+//!    construction must fail here loudly — a deliberate change updates
+//!    the fixtures **and bumps `DIGEST_VERSION`** in the same diff.
+//! 2. **Bit-stability property**: two separately compiled copies of a
+//!    random model (mixed discrete/continuous, data-dependent mixtures)
+//!    agree on every query **bit for bit** — no tolerance — because sum
+//!    children are canonically ordered by content digest at construction,
+//!    making evaluation order independent of pointer addresses.
+
+use proptest::prelude::*;
+use sppl::models::{hmm, indian_gpa};
+use sppl::prelude::*;
+
+/// Indian-GPA model digest (Fig. 2). Computed once from the frozen
+/// encoding; stable across processes, builds, and machines.
+const INDIAN_GPA_DIGEST: &str = "3f7093ab162ee137044f41836ab9986e";
+
+/// Hierarchical HMM digest at horizon 8 (Fig. 3 family).
+const HMM_8_DIGEST: &str = "e2899c8bcc1a1924188030852bf12d19";
+
+#[test]
+fn golden_digest_indian_gpa() {
+    let model = indian_gpa::model().session().expect("compiles");
+    assert_eq!(
+        model.model_digest().to_string(),
+        INDIAN_GPA_DIGEST,
+        "Indian-GPA digest changed: either the encoding/hash/canonical \
+         form drifted accidentally (a bug — snapshots written by older \
+         builds would go stale), or the change is deliberate and must \
+         bump DIGEST_VERSION alongside this fixture"
+    );
+}
+
+#[test]
+fn golden_digest_hmm() {
+    let model = hmm::hierarchical_hmm(8).session().expect("compiles");
+    assert_eq!(
+        model.model_digest().to_string(),
+        HMM_8_DIGEST,
+        "HMM digest changed: see golden_digest_indian_gpa for the rules"
+    );
+}
+
+#[test]
+fn golden_digests_are_reproduced_by_a_second_compile() {
+    // The fixture pins the value; this pins the *mechanism* — a second
+    // compilation in the same process (fresh factory, fresh pointers)
+    // lands on the identical digest.
+    let a = indian_gpa::model().session().expect("compiles");
+    let b = indian_gpa::model().session().expect("compiles");
+    assert_eq!(a.model_digest(), b.model_digest());
+    assert_eq!(a.model_digest().to_string(), INDIAN_GPA_DIGEST);
+}
+
+// ---------------------------------------------------------------------------
+// Random-model bit-stability property.
+// ---------------------------------------------------------------------------
+
+/// One generated variable: `(kind, a, b)` index a shape and a parameter
+/// grid (see [`build_source`]).
+type VarSpec = (usize, usize, usize);
+
+/// A literal pick: variable selector and polarity/threshold selector.
+type LitSpec = (usize, usize);
+
+fn grid(i: usize) -> f64 {
+    (i % 19 + 1) as f64 * 0.05 // 0.05..=0.95
+}
+
+/// Renders a generated spec as SPPL source mixing bernoulli chains with
+/// gated continuous leaves — the mixture shapes that exercise sum-child
+/// canonicalization hardest. Returns the source and, per variable,
+/// whether it is discrete.
+fn build_source(spec: &[VarSpec]) -> (String, Vec<bool>) {
+    let mut src = String::new();
+    let mut discrete = Vec::with_capacity(spec.len());
+    let mut last_discrete: Option<usize> = None;
+    for (i, &(kind, a, b)) in spec.iter().enumerate() {
+        let gate = last_discrete;
+        match (kind % 4, gate) {
+            (1, Some(j)) => {
+                src.push_str(&format!(
+                    "if (V{j} == 1) {{ V{i} ~ bernoulli(p={:.2}) }} \
+                     else {{ V{i} ~ bernoulli(p={:.2}) }}\n",
+                    grid(a),
+                    grid(b),
+                ));
+                discrete.push(true);
+            }
+            (2, _) => {
+                src.push_str(&format!(
+                    "V{i} ~ normal({:.2}, {:.2})\n",
+                    grid(a) * 10.0 - 5.0,
+                    0.5 + grid(b),
+                ));
+                discrete.push(false);
+            }
+            (3, Some(j)) => {
+                src.push_str(&format!(
+                    "if (V{j} == 1) {{ V{i} ~ normal({:.2}, {:.2}) }} \
+                     else {{ V{i} ~ uniform({:.2}, {:.2}) }}\n",
+                    grid(a) * 10.0 - 5.0,
+                    0.5 + grid(b),
+                    grid(b) * -4.0,
+                    grid(a) * 4.0 + 0.1,
+                ));
+                discrete.push(false);
+            }
+            _ => {
+                src.push_str(&format!("V{i} ~ bernoulli(p={:.2})\n", grid(a)));
+                discrete.push(true);
+            }
+        }
+        if discrete[i] {
+            last_discrete = Some(i);
+        }
+    }
+    (src, discrete)
+}
+
+fn literal(discrete: &[bool], &(pick, sel): &LitSpec) -> Event {
+    let i = pick % discrete.len();
+    let v = var(format!("V{i}"));
+    if discrete[i] {
+        v.eq(f64::from(u8::from(sel % 2 == 0)))
+    } else if sel % 2 == 0 {
+        v.le(grid(sel) * 8.0 - 4.0)
+    } else {
+        v.gt(grid(sel) * 8.0 - 4.0)
+    }
+}
+
+fn build_event(discrete: &[bool], shape: usize, lits: &[LitSpec]) -> Event {
+    let literals: Vec<Event> = lits.iter().map(|l| literal(discrete, l)).collect();
+    match shape % 3 {
+        0 => Event::and(literals),
+        1 => Event::or(literals),
+        _ => {
+            let (head, tail) = literals.split_first().expect("at least one literal");
+            if tail.is_empty() {
+                head.clone()
+            } else {
+                Event::and(vec![head.clone(), Event::or(tail.to_vec())])
+            }
+        }
+    }
+}
+
+fn var_spec() -> impl Strategy<Value = VarSpec> {
+    (0..4usize, 0..19usize, 0..19usize)
+}
+
+fn lit_specs() -> impl Strategy<Value = Vec<LitSpec>> {
+    prop::collection::vec((0..16usize, 0..19usize), 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two separately compiled copies of one random model — fresh
+    /// factories, unrelated pointer layouts — produce the same digest and
+    /// **bit-identical** `logprob` answers, with no tolerance, before and
+    /// after conditioning.
+    #[test]
+    fn separately_compiled_copies_are_bit_identical(
+        spec in prop::collection::vec(var_spec(), 2..6),
+        shapes in (0..3usize, 0..3usize),
+        query_lits in lit_specs(),
+        evidence_lits in lit_specs(),
+    ) {
+        let (source, discrete) = build_source(&spec);
+        let query = build_event(&discrete, shapes.0, &query_lits);
+        let evidence = build_event(&discrete, shapes.1, &evidence_lits);
+
+        let a = Model::compile(&source).expect("generated program compiles");
+        let b = Model::compile(&source).expect("generated program compiles");
+        prop_assert_eq!(
+            a.model_digest(), b.model_digest(),
+            "same source must compile to one content digest\n{}", source
+        );
+
+        let la = a.logprob(&query).unwrap();
+        let lb = b.logprob(&query).unwrap();
+        prop_assert_eq!(
+            la.to_bits(), lb.to_bits(),
+            "logprob diverged across compiles: {} vs {}\n{}", la, lb, source
+        );
+
+        // Conditioning re-derives sums; the canonical form must keep the
+        // two compilations in lockstep there too.
+        if a.prob(&evidence).unwrap() > 1e-9 {
+            let pa = a.condition(&evidence).unwrap();
+            let pb = b.condition(&evidence).unwrap();
+            prop_assert_eq!(
+                pa.model_digest(), pb.model_digest(),
+                "posterior digests diverged\n{}", source
+            );
+            let qa = pa.logprob(&query).unwrap();
+            let qb = pb.logprob(&query).unwrap();
+            prop_assert_eq!(
+                qa.to_bits(), qb.to_bits(),
+                "posterior logprob diverged: {} vs {}\n{}", qa, qb, source
+            );
+        }
+    }
+}

@@ -38,9 +38,8 @@ fn indian_gpa_model_matches_legacy_path_bit_for_bit() {
     let source = indian_gpa::model().source;
 
     // One compiled artifact, two API surfaces. (Bit-identity across
-    // *separately compiled* copies is a different guarantee — sum-child
-    // order is pointer-determined, see the ROADMAP — and is covered to
-    // tolerance by `independently_compiled_session_agrees_numerically`.)
+    // *separately compiled* copies is covered — also exactly — by
+    // `independently_compiled_session_agrees_bit_for_bit`.)
     let factory = Arc::new(Factory::new());
     let spe = compile(&factory, &source).expect("compiles");
 
@@ -155,12 +154,14 @@ fn hmm_smoothing_matches_legacy_path_bit_for_bit() {
 }
 
 #[test]
-fn independently_compiled_session_agrees_numerically() {
+fn independently_compiled_session_agrees_bit_for_bit() {
     // `Model::compile` builds its own factory; answers must agree with a
-    // hand-threaded compilation to floating-point tolerance (bitwise
-    // agreement across separate compiles is not promised — sum-child
-    // evaluation order is pointer-determined; the SharedCache papers over
-    // the last ulp in serving setups).
+    // hand-threaded compilation *exactly*. Sum children are canonically
+    // ordered by (content digest, weight) at construction, so evaluation
+    // order — and therefore every log-sum-exp rounding — is a function of
+    // model content alone, not of pointer addresses: separately compiled
+    // copies of one source produce bit-identical answers, with no shared
+    // cache papering over a last ulp.
     let source = indian_gpa::model().source;
     let factory = Factory::new();
     let spe = compile(&factory, &source).expect("compiles");
@@ -170,7 +171,26 @@ fn independently_compiled_session_agrees_numerically() {
     for q in gpa_queries() {
         let a = legacy.prob(&q).unwrap();
         let b = model.prob(&q).unwrap();
-        assert!((a - b).abs() < 1e-12, "{q}: {a} vs {b}");
+        assert_eq!(a.to_bits(), b.to_bits(), "{q}: {a} vs {b}");
+        let (la, lb) = (legacy.logprob(&q).unwrap(), model.logprob(&q).unwrap());
+        assert_eq!(la.to_bits(), lb.to_bits(), "{q}: logprob {la} vs {lb}");
+    }
+    // The guarantee survives conditioning: posteriors derived in each
+    // compilation answer identically too (condition re-normalizes sums,
+    // which re-canonicalizes them by content).
+    let legacy_post = legacy.condition(&gpa_evidence()).unwrap();
+    let model_post = model.condition(&gpa_evidence()).unwrap();
+    assert_eq!(
+        legacy_post.digest(),
+        model_post.root().digest(),
+        "posterior content must be digest-identical across compiles"
+    );
+    for q in gpa_queries() {
+        assert_eq!(
+            legacy_post.logprob(&q).unwrap().to_bits(),
+            model_post.logprob(&q).unwrap().to_bits(),
+            "posterior diverged on {q}"
+        );
     }
 }
 

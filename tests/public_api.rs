@@ -32,14 +32,17 @@ const SNAPSHOT: &[&str] = &[
     "prelude::CacheStats",
     "prelude::Cdf",
     "prelude::CompileModel",
+    "prelude::DIGEST_VERSION",
     "prelude::DistInt",
     "prelude::DistReal",
     "prelude::DistStr",
     "prelude::Distribution",
     "prelude::Event",
     "prelude::Factory",
+    "prelude::Fingerprint",
     "prelude::Interval",
     "prelude::Model",
+    "prelude::ModelDigest",
     "prelude::Outcome",
     "prelude::OutcomeSet",
     "prelude::Pool",

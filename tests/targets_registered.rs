@@ -12,7 +12,9 @@ fn root() -> &'static Path {
 }
 
 const ROOT_SUITES: &[&str] = &[
+    "tests/cache_snapshot.rs",
     "tests/closure_properties.rs",
+    "tests/digest_golden.rs",
     "tests/engine_agreement.rs",
     "tests/model_api_parity.rs",
     "tests/paper_golden.rs",
