@@ -1,0 +1,299 @@
+//! Abstract interpretation of distribution constructors: validates
+//! parameters exactly like the translator (same families, same aliases,
+//! same range checks) and infers the sampled variable's support.
+//!
+//! When a parameter's value is unknown (lost at a join) the family's
+//! *maximal* support is used, keeping the per-variable supports
+//! over-approximate.
+
+use std::collections::HashMap;
+
+use sppl_dists::{Cdf, DistInt, DistReal, DistStr, Distribution};
+use sppl_lang::translate::Value;
+use sppl_sets::{Interval, OutcomeSet};
+
+/// A numeric parameter: known, or lost at a join.
+pub(crate) type Param = Option<f64>;
+
+/// Outcome of abstractly evaluating `func(args…)` as a distribution.
+pub(crate) enum DistVerdict {
+    /// A valid distribution with this (over-approximate) support.
+    Ok(OutcomeSet),
+    /// Invalid parameters (`E006`): message + fallback support.
+    Invalid(String, OutcomeSet),
+    /// `func` names no known distribution (`E001` at the caller).
+    UnknownName,
+}
+
+fn nonneg() -> OutcomeSet {
+    OutcomeSet::from(Interval::above(0.0, true).expect("0 is a valid bound"))
+}
+
+/// The largest support any instance of the family can have — the sound
+/// fallback when parameter values are unknown.
+fn family_max_support(func: &str) -> Option<OutcomeSet> {
+    Some(match func {
+        "normal" | "gaussian" | "uniform" | "cauchy" | "laplace" | "logistic" | "student_t"
+        | "studentt" | "randint" | "discrete_uniform" | "atomic" | "atom" | "discrete" => {
+            OutcomeSet::all_reals()
+        }
+        "exponential" | "gamma" | "beta" | "binomial" | "poisson" | "geometric" => nonneg(),
+        "bernoulli" => OutcomeSet::real_points([0.0, 1.0]),
+        "choice" => OutcomeSet::from_strings(sppl_sets::StringSet::all()),
+        _ => return None,
+    })
+}
+
+/// Mirrors the translator's positional/keyword parameter lookup.
+fn get(named: &HashMap<&str, Param>, pos: &[Param], names: &[&str], i: usize) -> Option<Param> {
+    names
+        .iter()
+        .find_map(|n| named.get(n).copied())
+        .or_else(|| pos.get(i).copied())
+}
+
+/// Abstractly evaluates a distribution call. `pos`/`named` are numeric
+/// parameters (`None` when the value is unknown); `dict` is the
+/// `{outcome: weight}` argument of `choice`/`discrete` (`None` when
+/// absent, weights `None` when unknown).
+pub(crate) fn infer(
+    func: &str,
+    pos: &[Param],
+    named: &HashMap<&str, Param>,
+    dict: Option<&[(Value, Param)]>,
+) -> DistVerdict {
+    let Some(fallback) = family_max_support(func) else {
+        return DistVerdict::UnknownName;
+    };
+    let invalid = |msg: String| DistVerdict::Invalid(msg, fallback.clone());
+
+    // Finiteness first, mirroring the translator's central check.
+    for p in pos.iter().chain(named.values()).copied().flatten() {
+        if !p.is_finite() {
+            return invalid(format!("distribution parameters must be finite, got {p}"));
+        }
+    }
+    if let Some(pairs) = dict {
+        for (k, w) in pairs {
+            if let Some(w) = w {
+                if !w.is_finite() {
+                    return invalid(format!("distribution weights must be finite, got {w}"));
+                }
+            }
+            if let Value::Num(n) = k {
+                if !n.is_finite() {
+                    return invalid(format!("distribution outcomes must be finite, got {n}"));
+                }
+            }
+        }
+    }
+
+    // Per-family checks. A `None` anywhere degrades to the family's
+    // maximal support without a diagnostic.
+    macro_rules! param {
+        ($names:expr, $i:expr) => {
+            match get(named, pos, $names, $i) {
+                Some(Some(v)) => v,
+                Some(None) => return DistVerdict::Ok(fallback),
+                None => {
+                    return invalid(format!("{func} requires a {} parameter", $names[0]));
+                }
+            }
+        };
+    }
+    macro_rules! opt_param {
+        ($names:expr, $i:expr, $default:expr) => {
+            match get(named, pos, $names, $i) {
+                Some(Some(v)) => v,
+                Some(None) => return DistVerdict::Ok(fallback),
+                None => $default,
+            }
+        };
+    }
+
+    let dist = match func {
+        "normal" | "gaussian" => {
+            let _mu = param!(&["mu", "loc", "mean"], 0);
+            let sigma = param!(&["sigma", "scale", "std"], 1);
+            if sigma <= 0.0 {
+                return invalid(format!("normal scale must be positive, got {sigma}"));
+            }
+            Distribution::Real(
+                DistReal::new(Cdf::normal(_mu, sigma), Interval::all()).expect("positive mass"),
+            )
+        }
+        "uniform" => {
+            let a = param!(&["a", "lo", "loc"], 0);
+            let b = param!(&["b", "hi"], 1);
+            if b <= a {
+                return invalid(format!("uniform requires lo < hi, got [{a}, {b}]"));
+            }
+            Distribution::Real(
+                DistReal::new(Cdf::uniform(a, b), Interval::closed(a, b)).expect("positive mass"),
+            )
+        }
+        "exponential" => {
+            let rate = param!(&["rate", "lam", "lambda_"], 0);
+            if rate <= 0.0 {
+                return invalid("exponential rate must be positive".into());
+            }
+            real(Cdf::exponential(rate))
+        }
+        "gamma" => {
+            let shape = param!(&["shape", "a", "k"], 0);
+            let scale = opt_param!(&["scale", "theta"], 1, 1.0);
+            if shape <= 0.0 || scale <= 0.0 {
+                return invalid("gamma parameters must be positive".into());
+            }
+            real(Cdf::gamma(shape, scale))
+        }
+        "beta" => {
+            let a = param!(&["a", "alpha"], 0);
+            let b = param!(&["b", "beta"], 1);
+            let scale = opt_param!(&["scale"], 2, 1.0);
+            if a <= 0.0 || b <= 0.0 || scale <= 0.0 {
+                return invalid("beta parameters must be positive".into());
+            }
+            real(Cdf::beta_scaled(a, b, scale))
+        }
+        "cauchy" | "laplace" | "logistic" => {
+            let loc = param!(&["loc"], 0);
+            let scale = param!(&["scale"], 1);
+            if scale <= 0.0 {
+                return invalid(format!("{func} scale must be positive"));
+            }
+            real(match func {
+                "cauchy" => Cdf::cauchy(loc, scale),
+                "laplace" => Cdf::laplace(loc, scale),
+                _ => Cdf::logistic(loc, scale),
+            })
+        }
+        "student_t" | "studentt" => {
+            let df = param!(&["df"], 0);
+            if df <= 0.0 {
+                return invalid("student_t df must be positive".into());
+            }
+            real(Cdf::student_t(df))
+        }
+        "bernoulli" => {
+            let p = param!(&["p"], 0);
+            if !(0.0..=1.0).contains(&p) {
+                return invalid(format!("bernoulli p must be in [0,1], got {p}"));
+            }
+            match int(Cdf::binomial(1, p)) {
+                Some(d) => d,
+                None => return invalid("integer distribution has empty support".into()),
+            }
+        }
+        "binomial" => {
+            let n = param!(&["n"], 0);
+            let p = param!(&["p"], 1);
+            if n < 0.0 || n.fract() != 0.0 {
+                return invalid("binomial n must be a nonnegative integer".into());
+            }
+            if !(0.0..=1.0).contains(&p) {
+                return invalid("binomial p must be in [0,1]".into());
+            }
+            match int(Cdf::binomial(n as u64, p)) {
+                Some(d) => d,
+                None => return invalid("integer distribution has empty support".into()),
+            }
+        }
+        "poisson" => {
+            let mu = param!(&["mu", "lam", "rate", "mean"], 0);
+            if mu <= 0.0 {
+                return invalid(format!("poisson mean must be positive, got {mu}"));
+            }
+            match int(Cdf::poisson(mu)) {
+                Some(d) => d,
+                None => return invalid("integer distribution has empty support".into()),
+            }
+        }
+        "geometric" => {
+            let p = param!(&["p"], 0);
+            if p <= 0.0 || p > 1.0 {
+                return invalid("geometric p must be in (0,1]".into());
+            }
+            match int(Cdf::geometric(p)) {
+                Some(d) => d,
+                None => return invalid("integer distribution has empty support".into()),
+            }
+        }
+        "randint" | "discrete_uniform" => {
+            let lo = param!(&["lo"], 0);
+            let hi = param!(&["hi"], 1);
+            if lo.fract() != 0.0 || hi.fract() != 0.0 || hi < lo {
+                return invalid("randint requires integer lo <= hi".into());
+            }
+            match int(Cdf::discrete_uniform(lo as i64, hi as i64)) {
+                Some(d) => d,
+                None => return invalid("integer distribution has empty support".into()),
+            }
+        }
+        "atomic" | "atom" => {
+            let loc = param!(&["loc"], 0);
+            Distribution::Atomic { loc }
+        }
+        "choice" => {
+            let Some(pairs) = dict else {
+                return invalid("choice requires a dict {value: weight}".into());
+            };
+            let mut items = Vec::new();
+            for (k, w) in pairs {
+                let Some(w) = w else {
+                    return DistVerdict::Ok(fallback);
+                };
+                match k {
+                    Value::Str(s) => items.push((s.clone(), *w)),
+                    other => {
+                        return invalid(format!("choice keys must be strings, got {:?}", other))
+                    }
+                }
+            }
+            match DistStr::new(items) {
+                Some(d) => Distribution::Str(d),
+                None => return invalid("choice weights must include a positive entry".into()),
+            }
+        }
+        "discrete" => {
+            let Some(pairs) = dict else {
+                return invalid("discrete requires a dict {value: weight}".into());
+            };
+            let mut locs = Vec::new();
+            let mut total = 0.0;
+            for (k, w) in pairs {
+                let Some(w) = w else {
+                    return DistVerdict::Ok(fallback);
+                };
+                match k {
+                    Value::Num(n) => {
+                        if *w > 0.0 {
+                            locs.push(*n);
+                            total += *w;
+                        }
+                    }
+                    other => {
+                        return invalid(format!("discrete keys must be numbers, got {:?}", other))
+                    }
+                }
+            }
+            if total <= 0.0 {
+                return invalid("discrete weights must include a positive entry".into());
+            }
+            return DistVerdict::Ok(OutcomeSet::real_points(locs));
+        }
+        _ => return DistVerdict::UnknownName,
+    };
+    DistVerdict::Ok(dist.support_set())
+}
+
+fn real(cdf: Cdf) -> Distribution {
+    let (lo, hi) = cdf.support();
+    let iv = Interval::new(lo, lo.is_finite(), hi, hi.is_finite()).unwrap_or_else(Interval::all);
+    Distribution::Real(DistReal::new(cdf, iv).expect("validated parameters have positive mass"))
+}
+
+fn int(cdf: Cdf) -> Option<Distribution> {
+    let (lo, hi) = cdf.support();
+    DistInt::new(cdf, lo, hi).map(Distribution::Int)
+}

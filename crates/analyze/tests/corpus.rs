@@ -1,0 +1,146 @@
+//! Golden-diagnostic corpus: every `tests/corpus/{bad,warn}/*.sppl`
+//! program is analyzed and its rendered diagnostics must match the
+//! committed `.expected` file **exactly** (one `Diagnostic::render()`
+//! line per diagnostic, in emission order).
+//!
+//! Additionally, every `bad/` program must make [`sppl_analyze::compile_model`]
+//! return a structured, span-carrying error (never panic), and every
+//! `warn/` program must still compile to a queryable model.
+//!
+//! To regenerate a golden after an intentional message change:
+//! `cargo run -p sppl-bench --bin sppl-lint -- <file>` and strip the
+//! leading `<file>:` prefix.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use sppl_analyze::{check, compile_model, Severity, Span};
+
+fn corpus_dir(kind: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(kind)
+}
+
+/// Sorted list of `.sppl` programs under `tests/corpus/<kind>/`.
+fn programs(kind: &str) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(corpus_dir(kind))
+        .expect("corpus directory readable")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "sppl"))
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "corpus/{kind} must not be empty");
+    out
+}
+
+fn rendered_diagnostics(source: &str) -> String {
+    check(source)
+        .iter()
+        .map(|d| d.render())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn check_goldens(kind: &str) {
+    for path in programs(kind) {
+        let source = fs::read_to_string(&path).expect("program readable");
+        let golden_path = path.with_extension("expected");
+        let golden = fs::read_to_string(&golden_path)
+            .unwrap_or_else(|_| panic!("missing golden file {}", golden_path.display()));
+        let actual = rendered_diagnostics(&source);
+        assert_eq!(
+            actual.trim_end(),
+            golden.trim_end(),
+            "diagnostics for {} drifted from the golden file",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn bad_programs_match_goldens() {
+    check_goldens("bad");
+}
+
+#[test]
+fn warn_programs_match_goldens() {
+    check_goldens("warn");
+}
+
+#[test]
+fn bad_programs_fail_compile_with_spans() {
+    for path in programs("bad") {
+        let source = fs::read_to_string(&path).expect("program readable");
+        let diags = check(&source);
+        assert!(
+            diags.iter().any(|d| d.severity == Severity::Error),
+            "{} must report at least one error",
+            path.display()
+        );
+        // compile_model must surface the failure as a structured error —
+        // never a panic — and the error must carry a real span.
+        let err = compile_model(&source)
+            .map(|_| ())
+            .expect_err(&format!("{} must not compile", path.display()));
+        assert_ne!(
+            err.span,
+            Span::unknown(),
+            "{}: compile error must carry a source span, got: {}",
+            path.display(),
+            err.message
+        );
+        assert!(
+            err.message.starts_with('[') || !err.message.is_empty(),
+            "{}: empty error message",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn warn_programs_still_compile() {
+    for path in programs("warn") {
+        let source = fs::read_to_string(&path).expect("program readable");
+        let diags = check(&source);
+        assert!(
+            diags.iter().all(|d| d.severity == Severity::Warning),
+            "{} must produce warnings only",
+            path.display()
+        );
+        assert!(
+            !diags.is_empty(),
+            "{} must produce at least one warning",
+            path.display()
+        );
+        let model = compile_model(&source)
+            .unwrap_or_else(|e| panic!("{} must compile: {}", path.display(), e));
+        // The compiled (possibly pruned) model must answer a trivial
+        // query — exercises that pruning left a well-formed SPE.
+        let p = model
+            .prob(&sppl_core::var("X").gt(f64::NEG_INFINITY))
+            .expect("trivial query");
+        assert!((p - 1.0).abs() < 1e-12, "{}: P(true) = {p}", path.display());
+    }
+}
+
+/// The five lint classes the analyzer must detect, each pinned to the
+/// corpus program that exercises it.
+#[test]
+fn required_lint_classes_are_covered() {
+    let required = [
+        ("bad/use_before_define.sppl", "E001"),
+        ("bad/unsat_condition.sppl", "E004"),
+        ("warn/unused_variable.sppl", "W101"),
+        ("warn/dead_branch.sppl", "W102"),
+        ("warn/invalid_transform.sppl", "W104"),
+    ];
+    for (rel, code) in required {
+        let path = corpus_dir("").join(rel);
+        let source = fs::read_to_string(&path).expect("program readable");
+        assert!(
+            check(&source).iter().any(|d| d.code.as_str() == code),
+            "{rel} must trigger {code}"
+        );
+    }
+}

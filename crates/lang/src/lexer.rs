@@ -3,6 +3,10 @@
 //! Statements are newline-terminated (like Python), but newlines inside
 //! parentheses, brackets, or braces-as-dict are insignificant; `#` starts
 //! a line comment. Both `'…'` and `"…"` string literals are accepted.
+//!
+//! Every token carries a [`Span`] covering its full extent (start to the
+//! last column, inclusive), so parser diagnostics can underline whole
+//! lexemes and expressions.
 
 use crate::diagnostics::{LangError, Span};
 
@@ -77,7 +81,7 @@ pub enum Sym {
 pub struct Token {
     /// The token kind.
     pub tok: Tok,
-    /// Start position.
+    /// The token's full extent in the source.
     pub span: Span,
 }
 
@@ -95,11 +99,13 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
     let mut col = 1usize;
     let mut depth = 0usize; // () and [] nesting: newlines insignificant inside
 
+    // Push a token of `$len` columns starting at `$l:$c` (tokens never
+    // span lines, so the end is on the same line).
     macro_rules! push {
-        ($tok:expr, $l:expr, $c:expr) => {
+        ($tok:expr, $l:expr, $c:expr, $len:expr) => {
             out.push(Token {
                 tok: $tok,
-                span: Span::new($l, $c),
+                span: Span::range($l, $c, $l, $c + ($len as usize) - 1),
             })
         };
     }
@@ -114,7 +120,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
             }
             '\n' => {
                 if depth == 0 && !matches!(out.last().map(|t| &t.tok), Some(Tok::Newline) | None) {
-                    push!(Tok::Newline, l0, c0);
+                    push!(Tok::Newline, l0, c0, 1);
                 }
                 i += 1;
                 line += 1;
@@ -127,51 +133,51 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
                 }
             }
             ';' => {
-                push!(Tok::Newline, l0, c0);
+                push!(Tok::Newline, l0, c0, 1);
                 i += 1;
                 col += 1;
             }
             '(' => {
                 depth += 1;
-                push!(Tok::Sym(Sym::LParen), l0, c0);
+                push!(Tok::Sym(Sym::LParen), l0, c0, 1);
                 i += 1;
                 col += 1;
             }
             ')' => {
                 depth = depth.saturating_sub(1);
-                push!(Tok::Sym(Sym::RParen), l0, c0);
+                push!(Tok::Sym(Sym::RParen), l0, c0, 1);
                 i += 1;
                 col += 1;
             }
             '[' => {
                 depth += 1;
-                push!(Tok::Sym(Sym::LBracket), l0, c0);
+                push!(Tok::Sym(Sym::LBracket), l0, c0, 1);
                 i += 1;
                 col += 1;
             }
             ']' => {
                 depth = depth.saturating_sub(1);
-                push!(Tok::Sym(Sym::RBracket), l0, c0);
+                push!(Tok::Sym(Sym::RBracket), l0, c0, 1);
                 i += 1;
                 col += 1;
             }
             '{' => {
-                push!(Tok::Sym(Sym::LBrace), l0, c0);
+                push!(Tok::Sym(Sym::LBrace), l0, c0, 1);
                 i += 1;
                 col += 1;
             }
             '}' => {
-                push!(Tok::Sym(Sym::RBrace), l0, c0);
+                push!(Tok::Sym(Sym::RBrace), l0, c0, 1);
                 i += 1;
                 col += 1;
             }
             ',' => {
-                push!(Tok::Sym(Sym::Comma), l0, c0);
+                push!(Tok::Sym(Sym::Comma), l0, c0, 1);
                 i += 1;
                 col += 1;
             }
             ':' => {
-                push!(Tok::Sym(Sym::Colon), l0, c0);
+                push!(Tok::Sym(Sym::Colon), l0, c0, 1);
                 i += 1;
                 col += 1;
             }
@@ -179,34 +185,34 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
                 // Could be the start of a number like `.5`.
                 if i + 1 < chars.len() && chars[i + 1].is_ascii_digit() {
                     let (n, len) = lex_number(&chars[i..], l0, c0)?;
-                    push!(Tok::Num(n), l0, c0);
+                    push!(Tok::Num(n), l0, c0, len);
                     i += len;
                     col += len;
                 } else {
-                    push!(Tok::Sym(Sym::Dot), l0, c0);
+                    push!(Tok::Sym(Sym::Dot), l0, c0, 1);
                     i += 1;
                     col += 1;
                 }
             }
             '~' => {
-                push!(Tok::Sym(Sym::Tilde), l0, c0);
+                push!(Tok::Sym(Sym::Tilde), l0, c0, 1);
                 i += 1;
                 col += 1;
             }
             '=' => {
                 if chars.get(i + 1) == Some(&'=') {
-                    push!(Tok::Sym(Sym::EqEq), l0, c0);
+                    push!(Tok::Sym(Sym::EqEq), l0, c0, 2);
                     i += 2;
                     col += 2;
                 } else {
-                    push!(Tok::Sym(Sym::Assign), l0, c0);
+                    push!(Tok::Sym(Sym::Assign), l0, c0, 1);
                     i += 1;
                     col += 1;
                 }
             }
             '!' => {
                 if chars.get(i + 1) == Some(&'=') {
-                    push!(Tok::Sym(Sym::NotEq), l0, c0);
+                    push!(Tok::Sym(Sym::NotEq), l0, c0, 2);
                     i += 2;
                     col += 2;
                 } else {
@@ -215,49 +221,49 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
             }
             '<' => {
                 if chars.get(i + 1) == Some(&'=') {
-                    push!(Tok::Sym(Sym::Le), l0, c0);
+                    push!(Tok::Sym(Sym::Le), l0, c0, 2);
                     i += 2;
                     col += 2;
                 } else {
-                    push!(Tok::Sym(Sym::Lt), l0, c0);
+                    push!(Tok::Sym(Sym::Lt), l0, c0, 1);
                     i += 1;
                     col += 1;
                 }
             }
             '>' => {
                 if chars.get(i + 1) == Some(&'=') {
-                    push!(Tok::Sym(Sym::Ge), l0, c0);
+                    push!(Tok::Sym(Sym::Ge), l0, c0, 2);
                     i += 2;
                     col += 2;
                 } else {
-                    push!(Tok::Sym(Sym::Gt), l0, c0);
+                    push!(Tok::Sym(Sym::Gt), l0, c0, 1);
                     i += 1;
                     col += 1;
                 }
             }
             '+' => {
-                push!(Tok::Sym(Sym::Plus), l0, c0);
+                push!(Tok::Sym(Sym::Plus), l0, c0, 1);
                 i += 1;
                 col += 1;
             }
             '-' => {
-                push!(Tok::Sym(Sym::Minus), l0, c0);
+                push!(Tok::Sym(Sym::Minus), l0, c0, 1);
                 i += 1;
                 col += 1;
             }
             '*' => {
                 if chars.get(i + 1) == Some(&'*') {
-                    push!(Tok::Sym(Sym::StarStar), l0, c0);
+                    push!(Tok::Sym(Sym::StarStar), l0, c0, 2);
                     i += 2;
                     col += 2;
                 } else {
-                    push!(Tok::Sym(Sym::Star), l0, c0);
+                    push!(Tok::Sym(Sym::Star), l0, c0, 1);
                     i += 1;
                     col += 1;
                 }
             }
             '/' => {
-                push!(Tok::Sym(Sym::Slash), l0, c0);
+                push!(Tok::Sym(Sym::Slash), l0, c0, 1);
                 i += 1;
                 col += 1;
             }
@@ -281,13 +287,13 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
                     }
                 }
                 let len = j + 1 - i;
-                push!(Tok::Str(s), l0, c0);
+                push!(Tok::Str(s), l0, c0, len);
                 i += len;
                 col += len;
             }
             d if d.is_ascii_digit() => {
                 let (n, len) = lex_number(&chars[i..], l0, c0)?;
-                push!(Tok::Num(n), l0, c0);
+                push!(Tok::Num(n), l0, c0, len);
                 i += len;
                 col += len;
             }
@@ -316,7 +322,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
                     "false" | "False" => Tok::Kw(Kw::False),
                     _ => Tok::Ident(word),
                 };
-                push!(tok, l0, c0);
+                push!(tok, l0, c0, len);
                 i += len;
                 col += len;
             }
@@ -462,5 +468,23 @@ mod tests {
     fn error_position() {
         let err = lex("X = @").unwrap_err();
         assert_eq!(err.span, Span::new(1, 5));
+    }
+
+    #[test]
+    fn token_spans_cover_full_lexemes() {
+        let toks = lex("Alpha ~ normal(0, 1.25)").unwrap();
+        // `Alpha` occupies columns 1..=5.
+        assert_eq!(toks[0].span, Span::range(1, 1, 1, 5));
+        // `normal` occupies columns 9..=14.
+        assert_eq!(toks[2].span, Span::range(1, 9, 1, 14));
+        // `1.25` occupies columns 19..=22.
+        let num = toks
+            .iter()
+            .find(|t| t.tok == Tok::Num(1.25))
+            .expect("number token");
+        assert_eq!(num.span, Span::range(1, 19, 1, 22));
+        // Two-column operators.
+        let le = lex("a <= b").unwrap();
+        assert_eq!(le[1].span, Span::range(1, 3, 1, 4));
     }
 }

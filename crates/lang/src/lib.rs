@@ -41,19 +41,20 @@ pub mod translate;
 pub mod untranslate;
 
 pub use ast::{BinOp, CmpOp, Command, Expr, Program, Target, UnOp};
-pub use diagnostics::{LangError, Span};
+pub use diagnostics::{Diagnostic, LangError, LintCode, Severity, Span};
 pub use parser::parse;
 pub use translate::{translate, Translator};
 pub use untranslate::untranslate;
 
-use sppl_core::{Factory, Model, Spe, SpplError};
+use sppl_core::{Factory, Spe, SpplError};
 
 /// Parses and translates a program in one call.
 ///
 /// This is the low-level surface: it hands back a bare expression
-/// interned in *your* factory. Most applications want
-/// [`compile_model`] (or `Model::compile` via [`CompileModel`]), which
-/// returns a ready-to-query session instead.
+/// interned in *your* factory, and it does **not** run the static
+/// analyzer. Most applications want `sppl_analyze::compile_model` (or
+/// `Model::compile` via the `CompileModel` trait there), which lints
+/// the program first and returns a ready-to-query session instead.
 ///
 /// # Errors
 ///
@@ -63,57 +64,6 @@ use sppl_core::{Factory, Model, Spe, SpplError};
 pub fn compile(factory: &Factory, source: &str) -> Result<Spe, LangError> {
     let program = parse(source)?;
     translate(factory, &program)
-}
-
-/// Parses and translates a program into a fresh, ready-to-query
-/// [`Model`] session (its own factory, an embedded memoized engine).
-/// The session-first face of [`compile`].
-///
-/// # Errors
-///
-/// Same conditions as [`compile`].
-///
-/// ```
-/// use sppl_lang::compile_model;
-/// use sppl_core::prelude::*;
-///
-/// let model = compile_model("X ~ normal(0, 1)\nZ = X**2 + 1").unwrap();
-/// // Z ≤ 2 ⇔ X² ≤ 1.
-/// assert!((model.prob(&var("Z").le(2.0)).unwrap() - 0.6826894921370859).abs() < 1e-9);
-/// ```
-pub fn compile_model(source: &str) -> Result<Model, LangError> {
-    let factory = Factory::new();
-    let root = compile(&factory, source)?;
-    Ok(Model::new(factory, root))
-}
-
-/// Lets `Model::compile(source)` read naturally at call sites: the trait
-/// exists only because [`Model`] lives in `sppl-core` (which cannot
-/// depend on this parser crate), and is implemented exactly once, for
-/// `Model`. Bring it into scope (it is in the `sppl::prelude`) and
-/// compile SPPL source straight into a session.
-pub trait CompileModel: Sized {
-    /// Parses and translates `source` into a fresh session — see
-    /// [`compile_model`].
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`compile`].
-    ///
-    /// ```
-    /// use sppl_core::prelude::*;
-    /// use sppl_lang::CompileModel;
-    ///
-    /// let model = Model::compile("X ~ normal(0, 1)").unwrap();
-    /// assert!((model.prob(&var("X").le(0.0)).unwrap() - 0.5).abs() < 1e-12);
-    /// ```
-    fn compile(source: &str) -> Result<Self, LangError>;
-}
-
-impl CompileModel for Model {
-    fn compile(source: &str) -> Result<Model, LangError> {
-        compile_model(source)
-    }
 }
 
 impl From<SpplError> for LangError {

@@ -40,6 +40,12 @@ impl Parser {
         self.toks[self.pos].span
     }
 
+    /// Span of the most recently consumed token (used to extend a
+    /// construct's span through its closing delimiter).
+    fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1)].span
+    }
+
     fn bump(&mut self) -> Tok {
         let t = self.toks[self.pos].tok.clone();
         if self.pos + 1 < self.toks.len() {
@@ -129,6 +135,7 @@ impl Parser {
                 self.eat_sym(Sym::LParen)?;
                 let expr = self.expr()?;
                 self.eat_sym(Sym::RParen)?;
+                let span = span.cover(self.prev_span());
                 self.end_of_command()?;
                 Ok(Command::Condition { expr, span })
             }
@@ -218,12 +225,14 @@ impl Parser {
                     Tok::Sym(Sym::Assign) => {
                         self.bump();
                         let expr = self.expr()?;
+                        let span = span.cover(expr.span());
                         self.end_of_command()?;
                         Ok(Command::Assign { target, expr, span })
                     }
                     Tok::Sym(Sym::Tilde) => {
                         self.bump();
                         let expr = self.expr()?;
+                        let span = span.cover(expr.span());
                         self.end_of_command()?;
                         Ok(Command::Sample { target, expr, span })
                     }
@@ -256,9 +265,9 @@ impl Parser {
     fn or_expr(&mut self) -> Result<Expr, LangError> {
         let mut lhs = self.and_expr()?;
         while self.peek() == &Tok::Kw(Kw::Or) {
-            let span = self.span();
             self.bump();
             let rhs = self.and_expr()?;
+            let span = lhs.span().cover(rhs.span());
             lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs), span);
         }
         Ok(lhs)
@@ -267,9 +276,9 @@ impl Parser {
     fn and_expr(&mut self) -> Result<Expr, LangError> {
         let mut lhs = self.not_expr()?;
         while self.peek() == &Tok::Kw(Kw::And) {
-            let span = self.span();
             self.bump();
             let rhs = self.not_expr()?;
+            let span = lhs.span().cover(rhs.span());
             lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs), span);
         }
         Ok(lhs)
@@ -280,6 +289,7 @@ impl Parser {
             let span = self.span();
             self.bump();
             let inner = self.not_expr()?;
+            let span = span.cover(inner.span());
             return Ok(Expr::Unary(UnOp::Not, Box::new(inner), span));
         }
         self.comparison()
@@ -307,6 +317,9 @@ impl Parser {
         if chain.is_empty() {
             Ok(first)
         } else {
+            let span = chain
+                .iter()
+                .fold(span.cover(first.span()), |s, (_, e)| s.cover(e.span()));
             Ok(Expr::Compare(Box::new(first), chain, span))
         }
     }
@@ -319,9 +332,9 @@ impl Parser {
                 Tok::Sym(Sym::Minus) => BinOp::Sub,
                 _ => break,
             };
-            let span = self.span();
             self.bump();
             let rhs = self.term()?;
+            let span = lhs.span().cover(rhs.span());
             lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
         }
         Ok(lhs)
@@ -335,9 +348,9 @@ impl Parser {
                 Tok::Sym(Sym::Slash) => BinOp::Div,
                 _ => break,
             };
-            let span = self.span();
             self.bump();
             let rhs = self.factor()?;
+            let span = lhs.span().cover(rhs.span());
             lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
         }
         Ok(lhs)
@@ -348,6 +361,7 @@ impl Parser {
             let span = self.span();
             self.bump();
             let inner = self.factor()?;
+            let span = span.cover(inner.span());
             return Ok(Expr::Unary(UnOp::Neg, Box::new(inner), span));
         }
         self.power()
@@ -356,10 +370,10 @@ impl Parser {
     fn power(&mut self) -> Result<Expr, LangError> {
         let base = self.postfix()?;
         if self.peek() == &Tok::Sym(Sym::StarStar) {
-            let span = self.span();
             self.bump();
             // Right-associative; exponent may be negated.
             let exp = self.factor()?;
+            let span = base.span().cover(exp.span());
             return Ok(Expr::Binary(
                 BinOp::Pow,
                 Box::new(base),
@@ -387,14 +401,14 @@ impl Parser {
                         func: name,
                         args,
                         kwargs,
-                        span,
+                        span: span.cover(self.prev_span()),
                     };
                 }
                 Tok::Sym(Sym::LBracket) => {
-                    let span = self.span();
                     self.bump();
                     let idx = self.expr()?;
                     self.eat_sym(Sym::RBracket)?;
+                    let span = e.span().cover(self.prev_span());
                     e = Expr::Index(Box::new(e), Box::new(idx), span);
                 }
                 Tok::Sym(Sym::Dot) => {
@@ -406,11 +420,12 @@ impl Parser {
                     if !kwargs.is_empty() {
                         return Err(LangError::new(span, "methods take no keyword arguments"));
                     }
+                    let merged = e.span().cover(self.prev_span());
                     e = Expr::MethodCall {
                         recv: Box::new(e),
                         method,
                         args,
-                        span,
+                        span: merged,
                     };
                 }
                 _ => break,
@@ -487,7 +502,7 @@ impl Parser {
                     func: "range".into(),
                     args,
                     kwargs: vec![],
-                    span,
+                    span: span.cover(self.prev_span()),
                 })
             }
             Tok::Sym(Sym::LParen) => {
@@ -512,7 +527,7 @@ impl Parser {
                     }
                 }
                 self.eat_sym(Sym::RBracket)?;
-                Ok(Expr::List(items, span))
+                Ok(Expr::List(items, span.cover(self.prev_span())))
             }
             Tok::Sym(Sym::LBrace) => {
                 self.bump();
@@ -533,7 +548,7 @@ impl Parser {
                     }
                 }
                 self.eat_sym(Sym::RBrace)?;
-                Ok(Expr::Dict(items, span))
+                Ok(Expr::Dict(items, span.cover(self.prev_span())))
             }
             other => Err(LangError::new(
                 span,
@@ -551,6 +566,45 @@ mod tests {
         let p = parse(src).unwrap();
         assert_eq!(p.commands.len(), 1, "{:?}", p.commands);
         p.commands.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn expression_spans_cover_full_extent() {
+        // `X ~ normal(0, 1)` — the command spans the whole line; the
+        // call expression extends through its closing parenthesis.
+        match one("X ~ normal(0, 1)") {
+            Command::Sample { expr, span, .. } => {
+                assert_eq!(span, Span::range(1, 1, 1, 16));
+                assert_eq!(expr.span(), Span::range(1, 5, 1, 16));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Binary expressions merge operand spans.
+        match one("Y = 1 + 2 * 30") {
+            Command::Assign { expr, span, .. } => {
+                assert_eq!(span, Span::range(1, 1, 1, 14));
+                assert_eq!(expr.span(), Span::range(1, 5, 1, 14));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Condition commands extend through the closing paren; the
+        // comparison covers both operands.
+        let src = "X ~ normal(0, 1)\ncondition(X < 12)";
+        let p = parse(src).unwrap();
+        match &p.commands[1] {
+            Command::Condition { expr, span } => {
+                assert_eq!(*span, Span::range(2, 1, 2, 17));
+                assert_eq!(expr.span(), Span::range(2, 11, 2, 16));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Lists extend through the closing bracket.
+        match one("W = [1, 2, 3]") {
+            Command::Assign { expr, .. } => {
+                assert_eq!(expr.span(), Span::range(1, 5, 1, 13));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

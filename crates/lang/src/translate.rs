@@ -701,8 +701,16 @@ impl<'f> Translator<'f> {
                             x / y
                         }
                         BinOp::Pow => x.powf(y),
-                        _ => unreachable!(),
+                        BinOp::And | BinOp::Or => {
+                            return Err(err(span, "logical operators require boolean events"))
+                        }
                     };
+                    if v.is_nan() {
+                        return Err(err(
+                            span,
+                            "constant arithmetic produced NaN (undefined value)",
+                        ));
+                    }
                     Ok(Const(Value::Num(v)))
                 }
                 (Rv(t), Const(Value::Num(c))) => self.rv_const_op(op, t, c, false, span),
@@ -767,7 +775,12 @@ impl<'f> Translator<'f> {
                 }
                 t.exp_base(c)
             }
-            (BinOp::And | BinOp::Or, _) => unreachable!(),
+            (BinOp::And | BinOp::Or, _) => {
+                return Err(err(
+                    span,
+                    "logical operators apply to events, not random values",
+                ))
+            }
         };
         Ok(Evaluated::Rv(out))
     }
@@ -810,7 +823,12 @@ impl<'f> Translator<'f> {
                     format!("{op:?} between two random expressions is not supported (R3)"),
                 ))
             }
-            BinOp::And | BinOp::Or => unreachable!(),
+            BinOp::And | BinOp::Or => {
+                return Err(err(
+                    span,
+                    "logical operators apply to events, not random values",
+                ))
+            }
         };
         Ok(Evaluated::Rv(Transform::poly(ia.clone(), p)))
     }
@@ -863,8 +881,14 @@ impl<'f> Translator<'f> {
                         "ln" | "log" => x.ln(),
                         "sqrt" => x.sqrt(),
                         "abs" => x.abs(),
-                        _ => unreachable!(),
+                        other => return Err(err(span, format!("unknown math function `{other}`"))),
                     };
+                    if v.is_nan() {
+                        return Err(err(
+                            span,
+                            format!("{func}({x}) is undefined (argument outside the domain)"),
+                        ));
+                    }
                     Ok(Evaluated::Const(Value::Num(v)))
                 }
                 Evaluated::Rv(t) => {
@@ -873,7 +897,7 @@ impl<'f> Translator<'f> {
                         "ln" | "log" => t.ln(),
                         "sqrt" => t.sqrt(),
                         "abs" => t.abs(),
-                        _ => unreachable!(),
+                        other => return Err(err(span, format!("unknown math function `{other}`"))),
                     };
                     Ok(Evaluated::Rv(out))
                 }
@@ -917,6 +941,9 @@ impl<'f> Translator<'f> {
                     _ => return Err(err(span, "binspace(lo, hi, n=k) requires two bounds")),
                 };
                 let n = n.ok_or_else(|| err(span, "binspace requires n=k"))?;
+                if !lo.is_finite() || !hi.is_finite() {
+                    return Err(err(span, "binspace bounds must be finite"));
+                }
                 if n == 0 || hi <= lo {
                     return Err(err(span, "binspace requires n >= 1 and lo < hi"));
                 }
@@ -986,6 +1013,35 @@ impl<'f> Translator<'f> {
         for (k, v) in kwargs {
             named.insert(k.as_str(), self.eval_number(v)?);
         }
+        // All numeric parameters must be finite: NaN/±inf would otherwise
+        // slip past per-family range checks (NaN compares false against
+        // everything) and corrupt interval invariants downstream.
+        for p in pos.iter().chain(named.values()) {
+            if !p.is_finite() {
+                return Err(err(
+                    span,
+                    format!("distribution parameters must be finite, got {p}"),
+                ));
+            }
+        }
+        if let Some(pairs) = &dict_arg {
+            for (k, w) in pairs {
+                if !w.is_finite() {
+                    return Err(err(
+                        span,
+                        format!("distribution weights must be finite, got {w}"),
+                    ));
+                }
+                if let Value::Num(n) = k {
+                    if !n.is_finite() {
+                        return Err(err(
+                            span,
+                            format!("distribution outcomes must be finite, got {n}"),
+                        ));
+                    }
+                }
+            }
+        }
         let get =
             |named: &HashMap<&str, f64>, pos: &[f64], names: &[&str], i: usize| -> Option<f64> {
                 names
@@ -1006,7 +1062,7 @@ impl<'f> Translator<'f> {
                         format!("normal scale must be positive, got {sigma}"),
                     ));
                 }
-                real_dist(Cdf::normal(mu, sigma))
+                real_dist(Cdf::normal(mu, sigma), span)?
             }
             "uniform" => {
                 let a = get(&named, &pos, &["a", "lo", "loc"], 0)
@@ -1019,10 +1075,9 @@ impl<'f> Translator<'f> {
                         format!("uniform requires lo < hi, got [{a}, {b}]"),
                     ));
                 }
-                Distribution::Real(
-                    DistReal::new(Cdf::uniform(a, b), Interval::closed(a, b))
-                        .expect("uniform restriction has positive mass"),
-                )
+                DistReal::new(Cdf::uniform(a, b), Interval::closed(a, b))
+                    .map(Distribution::Real)
+                    .ok_or_else(|| err(span, "uniform restriction has zero mass"))?
             }
             "exponential" => {
                 let rate = get(&named, &pos, &["rate", "lam", "lambda_"], 0)
@@ -1030,7 +1085,7 @@ impl<'f> Translator<'f> {
                 if rate <= 0.0 {
                     return Err(err(span, "exponential rate must be positive"));
                 }
-                real_dist(Cdf::exponential(rate))
+                real_dist(Cdf::exponential(rate), span)?
             }
             "gamma" => {
                 let shape = get(&named, &pos, &["shape", "a", "k"], 0)
@@ -1039,7 +1094,7 @@ impl<'f> Translator<'f> {
                 if shape <= 0.0 || scale <= 0.0 {
                     return Err(err(span, "gamma parameters must be positive"));
                 }
-                real_dist(Cdf::gamma(shape, scale))
+                real_dist(Cdf::gamma(shape, scale), span)?
             }
             "beta" => {
                 let a = get(&named, &pos, &["a", "alpha"], 0)
@@ -1050,7 +1105,7 @@ impl<'f> Translator<'f> {
                 if a <= 0.0 || b <= 0.0 || scale <= 0.0 {
                     return Err(err(span, "beta parameters must be positive"));
                 }
-                real_dist(Cdf::beta_scaled(a, b, scale))
+                real_dist(Cdf::beta_scaled(a, b, scale), span)?
             }
             "cauchy" => {
                 let loc = get(&named, &pos, &["loc"], 0)
@@ -1060,7 +1115,7 @@ impl<'f> Translator<'f> {
                 if scale <= 0.0 {
                     return Err(err(span, "cauchy scale must be positive"));
                 }
-                real_dist(Cdf::cauchy(loc, scale))
+                real_dist(Cdf::cauchy(loc, scale), span)?
             }
             "laplace" => {
                 let loc = get(&named, &pos, &["loc"], 0)
@@ -1070,7 +1125,7 @@ impl<'f> Translator<'f> {
                 if scale <= 0.0 {
                     return Err(err(span, "laplace scale must be positive"));
                 }
-                real_dist(Cdf::laplace(loc, scale))
+                real_dist(Cdf::laplace(loc, scale), span)?
             }
             "logistic" => {
                 let loc = get(&named, &pos, &["loc"], 0)
@@ -1080,7 +1135,7 @@ impl<'f> Translator<'f> {
                 if scale <= 0.0 {
                     return Err(err(span, "logistic scale must be positive"));
                 }
-                real_dist(Cdf::logistic(loc, scale))
+                real_dist(Cdf::logistic(loc, scale), span)?
             }
             "student_t" | "studentt" => {
                 let df = get(&named, &pos, &["df"], 0)
@@ -1088,7 +1143,7 @@ impl<'f> Translator<'f> {
                 if df <= 0.0 {
                     return Err(err(span, "student_t df must be positive"));
                 }
-                real_dist(Cdf::student_t(df))
+                real_dist(Cdf::student_t(df), span)?
             }
             "bernoulli" => {
                 let p = get(&named, &pos, &["p"], 0)
@@ -1205,10 +1260,12 @@ impl<'f> Translator<'f> {
     }
 }
 
-fn real_dist(cdf: Cdf) -> Distribution {
+fn real_dist(cdf: Cdf, span: Span) -> Result<Distribution, LangError> {
     let (lo, hi) = cdf.support();
     let iv = Interval::new(lo, lo.is_finite(), hi, hi.is_finite()).unwrap_or_else(Interval::all);
-    Distribution::Real(DistReal::new(cdf, iv).expect("full support has positive mass"))
+    DistReal::new(cdf, iv)
+        .map(Distribution::Real)
+        .ok_or_else(|| err(span, "distribution support has zero mass"))
 }
 
 fn int_dist(cdf: Cdf, span: Span) -> Result<Distribution, LangError> {
@@ -1303,6 +1360,16 @@ fn rv_compare(
     } else {
         op
     };
+    // Interval endpoints must be real: NaN violates the interval
+    // invariants and ±inf cannot be an equality atom.
+    if let Value::Num(r) = v {
+        if !r.is_finite() {
+            return Err(err(
+                span,
+                format!("comparison against a non-finite constant ({r})"),
+            ));
+        }
+    }
     let ev = match (op, v) {
         (CmpOp::Lt, Value::Num(r)) => Event::lt(t.clone(), *r),
         (CmpOp::Le, Value::Num(r)) => Event::le(t.clone(), *r),
@@ -1335,6 +1402,9 @@ fn values_to_set(items: &[Value], span: Span) -> Result<OutcomeSet, LangError> {
     let mut out = OutcomeSet::empty();
     for item in items {
         let piece = match item {
+            Value::Num(n) if !n.is_finite() => {
+                return Err(err(span, "membership sets must contain finite numbers"))
+            }
             Value::Num(n) => OutcomeSet::real_point(*n),
             Value::Str(s) => OutcomeSet::strings([s.as_str()]),
             Value::Bool(b) => OutcomeSet::real_point(f64::from(*b)),
@@ -1366,6 +1436,9 @@ fn static_case_matches(subject: &Value, case: &Value) -> bool {
 
 fn case_event(t: &Transform, case: &Value, span: Span) -> Result<Event, LangError> {
     match case {
+        Value::Num(n) if !n.is_finite() => {
+            Err(err(span, "switch case values must be finite numbers"))
+        }
         Value::Num(n) => Ok(Event::eq_real(t.clone(), *n)),
         Value::Str(s) => Ok(Event::eq_str(t.clone(), s)),
         Value::Bool(b) => Ok(Event::eq_real(t.clone(), f64::from(*b))),

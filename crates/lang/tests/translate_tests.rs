@@ -413,3 +413,78 @@ switch separated cases (s in [0, 1]) {
         "low first observation keeps Z[0] likely 0, got {pz0}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Regression tests: malformed programs that used to panic (unreachable!/
+// .expect inside translate) must now return structured errors with spans.
+// ---------------------------------------------------------------------------
+
+/// Compiles and asserts a structured error (never a panic) whose message
+/// contains `needle`.
+fn expect_error(src: &str, needle: &str) {
+    let f = Factory::new();
+    let e = compile(&f, src).expect_err("program should be rejected");
+    assert!(
+        e.message.contains(needle),
+        "error for {src:?} should mention {needle:?}, got: {}",
+        e.message
+    );
+}
+
+#[test]
+fn nan_distribution_parameter_is_rejected() {
+    // `1e400` overflows to +inf in the lexer; 0 * inf is NaN, which used
+    // to slip past the `b <= a` range check and hit an interval assert.
+    expect_error("X ~ uniform(0 * 1e400, 1)", "NaN");
+    expect_error("X ~ normal(0, 1e400)", "finite");
+    expect_error("X ~ atomic(1e400)", "finite");
+}
+
+#[test]
+fn non_finite_comparison_is_rejected() {
+    expect_error(
+        "X ~ normal(0, 1)\ncondition(X < 1e400)",
+        "non-finite constant",
+    );
+    expect_error("X ~ normal(0, 1)\ncondition(X == 1e400)", "non-finite");
+}
+
+#[test]
+fn non_finite_membership_and_cases_are_rejected() {
+    expect_error(
+        "X ~ normal(0, 1)\ncondition(X in [1, 1e400])",
+        "finite numbers",
+    );
+    expect_error(
+        "N ~ randint(0, 3)\nswitch N cases (n in [0, 1e400]) { Y ~ normal(n, 1) }",
+        "finite",
+    );
+}
+
+#[test]
+fn binspace_rejects_non_finite_bounds() {
+    expect_error(
+        "X ~ normal(0, 1)\nswitch X cases (b in binspace(0, 1e400, n=4)) { Y ~ atomic(b.mean()) }",
+        "finite",
+    );
+}
+
+#[test]
+fn nan_constant_arithmetic_is_rejected() {
+    expect_error("c = 1e400 - 1e400\nX ~ normal(c, 1)", "NaN");
+    expect_error("c = ln(0 - 1)\nX ~ normal(c, 1)", "undefined");
+}
+
+#[test]
+fn discrete_rejects_non_finite_outcomes_and_weights() {
+    expect_error("X ~ discrete({1e400: 0.5, 0: 0.5})", "finite");
+    expect_error("X ~ discrete({0: 1e400, 1: 1})", "finite");
+    expect_error("X ~ choice({\"a\": 1e400})", "finite");
+}
+
+#[test]
+fn rejected_programs_carry_spans() {
+    let f = Factory::new();
+    let e = compile(&f, "X ~ normal(0, 1)\ncondition(X < 0 * 1e400)").expect_err("rejected");
+    assert_eq!(e.span.line, 2, "span should point at the condition line");
+}

@@ -15,8 +15,9 @@ pub mod networks;
 pub mod psi_suite;
 pub mod rare_event;
 
+use sppl_analyze::compile_model;
 use sppl_core::{Factory, Model, Spe};
-use sppl_lang::{compile, compile_model, LangError};
+use sppl_lang::{compile, LangError};
 
 /// A named benchmark program: SPPL source text plus its display name.
 /// (Distinct from [`sppl_core::Model`], the compiled, queryable session a

@@ -11,8 +11,8 @@
 //! **posteriors that are themselves models** — same factory, same warm
 //! node-level memos, same cross-session cache.
 //!
-//! * [`Model::compile`](sppl_lang::CompileModel::compile) — SPPL source →
-//!   queryable session,
+//! * [`Model::compile`](sppl_analyze::CompileModel::compile) — SPPL source →
+//!   statically analyzed, queryable session (see [`analyze`]),
 //! * [`Model::prob`](sppl_core::Model::prob) /
 //!   [`logprob`](sppl_core::Model::logprob) — exact probability of any
 //!   event over (possibly transformed) program variables, memoized;
@@ -92,12 +92,14 @@
 //! |---|---|
 //! | [`sppl_core`] | sum-product expressions, events, transforms, exact inference, [`Model`] |
 //! | [`sppl_lang`] | SPPL parser + translator (`→SPE`) + reverse translation |
+//! | [`sppl_analyze`] | static analysis: domain inference, lints, dead-branch pruning, `sppl-lint` |
 //! | [`sppl_dists`] | primitive distributions and CDFs |
 //! | [`sppl_sets`] | the outcome set algebra |
 //! | [`sppl_num`] | special functions, polynomials, root isolation |
 //! | [`sppl_models`] | every benchmark model from the paper's evaluation |
 //! | [`sppl_baseline`] | PSI/BLOG/VeriFair/FairSquare behavioural substitutes |
 
+pub use sppl_analyze as analyze;
 pub use sppl_baseline as baseline;
 pub use sppl_core as core;
 pub use sppl_dists as dists;
@@ -106,13 +108,14 @@ pub use sppl_models as models;
 pub use sppl_num as num;
 pub use sppl_sets as sets;
 
+pub use sppl_analyze::{check, compile_model, CompileModel};
 pub use sppl_core::{var, Event, Model};
-pub use sppl_lang::{compile_model, CompileModel};
 
 /// One-stop import for applications and examples.
 pub mod prelude {
+    pub use sppl_analyze::{check, compile_model, CompileModel};
     pub use sppl_core::density::Assignment;
     pub use sppl_core::prelude::*;
     pub use sppl_core::stats::{graph_stats, physical_node_count, tree_node_count};
-    pub use sppl_lang::{compile, compile_model, parse, translate, untranslate, CompileModel};
+    pub use sppl_lang::{compile, parse, translate, untranslate};
 }

@@ -1,0 +1,283 @@
+//! Differential tests for the static analyzer's program transformations
+//! and verdicts:
+//!
+//! 1. **Dead-branch pruning is semantically invisible.** Translating the
+//!    analyzer's pruned program must give *bit-identical* answers (via
+//!    `f64::to_bits`) to translating the original program, on a battery
+//!    of prior and posterior queries — including the paper's fairness
+//!    decision trees, where the analyzer genuinely removes dead arms.
+//! 2. **"Statically unsatisfiable" is sound.** Every event the analyzer
+//!    flags `E004` on really has probability zero at runtime, and
+//!    `compile_model` rejects the program with a structured `[E004]`
+//!    error instead of building a degenerate model.
+
+use proptest::prelude::*;
+use sppl::analyze::{analyze, Severity};
+use sppl::prelude::*;
+
+fn tv(name: &str) -> Transform {
+    Transform::id(Var::new(name))
+}
+
+/// Compiles `source` twice — untouched, and through the analyzer's
+/// dead-branch pruning — and asserts every query in the battery answers
+/// bit-identically, both on the prior and on each posterior.
+fn assert_pruning_invisible(source: &str, queries: &[Event], evidence: &[Event]) {
+    let program = parse(source).expect("parses");
+    let analysis = analyze(&program);
+    assert!(
+        analysis
+            .diagnostics
+            .iter()
+            .all(|d| d.severity == Severity::Warning),
+        "analyzer reported errors on a runnable program:\n{:#?}",
+        analysis.diagnostics
+    );
+
+    let fa = Factory::new();
+    let original = translate(&fa, &program).expect("original translates");
+    let fb = Factory::new();
+    let pruned = translate(&fb, &analysis.pruned).expect("pruned translates");
+
+    let compare = |a: &Spe, fa: &Factory, b: &Spe, fb: &Factory| {
+        for q in queries {
+            let la = a.logprob(q).expect("logprob (original)");
+            let lb = b.logprob(q).expect("logprob (pruned)");
+            assert_eq!(
+                la.to_bits(),
+                lb.to_bits(),
+                "logprob({q:?}) differs after pruning: {la} vs {lb}\n{source}"
+            );
+            let pa = a.prob(q).expect("prob (original)");
+            let pb = b.prob(q).expect("prob (pruned)");
+            assert_eq!(pa.to_bits(), pb.to_bits(), "prob({q:?}) differs");
+        }
+        let _ = (fa, fb);
+    };
+    compare(&original, &fa, &pruned, &fb);
+
+    for e in evidence {
+        let pa = condition(&fa, &original, e);
+        let pb = condition(&fb, &pruned, e);
+        match (pa, pb) {
+            (Ok(post_a), Ok(post_b)) => compare(&post_a, &fa, &post_b, &fb),
+            (Err(_), Err(_)) => {} // both reject the zero-probability evidence
+            (a, b) => panic!(
+                "conditioning disagrees after pruning: original={:?} pruned={:?}",
+                a.map(|_| "ok"),
+                b.map(|_| "ok")
+            ),
+        }
+    }
+}
+
+#[test]
+fn dead_arm_pruning_is_bit_identical() {
+    let source = "
+X ~ uniform(0, 1)
+if (X > 2) {
+    Y ~ atomic(1)
+} else {
+    Y ~ atomic(0)
+}
+Z ~ normal(0, 1)
+";
+    let program = parse(source).expect("parses");
+    let analysis = analyze(&program);
+    assert!(
+        analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.code.as_str() == "W102"),
+        "the dead arm must be flagged"
+    );
+    assert_ne!(analysis.pruned, program, "the dead arm must be pruned");
+    assert_pruning_invisible(
+        source,
+        &[
+            Event::eq_real(tv("Y"), 0.0),
+            Event::eq_real(tv("Y"), 1.0),
+            Event::lt(tv("X"), 0.25),
+            Event::gt(tv("Z"), 1.0),
+        ],
+        &[
+            Event::eq_real(tv("Y"), 0.0),
+            Event::lt(tv("X"), 0.5),
+            Event::eq_real(tv("Y"), 1.0), // zero-probability evidence
+        ],
+    );
+}
+
+#[test]
+fn tautological_guard_else_pruning_is_bit_identical() {
+    let source = "
+X ~ uniform(0, 1)
+if (X < 2) {
+    Y ~ atomic(1)
+} else {
+    Y ~ atomic(0)
+}
+";
+    let program = parse(source).expect("parses");
+    let analysis = analyze(&program);
+    assert_ne!(analysis.pruned, program, "the dead else must be pruned");
+    assert_pruning_invisible(
+        source,
+        &[Event::eq_real(tv("Y"), 1.0), Event::lt(tv("X"), 0.5)],
+        &[Event::gt(tv("X"), 0.25)],
+    );
+}
+
+#[test]
+fn all_arms_dead_with_live_else_is_bit_identical() {
+    let source = "
+X ~ uniform(0, 1)
+if (X > 2) {
+    Y ~ atomic(1)
+} elif (X < -3) {
+    Y ~ atomic(2)
+} else {
+    Y ~ atomic(0)
+}
+";
+    let program = parse(source).expect("parses");
+    let analysis = analyze(&program);
+    assert_ne!(analysis.pruned, program, "both dead arms must be pruned");
+    assert_pruning_invisible(
+        source,
+        &[
+            Event::eq_real(tv("Y"), 0.0),
+            Event::eq_real(tv("Y"), 2.0),
+            Event::le(tv("X"), 0.75),
+        ],
+        &[Event::gt(tv("X"), 0.5)],
+    );
+}
+
+/// The paper's fairness decision trees are where the analyzer finds real
+/// dead branches (thresholds outside the feature's population support) —
+/// every one of them must prune without moving a single bit.
+#[test]
+fn fairness_tree_pruning_is_bit_identical() {
+    for task in sppl::models::fairness::all_tasks() {
+        assert_pruning_invisible(
+            &task.model.source,
+            &[
+                Event::eq_real(tv("hire"), 1.0),
+                Event::eq_real(tv("hire"), 0.0),
+                Event::eq_real(tv("sex"), 1.0),
+                Event::gt(tv("age"), 30.0),
+            ],
+            &[
+                Event::eq_real(tv("sex"), 1.0),
+                Event::eq_real(tv("hire"), 1.0),
+            ],
+        );
+    }
+}
+
+/// Every `E004` the analyzer emits must be backed by a runtime
+/// probability of exactly zero for the flagged event.
+#[test]
+fn flagged_unsatisfiable_events_have_probability_zero() {
+    // (model prefix, condition line, the flagged event)
+    let cases: Vec<(&str, &str, Event)> = vec![
+        (
+            "X ~ uniform(0, 1)",
+            "condition(X > 2)",
+            Event::gt(tv("X"), 2.0),
+        ),
+        (
+            "X ~ uniform(0, 1)",
+            "condition(X > 1 and X < 0)",
+            Event::and(vec![Event::gt(tv("X"), 1.0), Event::lt(tv("X"), 0.0)]),
+        ),
+        (
+            "N ~ binomial(n=10, p=0.5)",
+            "condition(N > 11)",
+            Event::gt(tv("N"), 11.0),
+        ),
+        (
+            "C ~ choice({'a': 0.5, 'b': 0.5})",
+            "condition(C == 'z')",
+            Event::eq_str(tv("C"), "z"),
+        ),
+    ];
+    for (prefix, cond, event) in cases {
+        let full = format!("{prefix}\n{cond}\n");
+        let diags = sppl::check(&full);
+        assert!(
+            diags.iter().any(|d| d.code.as_str() == "E004"),
+            "analyzer must flag: {full}"
+        );
+        let err = sppl::compile_model(&full).expect_err("must not compile");
+        assert!(
+            err.message.starts_with("[E004]"),
+            "structured E004 expected, got: {}",
+            err.message
+        );
+        // And the verdict is true: the unconditioned model assigns the
+        // event probability zero.
+        let f = Factory::new();
+        let model = compile(&f, prefix).expect("prefix compiles");
+        let p = model.prob(&event).expect("prob");
+        assert_eq!(p, 0.0, "flagged event must have probability 0: {full}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Randomized soundness check: conditioning a `uniform(lo, hi)`
+    /// variable strictly above its support is always flagged `E004`,
+    /// always rejected by `compile_model`, and always has runtime
+    /// probability zero.
+    #[test]
+    fn unsat_threshold_conditions_are_flagged_and_zero(
+        lo in -50i32..50,
+        width in 1u8..20,
+        gap in 1u8..20,
+    ) {
+        let lo = f64::from(lo);
+        let hi = lo + f64::from(width);
+        let t = hi + f64::from(gap);
+        let prefix = format!("X ~ uniform({lo}, {hi})");
+        let full = format!("{prefix}\ncondition(X > {t})\n");
+        let diags = sppl::check(&full);
+        prop_assert!(diags.iter().any(|d| d.code.as_str() == "E004"), "{full}");
+        prop_assert!(sppl::compile_model(&full).is_err());
+        let f = Factory::new();
+        let model = compile(&f, &prefix).expect("compiles");
+        prop_assert_eq!(model.prob(&Event::gt(tv("X"), t)).expect("prob"), 0.0);
+    }
+
+    /// Randomized pruning differential: a branch whose guard threshold
+    /// lies strictly outside the variable's support is pruned, and the
+    /// answers stay bit-identical.
+    #[test]
+    fn random_dead_threshold_pruning_is_bit_identical(
+        lo in -20i32..20,
+        width in 1u8..10,
+        gap in 1u8..10,
+        q in -30i32..30,
+    ) {
+        let lo = f64::from(lo);
+        let hi = lo + f64::from(width);
+        let t = hi + f64::from(gap);
+        let source = format!(
+            "X ~ uniform({lo}, {hi})\n\
+             if (X > {t}) {{\n    Y ~ atomic(1)\n}} else {{\n    Y ~ atomic(0)\n}}\n"
+        );
+        let program = parse(&source).expect("parses");
+        let analysis = analyze(&program);
+        prop_assert!(analysis.diagnostics.iter().any(|d| d.code.as_str() == "W102"));
+        assert_pruning_invisible(
+            &source,
+            &[
+                Event::eq_real(tv("Y"), 0.0),
+                Event::le(tv("X"), f64::from(q)),
+            ],
+            &[Event::gt(tv("X"), lo + f64::from(width) / 2.0)],
+        );
+    }
+}

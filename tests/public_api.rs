@@ -20,7 +20,9 @@ const SNAPSHOT: &[&str] = &[
     "CompileModel",
     "Event",
     "Model",
+    "analyze",
     "baseline",
+    "check",
     "compile_model",
     "core",
     "dists",
@@ -56,6 +58,7 @@ const SNAPSHOT: &[&str] = &[
     "prelude::StringSet",
     "prelude::Transform",
     "prelude::Var",
+    "prelude::check",
     "prelude::compile",
     "prelude::compile_model",
     "prelude::condition",

@@ -12,6 +12,7 @@ fn root() -> &'static Path {
 }
 
 const ROOT_SUITES: &[&str] = &[
+    "tests/analyze_differential.rs",
     "tests/cache_snapshot.rs",
     "tests/closure_properties.rs",
     "tests/digest_golden.rs",
@@ -25,6 +26,7 @@ const ROOT_SUITES: &[&str] = &[
 ];
 
 const CRATE_SUITES: &[&str] = &[
+    "crates/analyze/tests/corpus.rs",
     "crates/sets/tests/algebra.rs",
     "crates/core/tests/concurrency.rs",
     "crates/core/tests/differential_enumerative.rs",
@@ -59,6 +61,7 @@ fn auto_discovery_is_not_disabled() {
         "crates/dists/Cargo.toml",
         "crates/core/Cargo.toml",
         "crates/lang/Cargo.toml",
+        "crates/analyze/Cargo.toml",
         "crates/models/Cargo.toml",
         "crates/baseline/Cargo.toml",
         "crates/bench/Cargo.toml",
