@@ -1,0 +1,173 @@
+//! Arena evaluator vs the tree walker on the paper's batch workloads:
+//! the Fig. 3 hierarchical-HMM smoothing posterior and the Fig. 8
+//! rare-event chain network. Each workload compiles the session's model
+//! into an [`ArenaModel`](sppl_core::ArenaModel) and answers the same
+//! cold batch through both paths; the answers must be bit-identical
+//! (that is the arena's contract, enforced here with `bits_match`), and
+//! the table reports per-event latency plus the arena's speedup over
+//! the cold sequential and cold parallel tree walks.
+//!
+//! Flags:
+//!
+//! * `--test` — smoke mode: smaller horizon / shorter chain (CI).
+//! * `--json` — additionally write machine-readable results to
+//!   `BENCH_arena.json` in the working directory.
+//! * `--threads N` — thread count for the parallel tree-walk baseline
+//!   (default: `SPPL_THREADS` or the machine's available parallelism).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sppl_bench::cli::BenchArgs;
+use sppl_bench::json::JsonObject;
+use sppl_bench::{bits_match, fmt_secs, timed, Table};
+use sppl_core::{Event, Model, Pool};
+use sppl_models::{hmm, rare_event};
+
+/// Measurements for one workload, all over the same cold batch.
+struct Run {
+    name: &'static str,
+    events: usize,
+    nodes: usize,
+    compile_s: f64,
+    tree_cold_s: f64,
+    par_cold_s: f64,
+    arena_s: f64,
+}
+
+impl Run {
+    fn per_event_ns(&self, total_s: f64) -> f64 {
+        total_s * 1e9 / self.events as f64
+    }
+}
+
+/// Answers `batch` through the cold tree walker (sequential and
+/// parallel) and through a freshly compiled arena, asserting bit
+/// parity between all three.
+fn measure(name: &'static str, model: &Model, batch: &[Event], pool: &Pool) -> Run {
+    // Touch every code path once, then measure from cold caches; the
+    // arena takes no caches at all, so its pass is always "cold".
+    model.logprob_many(batch).expect("warmup");
+    model.clear_caches();
+    let (tree, tree_cold_s) = timed(|| model.logprob_many(batch).expect("tree batch"));
+    model.clear_caches();
+    let (par, par_cold_s) = timed(|| {
+        model
+            .par_logprob_many_in(pool, batch)
+            .expect("parallel tree batch")
+    });
+    assert!(
+        bits_match(&tree, &par),
+        "parallel walk must be bit-identical"
+    );
+
+    let (arena, compile_s) = timed(|| model.compile_arena());
+    let (fast, arena_s) = timed(|| arena.logprob_many(batch).expect("arena batch"));
+    assert!(
+        bits_match(&tree, &fast),
+        "{name}: arena must answer bit-identically to the tree walker"
+    );
+
+    Run {
+        name,
+        events: batch.len(),
+        nodes: arena.node_count(),
+        compile_s,
+        tree_cold_s,
+        par_cold_s,
+        arena_s,
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let pool = args.pool();
+
+    // Fig. 3 workload: the smoothing + pairwise-persistence batch
+    // against the HMM posterior (conditioning returns a Model, so the
+    // posterior compiles to its own digest-keyed arena).
+    let n = if args.test { 32 } else { 100 };
+    let model = hmm::hierarchical_hmm(n).session().expect("compiles");
+    let mut rng = StdRng::seed_from_u64(33);
+    let trace = hmm::simulate_trace(&mut rng, n);
+    let posterior = model
+        .constrain(&hmm::observation_assignment(&trace.x, &trace.y))
+        .expect("positive density");
+    let batch: Vec<Event> = {
+        let mut b = hmm::smoothing_queries(n);
+        b.extend(hmm::pairwise_queries(n));
+        b
+    };
+    let fig3 = measure("fig3_hmm_posterior", &posterior, &batch, &pool);
+
+    // Fig. 8 workload: every prefix probability P[O[0..k] all 1] on the
+    // chain network, through the prior model itself.
+    let chain_len = if args.test { 12 } else { 20 };
+    let chain = rare_event::chain_network(chain_len)
+        .session()
+        .expect("compiles");
+    let prefixes: Vec<Event> = (1..=chain_len).map(rare_event::all_ones_event).collect();
+    let fig8 = measure("fig8_chain", &chain, &prefixes, &pool);
+
+    let mut table = Table::new([
+        "Workload",
+        "Events",
+        "Nodes",
+        "Compile",
+        "Tree cold",
+        "Par cold",
+        "Arena",
+        "ns/event (tree)",
+        "ns/event (arena)",
+        "Speedup",
+    ]);
+    for run in [&fig3, &fig8] {
+        table.row([
+            run.name.to_string(),
+            run.events.to_string(),
+            run.nodes.to_string(),
+            fmt_secs(run.compile_s),
+            fmt_secs(run.tree_cold_s),
+            fmt_secs(run.par_cold_s),
+            fmt_secs(run.arena_s),
+            format!("{:.0}", run.per_event_ns(run.tree_cold_s)),
+            format!("{:.0}", run.per_event_ns(run.arena_s)),
+            format!("{:.2}x", run.tree_cold_s / run.arena_s),
+        ]);
+    }
+    println!("arena evaluator vs cold tree walker (bit-identical answers asserted)\n");
+    table.print();
+    println!(
+        "\nparallel tree walk used {} threads; the arena pass is single-threaded",
+        pool.thread_count()
+    );
+
+    if args.json {
+        let mut json = JsonObject::new()
+            .str("bench", "arena")
+            .str("mode", args.mode())
+            .int("threads", pool.thread_count() as u64)
+            .bool("bits_identical", true);
+        for run in [&fig3, &fig8] {
+            let k = run.name;
+            json = json
+                .int(&format!("{k}_events"), run.events as u64)
+                .int(&format!("{k}_nodes"), run.nodes as u64)
+                .num(&format!("{k}_compile_s"), run.compile_s)
+                .num(&format!("{k}_tree_cold_s"), run.tree_cold_s)
+                .num(&format!("{k}_par_cold_s"), run.par_cold_s)
+                .num(&format!("{k}_arena_s"), run.arena_s)
+                .num(
+                    &format!("{k}_tree_ns_per_event"),
+                    run.per_event_ns(run.tree_cold_s),
+                )
+                .num(
+                    &format!("{k}_arena_ns_per_event"),
+                    run.per_event_ns(run.arena_s),
+                )
+                .num(&format!("{k}_speedup"), run.tree_cold_s / run.arena_s);
+        }
+        json.write("BENCH_arena.json")
+            .expect("write BENCH_arena.json");
+        println!("\nwrote BENCH_arena.json");
+    }
+}

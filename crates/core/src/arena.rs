@@ -1,0 +1,893 @@
+//! The arena-compiled batch evaluator: a flat, cache-friendly compile
+//! target for the exact-inference hot path.
+//!
+//! [`Spe`] evaluation ([`prob`](crate::prob)) walks a pointer-linked DAG
+//! and pays per node, per event: an event fingerprint, a memo-table
+//! probe behind a sharded lock, and pointer-chasing dispatch. For wide
+//! batches over one fixed model those costs dominate the arithmetic.
+//! [`ArenaModel`] removes them by *compiling* the model once:
+//!
+//! * nodes live in one `Vec` in **topological order** (children strictly
+//!   before parents, root last), so a batch evaluates in a single
+//!   forward pass with no recursion and no memo table;
+//! * children are **contiguous index ranges** into flat edge arrays
+//!   (`Vec`-indexed, weights alongside for mixtures), preserving the
+//!   digest-canonical child order so accumulation is deterministic and
+//!   bit-identical to the tree walker;
+//! * leaf parameters are **packed per distribution kind** (real /
+//!   integer / nominal / atomic), so the per-lane leaf kernels dispatch
+//!   once per leaf, not once per evaluation;
+//! * a batch is evaluated in **struct-of-arrays layout**: one
+//!   `node × lane` value matrix per chunk, filled leaf kernels first,
+//!   then internal nodes in topo order with a vectorizable log-sum-exp
+//!   at every mixture.
+//!
+//! The arena's identity is the model's content digest
+//! ([`ArenaModel::digest`]): [`ArenaModel::compile`] keeps a
+//! process-wide registry keyed by [`ModelDigest`], so separately
+//! compiled sessions of the same model share one arena (digest-equal
+//! models answer bit-identically by construction — the same guarantee
+//! the [`SharedCache`](crate::SharedCache) relies on).
+//!
+//! # Bit parity
+//!
+//! Every answer equals the tree walker's bit for bit (`to_bits`
+//! equality), including errors: unknown-variable checks, the solved-DNF
+//! clause decomposition at products, the stored child order at sums, and
+//! the exact [`logsumexp`] reduction are all shared with or mirrored
+//! from [`prob`](crate::prob). `tests/arena_parity.rs` proves this
+//! differentially against random models and the paper's golden values.
+//!
+//! # Example
+//!
+//! ```
+//! use sppl_core::prelude::*;
+//!
+//! let f = Factory::new();
+//! let x = f.leaf(
+//!     Var::new("X"),
+//!     Distribution::Real(DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap()),
+//! );
+//! let model = Model::new(f, x);
+//! let arena = model.compile_arena();
+//! let batch = vec![var("X").le(0.0), var("X").gt(1.0)];
+//! let fast = arena.logprob_many(&batch).unwrap();
+//! let slow = model.logprob_many(&batch).unwrap();
+//! assert_eq!(fast[0].to_bits(), slow[0].to_bits());
+//! assert_eq!(fast[1].to_bits(), slow[1].to_bits());
+//! ```
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, Weak};
+
+use sppl_dists::{DistInt, DistReal, DistStr, Distribution};
+use sppl_num::float::logsumexp;
+use sppl_sets::OutcomeSet;
+
+use crate::digest::ModelDigest;
+use crate::disjoin::solve_and_disjoin;
+use crate::error::SpplError;
+use crate::event::Event;
+use crate::spe::{leaf_event_outcomes, Env, Node, Spe};
+use crate::transform::Transform;
+use crate::var::Var;
+
+/// Lane budget per evaluation chunk: events are grouped until their
+/// solved clauses fill about this many lanes, bounding the scratch
+/// matrices to `nodes × LANE_BUDGET` while still amortizing the
+/// per-chunk setup. An event always keeps all of its lanes in one chunk.
+const LANE_BUDGET: usize = 64;
+
+/// A flat arena node; children index lower-numbered nodes only.
+#[derive(Debug, Clone, Copy)]
+enum ANode {
+    /// Index into [`ArenaModel::leaves`].
+    Leaf(u32),
+    /// Range into [`ArenaModel::sum_edges`] (digest-canonical order).
+    Sum { lo: u32, hi: u32 },
+    /// Range into [`ArenaModel::prod_edges`] (canonical scope order).
+    Product { lo: u32, hi: u32 },
+}
+
+/// Which packed parameter table a leaf's distribution lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LeafKind {
+    Real,
+    Int,
+    Str,
+    Atomic,
+}
+
+/// Per-leaf compile output: everything the kernels need, with the
+/// distribution itself packed per-kind in the arena's parameter tables.
+#[derive(Debug, Clone)]
+struct LeafSpec {
+    /// The arena node this leaf occupies.
+    node: u32,
+    /// The base variable.
+    var: Var,
+    /// Arena id of the base variable.
+    var_id: u32,
+    /// Derived-variable transforms (usually empty).
+    env: Env,
+    /// Sorted arena ids of the leaf's full scope (base + derived).
+    scope_ids: Vec<u32>,
+    /// Which packed table holds the distribution.
+    kind: LeafKind,
+    /// Index into that table.
+    slot: u32,
+}
+
+/// One solved clause resolved to arena variable ids, sorted by id (the
+/// ids are assigned in `Var` order, so this matches the clause's own
+/// `BTreeMap` iteration order).
+type LaneClause = Vec<(u32, OutcomeSet)>;
+
+/// A prepared event: canonicalized, scope-checked, and (when the model
+/// contains products) solved into disjoint clause lanes.
+struct Prep {
+    canonical: Event,
+    lanes: Vec<LaneClause>,
+}
+
+/// Reusable per-batch scratch: the `node × lane` value/touched matrices
+/// and the log-sum-exp term buffers.
+#[derive(Default)]
+struct Scratch {
+    vals: Vec<f64>,
+    touched: Vec<bool>,
+    terms: Vec<f64>,
+    full: Vec<f64>,
+}
+
+/// A [`Model`](crate::Model) compiled into a flat, topologically-ordered
+/// arena for batched exact inference.
+///
+/// Obtain one with [`Model::compile_arena`](crate::Model::compile_arena)
+/// (or [`ArenaModel::compile`] from a raw [`Spe`]); query it with
+/// [`logprob`](ArenaModel::logprob) / [`prob`](ArenaModel::prob) and
+/// their batch forms — the same surface as the tree walker, with
+/// bit-identical answers. The arena is immutable, `Send + Sync`, and
+/// shared: compiling the same (digest-equal) model twice returns the
+/// same `Arc`.
+///
+/// ```
+/// use sppl_core::prelude::*;
+///
+/// let f = Factory::new();
+/// let x = f.leaf(
+///     Var::new("X"),
+///     Distribution::Real(DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap()),
+/// );
+/// let model = Model::new(f, x);
+/// let arena = model.compile_arena();
+/// let e = var("X").le(0.0);
+/// assert_eq!(
+///     arena.logprob(&e).unwrap().to_bits(),
+///     model.logprob(&e).unwrap().to_bits(),
+/// );
+/// ```
+#[derive(Debug)]
+pub struct ArenaModel {
+    digest: ModelDigest,
+    scope: BTreeSet<Var>,
+    /// Scope variables in sorted order; index = arena variable id.
+    vars: Vec<Var>,
+    /// Topologically ordered (children first, root last).
+    nodes: Vec<ANode>,
+    /// `(child index, log-weight)` edges of every mixture, concatenated.
+    sum_edges: Vec<(u32, f64)>,
+    /// Child-index edges of every product, concatenated.
+    prod_edges: Vec<u32>,
+    leaves: Vec<LeafSpec>,
+    /// Leaf indices bucketed by kind, for per-kind kernel dispatch.
+    real_leaves: Vec<u32>,
+    int_leaves: Vec<u32>,
+    str_leaves: Vec<u32>,
+    atomic_leaves: Vec<u32>,
+    /// Packed per-kind leaf parameters.
+    real_dists: Vec<DistReal>,
+    int_dists: Vec<DistInt>,
+    str_dists: Vec<DistStr>,
+    atomic_locs: Vec<f64>,
+    /// Nodes reachable from the root through `Sum` edges only, in topo
+    /// order. These see the *full* event; everything below a product
+    /// sees routed clause lanes instead.
+    spine: Vec<u32>,
+    /// Whether the spine contains a product (iff the model contains any
+    /// product), i.e. whether events must be solved into clauses.
+    spine_has_product: bool,
+}
+
+fn registry() -> &'static Mutex<HashMap<ModelDigest, Weak<ArenaModel>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<ModelDigest, Weak<ArenaModel>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+impl ArenaModel {
+    /// Compiles `root` into an arena, or returns the already-compiled
+    /// arena for any digest-equal model: a process-wide registry keyed
+    /// by [`ModelDigest`] holds weak handles, so arenas are shared
+    /// across sessions for as long as anyone uses them and are freed
+    /// when the last handle drops.
+    ///
+    /// ```
+    /// use sppl_core::prelude::*;
+    ///
+    /// let f = Factory::new();
+    /// let x = f.leaf(
+    ///     Var::new("X"),
+    ///     Distribution::Real(DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap()),
+    /// );
+    /// let a = ArenaModel::compile(&x);
+    /// let b = ArenaModel::compile(&x);
+    /// assert!(std::sync::Arc::ptr_eq(&a, &b));
+    /// ```
+    pub fn compile(root: &Spe) -> Arc<ArenaModel> {
+        let digest = root.digest();
+        let mut map = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(existing) = map.get(&digest).and_then(Weak::upgrade) {
+            return existing;
+        }
+        let arena = Arc::new(ArenaModel::build(root, digest));
+        map.retain(|_, weak| weak.strong_count() > 0);
+        map.insert(digest, Arc::downgrade(&arena));
+        arena
+    }
+
+    /// The model's deep content digest — the arena's identity in the
+    /// compile registry, identical to
+    /// [`Model::model_digest`](crate::Model::model_digest).
+    ///
+    /// ```
+    /// use sppl_core::prelude::*;
+    ///
+    /// let f = Factory::new();
+    /// let x = f.leaf(
+    ///     Var::new("X"),
+    ///     Distribution::Real(DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap()),
+    /// );
+    /// let model = Model::new(f, x);
+    /// assert_eq!(model.compile_arena().digest(), model.model_digest());
+    /// ```
+    pub fn digest(&self) -> ModelDigest {
+        self.digest
+    }
+
+    /// Number of arena nodes (the model's physical DAG size: shared
+    /// subexpressions are compiled once).
+    ///
+    /// ```
+    /// use sppl_core::prelude::*;
+    ///
+    /// let f = Factory::new();
+    /// let x = f.leaf(
+    ///     Var::new("X"),
+    ///     Distribution::Real(DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap()),
+    /// );
+    /// assert_eq!(ArenaModel::compile(&x).node_count(), 1);
+    /// ```
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The model's scope (every queryable variable, base and derived).
+    ///
+    /// ```
+    /// use sppl_core::prelude::*;
+    ///
+    /// let f = Factory::new();
+    /// let x = f.leaf(
+    ///     Var::new("X"),
+    ///     Distribution::Real(DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap()),
+    /// );
+    /// assert!(ArenaModel::compile(&x).scope().contains(&Var::new("X")));
+    /// ```
+    pub fn scope(&self) -> &BTreeSet<Var> {
+        &self.scope
+    }
+
+    /// Exact log-probability of `event`, bit-identical to
+    /// [`Model::logprob`](crate::Model::logprob).
+    ///
+    /// # Errors
+    ///
+    /// The same errors as the tree walker: [`SpplError::UnknownVariable`]
+    /// for events over variables outside the scope,
+    /// [`SpplError::MultivariateTransform`] for literals violating
+    /// restriction R3.
+    ///
+    /// ```
+    /// use sppl_core::prelude::*;
+    ///
+    /// let f = Factory::new();
+    /// let x = f.leaf(
+    ///     Var::new("X"),
+    ///     Distribution::Real(DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap()),
+    /// );
+    /// let model = Model::new(f, x);
+    /// let e = var("X").le(0.0);
+    /// assert_eq!(
+    ///     model.compile_arena().logprob(&e).unwrap().to_bits(),
+    ///     model.logprob(&e).unwrap().to_bits(),
+    /// );
+    /// ```
+    pub fn logprob(&self, event: &Event) -> Result<f64, SpplError> {
+        Ok(self.logprob_many(std::slice::from_ref(event))?[0])
+    }
+
+    /// Exact probability of `event`, bit-identical to
+    /// [`Model::prob`](crate::Model::prob).
+    ///
+    /// # Errors
+    ///
+    /// As [`ArenaModel::logprob`].
+    ///
+    /// ```
+    /// use sppl_core::prelude::*;
+    ///
+    /// let f = Factory::new();
+    /// let x = f.leaf(
+    ///     Var::new("X"),
+    ///     Distribution::Real(DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap()),
+    /// );
+    /// let model = Model::new(f, x);
+    /// let p = model.compile_arena().prob(&var("X").le(0.0)).unwrap();
+    /// assert!((p - 0.5).abs() < 1e-12);
+    /// ```
+    pub fn prob(&self, event: &Event) -> Result<f64, SpplError> {
+        Ok(self.logprob(event)?.exp().clamp(0.0, 1.0))
+    }
+
+    /// Batched [`logprob`](ArenaModel::logprob): one struct-of-arrays
+    /// pass over the arena per chunk of events. Answers (and the error
+    /// on the first failing event) are bit-identical to
+    /// [`Model::logprob_many`](crate::Model::logprob_many).
+    ///
+    /// # Errors
+    ///
+    /// The first failing event's error, as
+    /// [`Model::logprob_many`](crate::Model::logprob_many).
+    ///
+    /// ```
+    /// use sppl_core::prelude::*;
+    ///
+    /// let f = Factory::new();
+    /// let x = f.leaf(
+    ///     Var::new("X"),
+    ///     Distribution::Real(DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap()),
+    /// );
+    /// let model = Model::new(f, x);
+    /// let batch = vec![var("X").le(0.0), var("X").le(1.0) & var("X").gt(-1.0)];
+    /// let fast = model.compile_arena().logprob_many(&batch).unwrap();
+    /// let slow = model.logprob_many(&batch).unwrap();
+    /// assert!(fast.iter().zip(&slow).all(|(a, b)| a.to_bits() == b.to_bits()));
+    /// ```
+    pub fn logprob_many(&self, events: &[Event]) -> Result<Vec<f64>, SpplError> {
+        let mut out = Vec::with_capacity(events.len());
+        let mut scratch = Scratch::default();
+        let mut at = 0;
+        while at < events.len() {
+            let mut preps = Vec::new();
+            let mut lane_count = 0;
+            while at < events.len() && (preps.is_empty() || lane_count < LANE_BUDGET) {
+                let prep = self.prepare(&events[at])?;
+                lane_count += prep.lanes.len();
+                preps.push(prep);
+                at += 1;
+            }
+            self.eval_chunk(&preps, &mut scratch, &mut out);
+        }
+        Ok(out)
+    }
+
+    /// Batched [`prob`](ArenaModel::prob), bit-identical to
+    /// [`Model::prob_many`](crate::Model::prob_many).
+    ///
+    /// # Errors
+    ///
+    /// As [`ArenaModel::logprob_many`].
+    ///
+    /// ```
+    /// use sppl_core::prelude::*;
+    ///
+    /// let f = Factory::new();
+    /// let x = f.leaf(
+    ///     Var::new("X"),
+    ///     Distribution::Real(DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap()),
+    /// );
+    /// let model = Model::new(f, x);
+    /// let ps = model.compile_arena().prob_many(&[var("X").le(0.0)]).unwrap();
+    /// assert!((ps[0] - 0.5).abs() < 1e-12);
+    /// ```
+    pub fn prob_many(&self, events: &[Event]) -> Result<Vec<f64>, SpplError> {
+        Ok(self
+            .logprob_many(events)?
+            .into_iter()
+            .map(|lp| lp.exp().clamp(0.0, 1.0))
+            .collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Compilation
+    // ------------------------------------------------------------------
+
+    fn build(root: &Spe, digest: ModelDigest) -> ArenaModel {
+        let scope = root.scope().clone();
+        let vars: Vec<Var> = scope.iter().cloned().collect();
+        let var_ids: HashMap<Var, u32> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect();
+
+        let mut arena = ArenaModel {
+            digest,
+            scope,
+            vars,
+            nodes: Vec::new(),
+            sum_edges: Vec::new(),
+            prod_edges: Vec::new(),
+            leaves: Vec::new(),
+            real_leaves: Vec::new(),
+            int_leaves: Vec::new(),
+            str_leaves: Vec::new(),
+            atomic_leaves: Vec::new(),
+            real_dists: Vec::new(),
+            int_dists: Vec::new(),
+            str_dists: Vec::new(),
+            atomic_locs: Vec::new(),
+            spine: Vec::new(),
+            spine_has_product: false,
+        };
+
+        // Iterative post-order over the DAG (explicit stack: models can
+        // be deep), memoized by node address so shared subexpressions
+        // compile once. Children therefore always index lower slots.
+        enum Visit {
+            Enter(Spe),
+            Exit(Spe),
+        }
+        let mut index: HashMap<usize, u32> = HashMap::new();
+        let mut stack = vec![Visit::Enter(root.clone())];
+        while let Some(visit) = stack.pop() {
+            match visit {
+                Visit::Enter(spe) => {
+                    if index.contains_key(&spe.ptr_id()) {
+                        continue;
+                    }
+                    stack.push(Visit::Exit(spe.clone()));
+                    for child in spe.children() {
+                        stack.push(Visit::Enter(child));
+                    }
+                }
+                Visit::Exit(spe) => {
+                    if index.contains_key(&spe.ptr_id()) {
+                        continue; // A diamond can queue two exits.
+                    }
+                    let slot = arena.nodes.len() as u32;
+                    let node = match spe.node() {
+                        Node::Leaf {
+                            var,
+                            dist,
+                            env,
+                            scope,
+                        } => {
+                            let li = arena.pack_leaf(slot, var, dist, env, scope, &var_ids);
+                            ANode::Leaf(li)
+                        }
+                        Node::Sum { children, .. } => {
+                            let lo = arena.sum_edges.len() as u32;
+                            for (child, lw) in children {
+                                arena.sum_edges.push((index[&child.ptr_id()], *lw));
+                            }
+                            ANode::Sum {
+                                lo,
+                                hi: arena.sum_edges.len() as u32,
+                            }
+                        }
+                        Node::Product { children, .. } => {
+                            let lo = arena.prod_edges.len() as u32;
+                            for child in children {
+                                arena.prod_edges.push(index[&child.ptr_id()]);
+                            }
+                            ANode::Product {
+                                lo,
+                                hi: arena.prod_edges.len() as u32,
+                            }
+                        }
+                    };
+                    arena.nodes.push(node);
+                    index.insert(spe.ptr_id(), slot);
+                }
+            }
+        }
+
+        // The spine: nodes the *full* event reaches (through mixtures
+        // only). Ascending index order is topological order.
+        let root_ix = (arena.nodes.len() - 1) as u32;
+        let mut on_spine = vec![false; arena.nodes.len()];
+        let mut frontier = vec![root_ix];
+        while let Some(n) = frontier.pop() {
+            if std::mem::replace(&mut on_spine[n as usize], true) {
+                continue;
+            }
+            if let ANode::Sum { lo, hi } = arena.nodes[n as usize] {
+                for &(child, _) in &arena.sum_edges[lo as usize..hi as usize] {
+                    frontier.push(child);
+                }
+            }
+        }
+        arena.spine = (0..arena.nodes.len() as u32)
+            .filter(|&n| on_spine[n as usize])
+            .collect();
+        arena.spine_has_product = arena
+            .spine
+            .iter()
+            .any(|&n| matches!(arena.nodes[n as usize], ANode::Product { .. }));
+        arena
+    }
+
+    fn pack_leaf(
+        &mut self,
+        node: u32,
+        var: &Var,
+        dist: &Distribution,
+        scope_vars_env: &Env,
+        scope: &BTreeSet<Var>,
+        var_ids: &HashMap<Var, u32>,
+    ) -> u32 {
+        let li = self.leaves.len() as u32;
+        let (kind, slot) = match dist {
+            Distribution::Real(d) => {
+                self.real_dists.push(d.clone());
+                self.real_leaves.push(li);
+                (LeafKind::Real, self.real_dists.len() - 1)
+            }
+            Distribution::Int(d) => {
+                self.int_dists.push(d.clone());
+                self.int_leaves.push(li);
+                (LeafKind::Int, self.int_dists.len() - 1)
+            }
+            Distribution::Str(d) => {
+                self.str_dists.push(d.clone());
+                self.str_leaves.push(li);
+                (LeafKind::Str, self.str_dists.len() - 1)
+            }
+            Distribution::Atomic { loc } => {
+                self.atomic_locs.push(*loc);
+                self.atomic_leaves.push(li);
+                (LeafKind::Atomic, self.atomic_locs.len() - 1)
+            }
+        };
+        let mut scope_ids: Vec<u32> = scope.iter().map(|v| var_ids[v]).collect();
+        scope_ids.sort_unstable();
+        self.leaves.push(LeafSpec {
+            node,
+            var: var.clone(),
+            var_id: var_ids[var],
+            env: scope_vars_env.clone(),
+            scope_ids,
+            kind,
+            slot: slot as u32,
+        });
+        li
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation
+    // ------------------------------------------------------------------
+
+    /// Canonicalizes and scope-checks one event; solves it into clause
+    /// lanes when the model contains products. Mirrors the tree walker's
+    /// error order exactly: the unknown-variable check (raised by every
+    /// leaf/product on the spine, all of which share the root's scope by
+    /// C4) wins over the clause solver's multivariate-literal check.
+    fn prepare(&self, event: &Event) -> Result<Prep, SpplError> {
+        let canonical = event.canonical();
+        for v in canonical.vars() {
+            if !self.scope.contains(&v) {
+                return Err(SpplError::UnknownVariable {
+                    var: v.name().into(),
+                });
+            }
+        }
+        let lanes = if self.spine_has_product {
+            solve_and_disjoin(&canonical)?
+                .iter()
+                .map(|clause| {
+                    clause
+                        .constraints()
+                        .iter()
+                        .map(|(v, set)| {
+                            (
+                                self.vars.binary_search(v).expect("in scope") as u32,
+                                set.clone(),
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok(Prep { canonical, lanes })
+    }
+
+    /// Evaluates one chunk: phase 1 fills the leaf rows of the
+    /// `node × lane` matrix (per-kind kernels over the packed parameter
+    /// tables), phase 2 fills internal rows in topo order, phase 3 walks
+    /// the spine once per event with its full event and clause-lane
+    /// range, pushing the root's value.
+    fn eval_chunk(&self, preps: &[Prep], scratch: &mut Scratch, out: &mut Vec<f64>) {
+        let lanes: Vec<&LaneClause> = preps.iter().flat_map(|p| p.lanes.iter()).collect();
+        let lc = lanes.len();
+
+        if lc > 0 {
+            let cells = self.nodes.len() * lc;
+            scratch.vals.clear();
+            scratch.vals.resize(cells, 0.0);
+            scratch.touched.clear();
+            scratch.touched.resize(cells, false);
+
+            // Phase 1: leaf kernels, one packed-kind bucket at a time.
+            for &li in &self.real_leaves {
+                let d = &self.real_dists[self.leaves[li as usize].slot as usize];
+                self.leaf_pass(li, &lanes, scratch, |set| d.measure(set));
+            }
+            for &li in &self.int_leaves {
+                let d = &self.int_dists[self.leaves[li as usize].slot as usize];
+                self.leaf_pass(li, &lanes, scratch, |set| d.measure(set));
+            }
+            for &li in &self.str_leaves {
+                let d = &self.str_dists[self.leaves[li as usize].slot as usize];
+                self.leaf_pass(li, &lanes, scratch, |set| d.measure(set));
+            }
+            for &li in &self.atomic_leaves {
+                let loc = self.atomic_locs[self.leaves[li as usize].slot as usize];
+                self.leaf_pass(li, &lanes, scratch, |set| {
+                    if set.contains_real(loc) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                });
+            }
+
+            // Phase 2: internal nodes, children already filled.
+            for (n, node) in self.nodes.iter().enumerate() {
+                let row = n * lc;
+                match *node {
+                    ANode::Leaf(_) => {}
+                    ANode::Sum { lo, hi } => {
+                        let edges = &self.sum_edges[lo as usize..hi as usize];
+                        let first = edges[0].0 as usize * lc;
+                        for lane in 0..lc {
+                            // C4: mixture children share one scope, so
+                            // one child's touch flag decides for all.
+                            if !scratch.touched[first + lane] {
+                                continue;
+                            }
+                            scratch.terms.clear();
+                            for &(child, lw) in edges {
+                                scratch
+                                    .terms
+                                    .push(lw + scratch.vals[child as usize * lc + lane]);
+                            }
+                            scratch.vals[row + lane] = logsumexp(&scratch.terms);
+                            scratch.touched[row + lane] = true;
+                        }
+                    }
+                    ANode::Product { lo, hi } => {
+                        let edges = &self.prod_edges[lo as usize..hi as usize];
+                        for lane in 0..lc {
+                            let mut total = 0.0;
+                            let mut any = false;
+                            for &child in edges {
+                                let cell = child as usize * lc + lane;
+                                if scratch.touched[cell] {
+                                    any = true;
+                                    total += scratch.vals[cell];
+                                    if total == f64::NEG_INFINITY {
+                                        break;
+                                    }
+                                }
+                            }
+                            if any {
+                                scratch.vals[row + lane] = total;
+                                scratch.touched[row + lane] = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 3: per event, fold the spine with the full event and the
+        // event's clause-lane range.
+        scratch.full.clear();
+        scratch.full.resize(self.nodes.len(), 0.0);
+        let mut lane_at = 0;
+        for prep in preps {
+            let lane_range = lane_at..lane_at + prep.lanes.len();
+            lane_at = lane_range.end;
+            for &n in &self.spine {
+                let value = match self.nodes[n as usize] {
+                    ANode::Leaf(li) => {
+                        let leaf = &self.leaves[li as usize];
+                        let outcomes = leaf_event_outcomes(&leaf.var, &leaf.env, &prep.canonical);
+                        self.measure_leaf(leaf, &outcomes).ln()
+                    }
+                    ANode::Sum { lo, hi } => {
+                        scratch.terms.clear();
+                        for &(child, lw) in &self.sum_edges[lo as usize..hi as usize] {
+                            scratch.terms.push(lw + scratch.full[child as usize]);
+                        }
+                        logsumexp(&scratch.terms)
+                    }
+                    ANode::Product { lo, hi } => {
+                        let edges = &self.prod_edges[lo as usize..hi as usize];
+                        scratch.terms.clear();
+                        for lane in lane_range.clone() {
+                            let mut total = 0.0;
+                            for &child in edges {
+                                let cell = child as usize * lc + lane;
+                                if scratch.touched[cell] {
+                                    total += scratch.vals[cell];
+                                    if total == f64::NEG_INFINITY {
+                                        break;
+                                    }
+                                }
+                            }
+                            scratch.terms.push(total);
+                        }
+                        logsumexp(&scratch.terms)
+                    }
+                };
+                scratch.full[n as usize] = value;
+            }
+            out.push(scratch.full[self.nodes.len() - 1]);
+        }
+    }
+
+    /// Phase-1 kernel for one leaf: fills its matrix row over all lanes.
+    /// A lane touches the leaf iff the clause constrains a variable in
+    /// the leaf's scope — exactly the tree walker's literal routing. The
+    /// common no-`env` case measures the clause's constraint set
+    /// directly (`Id` preimages are identity, so this is the routed
+    /// literal's outcome set, bit for bit); derived-variable leaves
+    /// rebuild the routed conjunction and substitute through the `env`
+    /// like the tree walker does.
+    fn leaf_pass(
+        &self,
+        li: u32,
+        lanes: &[&LaneClause],
+        scratch: &mut Scratch,
+        measure: impl Fn(&OutcomeSet) -> f64,
+    ) {
+        let leaf = &self.leaves[li as usize];
+        let row = leaf.node as usize * lanes.len();
+        if leaf.env.is_empty() {
+            for (lane, clause) in lanes.iter().enumerate() {
+                if let Ok(at) = clause.binary_search_by_key(&leaf.var_id, |&(id, _)| id) {
+                    scratch.vals[row + lane] = measure(&clause[at].1).ln();
+                    scratch.touched[row + lane] = true;
+                }
+            }
+        } else {
+            for (lane, clause) in lanes.iter().enumerate() {
+                let literals: Vec<Event> = clause
+                    .iter()
+                    .filter(|(id, _)| leaf.scope_ids.binary_search(id).is_ok())
+                    .map(|(id, set)| {
+                        Event::In(Transform::id(self.vars[*id as usize].clone()), set.clone())
+                    })
+                    .collect();
+                if literals.is_empty() {
+                    continue;
+                }
+                let routed = Event::and(literals);
+                let outcomes = leaf_event_outcomes(&leaf.var, &leaf.env, &routed);
+                scratch.vals[row + lane] = measure(&outcomes).ln();
+                scratch.touched[row + lane] = true;
+            }
+        }
+    }
+
+    /// Measures `set` under the leaf's packed distribution — the same
+    /// dispatch as [`Distribution::measure`], against the per-kind
+    /// parameter tables.
+    fn measure_leaf(&self, leaf: &LeafSpec, set: &OutcomeSet) -> f64 {
+        match leaf.kind {
+            LeafKind::Real => self.real_dists[leaf.slot as usize].measure(set),
+            LeafKind::Int => self.int_dists[leaf.slot as usize].measure(set),
+            LeafKind::Str => self.str_dists[leaf.slot as usize].measure(set),
+            LeafKind::Atomic => {
+                if set.contains_real(self.atomic_locs[leaf.slot as usize]) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::var;
+    use crate::spe::Factory;
+    use sppl_dists::Cdf;
+    use sppl_sets::Interval;
+
+    fn normal_leaf(f: &Factory, name: &str, mean: f64) -> Spe {
+        f.leaf(
+            Var::new(name),
+            Distribution::Real(DistReal::new(Cdf::normal(mean, 1.0), Interval::all()).unwrap()),
+        )
+    }
+
+    fn mixed_product(f: &Factory) -> Spe {
+        let x = f
+            .sum(vec![
+                (normal_leaf(f, "X", 0.0), 0.3f64.ln()),
+                (normal_leaf(f, "X", 5.0), 0.7f64.ln()),
+            ])
+            .unwrap();
+        let label = f.leaf(
+            Var::new("L"),
+            Distribution::Str(DistStr::new([("a", 0.25), ("b", 0.75)]).unwrap()),
+        );
+        let atom = f.leaf(Var::new("A"), Distribution::Atomic { loc: 2.0 });
+        f.product(vec![x, label, atom]).unwrap()
+    }
+
+    #[test]
+    fn send_sync_and_registry_identity() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArenaModel>();
+        let f = Factory::new();
+        let m = mixed_product(&f);
+        let a = ArenaModel::compile(&m);
+        let b = ArenaModel::compile(&m);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.digest(), m.digest());
+    }
+
+    #[test]
+    fn matches_tree_walker_on_product_batch() {
+        // Parity target is the session surface (`Model`/`QueryEngine`),
+        // which canonicalizes events before evaluation — the arena does
+        // the same, so answers must match bit for bit.
+        let f = Factory::new();
+        let m = mixed_product(&f);
+        let arena = ArenaModel::compile(&m);
+        let model = crate::model::Model::new(f, m);
+        let batch = vec![
+            var("X").le(1.0),
+            var("X").le(1.0) & var("L").eq("a"),
+            (var("X").gt(4.0) & var("A").eq(2.0)) | var("L").eq("b"),
+            var("X").le(-50.0) & var("L").eq("a"),
+            var("X").le(1.0) | var("X").gt(0.0),
+        ];
+        let fast = arena.logprob_many(&batch).unwrap();
+        let slow = model.logprob_many(&batch).unwrap();
+        for ((event, fast), slow) in batch.iter().zip(&fast).zip(&slow) {
+            assert_eq!(fast.to_bits(), slow.to_bits(), "{event:?}");
+        }
+    }
+
+    #[test]
+    fn error_parity_with_tree_walker() {
+        let f = Factory::new();
+        let m = mixed_product(&f);
+        let arena = ArenaModel::compile(&m);
+        let model = crate::model::Model::new(f, m);
+        let unknown = var("Nope").le(0.0) & var("X").le(1.0);
+        let tree = model.logprob(&unknown).unwrap_err();
+        let fast = arena.logprob(&unknown).unwrap_err();
+        assert_eq!(format!("{tree}"), format!("{fast}"));
+        assert!(matches!(fast, SpplError::UnknownVariable { .. }));
+    }
+}

@@ -159,6 +159,18 @@ const HEADER_BYTES: usize = 8 + 4 + 4 + 8;
 /// records): 16 bytes.
 const CHECKSUM_BYTES: usize = 16;
 
+/// The staging file [`SharedCache::save_snapshot`] writes before the
+/// atomic rename: the target's file name with `.tmp` appended, in the
+/// target's directory (`rename` is only atomic within one filesystem).
+fn snapshot_tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().map_or_else(
+        || std::ffi::OsString::from("snapshot"),
+        std::ffi::OsStr::to_os_string,
+    );
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
@@ -382,9 +394,18 @@ impl SharedCache {
     /// [`load_snapshot`](SharedCache::load_snapshot) approximately
     /// reproduces recency.
     ///
+    /// The write is crash-safe: bytes go to a sibling temporary file
+    /// (`<file name>.tmp` next to the target), are synced to disk, and
+    /// are then atomically renamed over `path` — a process killed
+    /// mid-save leaves the previous snapshot untouched and loadable.
+    /// Concurrent saves to the *same* path race on that one temporary
+    /// file; give each writer its own target path.
+    ///
     /// # Errors
     ///
-    /// [`SpplError::Snapshot`] when the file cannot be written.
+    /// [`SpplError::Snapshot`] when the temporary file cannot be written
+    /// (the previous snapshot, if any, is left intact) or the final
+    /// rename fails.
     pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<usize, SpplError> {
         let path = path.as_ref();
         let mut records: Vec<u8> = Vec::new();
@@ -407,8 +428,34 @@ impl SharedCache {
         bytes.extend_from_slice(&records);
         let checksum = crate::digest::checksum128(&bytes);
         bytes.extend_from_slice(&checksum);
-        std::fs::write(path, &bytes).map_err(|e| SpplError::Snapshot {
-            message: format!("cannot write {}: {e}", path.display()),
+        // Never write the target in place: a crash mid-write would leave
+        // a truncated file where the last good snapshot used to be. Stage
+        // the bytes in a sibling file and atomically rename it over the
+        // target once they are durably on disk.
+        let tmp = snapshot_tmp_path(path);
+        let staged = std::fs::File::create(&tmp)
+            .and_then(|mut file| {
+                use std::io::Write as _;
+                file.write_all(&bytes)?;
+                file.sync_all()
+            })
+            .map_err(|e| SpplError::Snapshot {
+                message: format!("cannot write {}: {e}", tmp.display()),
+            });
+        if let Err(e) = staged {
+            // Best-effort cleanup; the original snapshot is untouched.
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            SpplError::Snapshot {
+                message: format!(
+                    "cannot rename {} over {}: {e}",
+                    tmp.display(),
+                    path.display()
+                ),
+            }
         })?;
         Ok(count as usize)
     }

@@ -70,6 +70,7 @@ use std::sync::{Arc, OnceLock};
 
 use scoped_threadpool::Pool;
 
+use crate::arena::ArenaModel;
 use crate::cache::SharedCache;
 use crate::condition::condition;
 use crate::digest::{Fingerprint, ModelDigest};
@@ -152,6 +153,9 @@ pub struct QueryEngine {
     root: Spe,
     /// Deep model digest, computed lazily (used only by the shared cache).
     digest: OnceLock<ModelDigest>,
+    /// Arena-compiled form of `root`, built on first use and then shared
+    /// (the process-wide arena registry dedupes by digest underneath).
+    arena: OnceLock<Arc<ArenaModel>>,
     /// Optional cross-engine result cache.
     shared: Option<Arc<SharedCache>>,
     /// Canonical event fingerprint → (generation tag, log-probability).
@@ -179,6 +183,7 @@ impl QueryEngine {
             factory,
             root,
             digest: OnceLock::new(),
+            arena: OnceLock::new(),
             shared: None,
             logprob_cache: ShardedMap::new(),
             cond_cache: ShardedMap::new(),
@@ -228,6 +233,31 @@ impl QueryEngine {
     /// The root expression queries are answered against.
     pub fn root(&self) -> &Spe {
         &self.root
+    }
+
+    /// The arena-compiled form of this engine's model, built on first
+    /// use (see [`ArenaModel`]): a flat, topologically-ordered compile
+    /// of the SPE whose batched evaluation is bit-identical to this
+    /// engine's tree walker. Digest-equal engines share one arena
+    /// through the process-wide registry.
+    ///
+    /// ```
+    /// use sppl_core::prelude::*;
+    ///
+    /// let f = Factory::new();
+    /// let x = f.leaf(
+    ///     Var::new("X"),
+    ///     Distribution::Real(DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap()),
+    /// );
+    /// let engine = QueryEngine::new(f, x);
+    /// let e = Event::le(Transform::id(Var::new("X")), 0.0);
+    /// assert_eq!(
+    ///     engine.compile_arena().logprob(&e).unwrap().to_bits(),
+    ///     engine.logprob(&e).unwrap().to_bits(),
+    /// );
+    /// ```
+    pub fn compile_arena(&self) -> Arc<ArenaModel> {
+        Arc::clone(self.arena.get_or_init(|| ArenaModel::compile(&self.root)))
     }
 
     /// Releases the factory handle and root. The factory comes back as

@@ -23,6 +23,9 @@
 //! * [`engine`] — the memoized [`QueryEngine`]:
 //!   batched `logprob`/`condition` over one compiled SPE with
 //!   canonicalized-event caching and cache statistics,
+//! * [`arena`] — the [`ArenaModel`] batch evaluator: digest-keyed
+//!   compilation of a model into a flat, topologically-ordered arena
+//!   with struct-of-arrays batch evaluation, bit-identical to [`prob`],
 //! * [`model`] — the session-first [`Model`] handle:
 //!   `Arc<Factory>` + root + engine in one `Clone + Send + Sync` object
 //!   whose `condition`/`constrain` return posteriors as first-class
@@ -69,6 +72,7 @@
 //! assert!((posterior.prob(&event).unwrap() - 1.0).abs() < 1e-9);
 //! ```
 
+pub mod arena;
 pub mod cache;
 pub mod condition;
 pub mod density;
@@ -86,6 +90,7 @@ mod sync_map;
 pub mod transform;
 pub mod var;
 
+pub use arena::ArenaModel;
 pub use cache::SharedCache;
 pub use condition::condition;
 pub use density::{constrain, Assignment};
@@ -104,6 +109,7 @@ pub use scoped_threadpool::Pool;
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
+    pub use crate::arena::ArenaModel;
     pub use crate::cache::SharedCache;
     pub use crate::condition::condition;
     pub use crate::density::{constrain, Assignment};

@@ -51,6 +51,7 @@ use std::sync::Arc;
 use rand::Rng;
 use scoped_threadpool::Pool;
 
+use crate::arena::ArenaModel;
 use crate::cache::SharedCache;
 use crate::density::{constrain, Assignment};
 use crate::digest::ModelDigest;
@@ -176,6 +177,37 @@ impl Model {
     /// [`DIGEST_VERSION`](crate::digest::DIGEST_VERSION).
     pub fn model_digest(&self) -> ModelDigest {
         self.engine.model_digest()
+    }
+
+    /// Compiles this model (prior or posterior — any `Model`) into an
+    /// [`ArenaModel`]: a flat, topologically-ordered arena whose batched
+    /// `logprob_many`/`prob_many` answer bit-identically to this
+    /// session's tree walker, without per-query memo-table traffic. The
+    /// arena is built on first use, cached on the session, and shared
+    /// across sessions by content digest, so calling this repeatedly —
+    /// or from a digest-equal session — returns the same `Arc`.
+    ///
+    /// Use it for wide, mostly-distinct event batches over a fixed
+    /// model; stay on [`Model::logprob`] when queries repeat (the
+    /// engine's memo answers repeats in one hash lookup).
+    ///
+    /// ```
+    /// use sppl_core::prelude::*;
+    ///
+    /// let f = Factory::new();
+    /// let x = f.leaf(
+    ///     Var::new("X"),
+    ///     Distribution::Real(DistReal::new(Cdf::normal(0.0, 1.0), Interval::all()).unwrap()),
+    /// );
+    /// let model = Model::new(f, x);
+    /// let arena = model.compile_arena();
+    /// let batch = vec![var("X").le(0.0), var("X").gt(1.5)];
+    /// let fast = arena.logprob_many(&batch).unwrap();
+    /// let slow = model.logprob_many(&batch).unwrap();
+    /// assert!(fast.iter().zip(&slow).all(|(a, b)| a.to_bits() == b.to_bits()));
+    /// ```
+    pub fn compile_arena(&self) -> Arc<ArenaModel> {
+        self.engine.compile_arena()
     }
 
     /// Natural log of the probability of `event`, memoized across calls

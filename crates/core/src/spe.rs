@@ -430,15 +430,19 @@ impl Factory {
     ///
     /// # Errors
     ///
-    /// Returns [`SpplError::IllFormed`] when no child has positive weight
-    /// (C5) or child scopes differ (C4).
+    /// Returns [`SpplError::IllFormed`] when a log-weight is NaN, when no
+    /// child has positive weight (C5), or when child scopes differ (C4).
     pub fn sum(&self, children: Vec<(Spe, f64)>) -> Result<Spe, SpplError> {
         let mut kept: Vec<(Spe, f64)> = Vec::with_capacity(children.len());
         for (c, lw) in children {
             if lw == f64::NEG_INFINITY {
                 continue;
             }
-            assert!(!lw.is_nan(), "sum weight must not be NaN");
+            if lw.is_nan() {
+                return Err(SpplError::IllFormed {
+                    message: "sum weight must not be NaN".into(),
+                });
+            }
             // Merge pointer-identical children (deduplication).
             if let Some(existing) = kept.iter_mut().find(|(k, _)| k.same(&c)) {
                 existing.1 = sppl_num::float::logaddexp(existing.1, lw);
@@ -783,6 +787,20 @@ mod tests {
         let a = normal_leaf(&f, "X");
         let b = normal_leaf(&f, "X");
         assert!(!a.same(&b));
+    }
+
+    #[test]
+    fn sum_rejects_nan_weight() {
+        // Regression: a NaN log-weight used to abort the process via
+        // `assert!`; library callers must get a structured error instead.
+        let f = Factory::new();
+        let a = normal_leaf(&f, "X");
+        let b = f.leaf(
+            Var::new("X"),
+            Distribution::Real(DistReal::new(Cdf::normal(5.0, 1.0), Interval::all()).unwrap()),
+        );
+        let err = f.sum(vec![(a, f64::NAN), (b, 0.5f64.ln())]).unwrap_err();
+        assert!(matches!(err, SpplError::IllFormed { .. }), "{err:?}");
     }
 
     #[test]

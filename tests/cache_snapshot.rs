@@ -84,6 +84,50 @@ fn snapshot_crosses_processes_with_pure_hits() {
 }
 
 #[test]
+fn failed_save_leaves_prior_snapshot_loadable() {
+    // Regression: `save_snapshot` used to write the target in place, so a
+    // crash (or any failure) mid-write truncated the last good snapshot.
+    // The save now stages into a sibling `<file name>.tmp` and renames;
+    // simulate a failed save by squatting a *directory* on that staging
+    // path and assert the prior snapshot survives, byte for byte.
+    let dir = std::env::temp_dir().join(format!("sppl-atomic-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("cache.snap");
+
+    let cache = Arc::new(SharedCache::new(1024));
+    let model = open_session(&cache);
+    model.logprob_many(&queries()).expect("queries");
+    let written = cache.save_snapshot(&path).expect("first save succeeds");
+    assert_eq!(written, queries().len());
+    let good_bytes = std::fs::read(&path).expect("snapshot on disk");
+
+    // Second save fails: the staging file cannot be created.
+    let tmp = dir.join("cache.snap.tmp");
+    std::fs::create_dir(&tmp).expect("squat the staging path");
+    let err = cache
+        .save_snapshot(&path)
+        .expect_err("blocked staging path must fail the save");
+    assert!(matches!(err, SpplError::Snapshot { .. }), "{err:?}");
+
+    // The prior snapshot is untouched and still loads cleanly.
+    assert_eq!(
+        std::fs::read(&path).expect("snapshot still on disk"),
+        good_bytes,
+        "failed save must not modify the previous snapshot"
+    );
+    let fresh = Arc::new(SharedCache::new(1024));
+    let loaded = fresh.load_snapshot(&path).expect("prior snapshot loads");
+    assert_eq!(loaded, queries().len());
+
+    // Once the obstruction is gone, saving works again — and replaces the
+    // target atomically (no stray staging file left behind).
+    std::fs::remove_dir(&tmp).expect("clear the staging path");
+    cache.save_snapshot(&path).expect("save recovers");
+    assert!(!tmp.exists(), "staging file must not outlive the save");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn rejected_snapshot_degrades_to_cold_answers_not_wrong_ones() {
     // A corrupt snapshot file surfaces an error, loads nothing, and the
     // session simply computes cold — probabilities are never wrong.

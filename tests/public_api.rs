@@ -30,6 +30,7 @@ const SNAPSHOT: &[&str] = &[
     "models",
     "num",
     "prelude",
+    "prelude::ArenaModel",
     "prelude::Assignment",
     "prelude::CacheStats",
     "prelude::Cdf",

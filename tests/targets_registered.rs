@@ -13,6 +13,7 @@ fn root() -> &'static Path {
 
 const ROOT_SUITES: &[&str] = &[
     "tests/analyze_differential.rs",
+    "tests/arena_parity.rs",
     "tests/cache_snapshot.rs",
     "tests/closure_properties.rs",
     "tests/digest_golden.rs",
@@ -23,6 +24,22 @@ const ROOT_SUITES: &[&str] = &[
     "tests/public_api.rs",
     "tests/roundtrip.rs",
     "tests/examples_smoke.rs",
+];
+
+/// Benchmark binaries (`crates/bench/src/bin/`): auto-discovered by
+/// cargo like the test suites above, so a renamed or dropped file would
+/// silently vanish from CI's smoke runs.
+const BENCH_BINS: &[&str] = &[
+    "crates/bench/src/bin/arena_bench.rs",
+    "crates/bench/src/bin/fig2_indian_gpa.rs",
+    "crates/bench/src/bin/fig3_hmm.rs",
+    "crates/bench/src/bin/fig4_transform.rs",
+    "crates/bench/src/bin/fig8_rare_events.rs",
+    "crates/bench/src/bin/sppl_lint.rs",
+    "crates/bench/src/bin/table1_compression.rs",
+    "crates/bench/src/bin/table2_fairness.rs",
+    "crates/bench/src/bin/table3_variance.rs",
+    "crates/bench/src/bin/table4_psi.rs",
 ];
 
 const CRATE_SUITES: &[&str] = &[
@@ -48,6 +65,30 @@ fn integration_suites_exist_and_define_tests() {
         assert!(
             !src.contains("#[ignore"),
             "{rel} contains #[ignore]d tests — tier-1 must run everything"
+        );
+    }
+}
+
+#[test]
+fn bench_bins_exist_and_have_entry_points() {
+    for rel in BENCH_BINS {
+        let path = root().join(rel);
+        let src = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("expected bench binary {rel} to exist: {e}"));
+        assert!(
+            src.contains("fn main"),
+            "{rel} has no `fn main` — cargo would reject the bin target"
+        );
+    }
+    // No unregistered stragglers: every file in the bin directory must
+    // be pinned above, so additions show up in this list (and in CI).
+    let dir = root().join("crates/bench/src/bin");
+    for entry in fs::read_dir(&dir).expect("bin directory readable") {
+        let name = entry.expect("dir entry").file_name();
+        let rel = format!("crates/bench/src/bin/{}", name.to_string_lossy());
+        assert!(
+            BENCH_BINS.contains(&rel.as_str()),
+            "{rel} is not registered in BENCH_BINS (tests/targets_registered.rs)"
         );
     }
 }
