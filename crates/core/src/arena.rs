@@ -204,6 +204,16 @@ fn registry() -> &'static Mutex<HashMap<ModelDigest, Weak<ArenaModel>>> {
     REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Current registry entry count (live + not-yet-swept dangling weaks) —
+/// test instrumentation for the bounded-size guarantee.
+#[cfg(test)]
+fn registry_len() -> usize {
+    registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .len()
+}
+
 impl ArenaModel {
     /// Compiles `root` into an arena, or returns the already-compiled
     /// arena for any digest-equal model: a process-wide registry keyed
@@ -225,11 +235,25 @@ impl ArenaModel {
     /// ```
     pub fn compile(root: &Spe) -> Arc<ArenaModel> {
         let digest = root.digest();
+        {
+            let map = registry().lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(existing) = map.get(&digest).and_then(Weak::upgrade) {
+                return existing;
+            }
+        }
+        // Build outside the lock: compilation is O(model size), and
+        // holding the process-wide mutex for it would serialize every
+        // concurrent compile of *unrelated* models too.
+        let arena = Arc::new(ArenaModel::build(root, digest));
         let mut map = registry().lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(existing) = map.get(&digest).and_then(Weak::upgrade) {
+            // A racing compile won while we built; adopt its arena so
+            // digest-equal callers keep pointer-sharing one allocation.
             return existing;
         }
-        let arena = Arc::new(ArenaModel::build(root, digest));
+        // Sweep dangling entries on every insert so the registry's size
+        // is bounded by the number of *live* arenas, not by how many
+        // models the process ever compiled.
         map.retain(|_, weak| weak.strong_count() > 0);
         map.insert(digest, Arc::downgrade(&arena));
         arena
@@ -853,6 +877,44 @@ mod tests {
         let b = ArenaModel::compile(&m);
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(a.digest(), m.digest());
+    }
+
+    #[test]
+    fn registry_stays_bounded_under_compile_and_drop() {
+        // Compile-and-drop many *distinct* models: each insert sweeps the
+        // previous (now dangling) weak entries, so the registry tracks
+        // live arenas instead of accumulating one entry per model the
+        // process ever compiled. The means here are offset far from any
+        // other test's models so the digests are unique to this test.
+        let f = Factory::new();
+        let before = registry_len();
+        for i in 0..64 {
+            let m = mixed_product_at(&f, 9_000.0 + i as f64);
+            let arena = ArenaModel::compile(&m);
+            assert!(arena.node_count() >= 1);
+            // `arena` drops here; its registry entry goes dangling and the
+            // next iteration's insert sweeps it.
+        }
+        // Other tests run concurrently in this process and may hold live
+        // arenas (or race their own inserts), so allow generous slack —
+        // the point is that the 64 dead models above do not pile up.
+        let after = registry_len();
+        assert!(
+            after <= before + 8,
+            "registry grew from {before} to {after} despite every compiled \
+             arena being dropped — dangling weaks are not being swept"
+        );
+    }
+
+    fn mixed_product_at(f: &Factory, mean: f64) -> Spe {
+        let x = f
+            .sum(vec![
+                (normal_leaf(f, "X", mean), 0.3f64.ln()),
+                (normal_leaf(f, "X", mean + 5.0), 0.7f64.ln()),
+            ])
+            .unwrap();
+        let atom = f.leaf(Var::new("A"), Distribution::Atomic { loc: 2.0 });
+        f.product(vec![x, atom]).unwrap()
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! over one compiled sum-product expression.
 //!
 //! `prob`/`condition` are already memoized *within* a call over the
-//! deduplicated DAG ([`Factory::logprob`], [`condition`]); the
+//! deduplicated DAG ([`Factory::logprob`],
+//! [`condition`](crate::condition::condition)); the
 //! [`QueryEngine`] adds the *across-call* layer the paper's workflow
 //! implies (Fig. 7a: translate once, then answer many queries). It wraps a
 //! [`Factory`] plus a root [`Spe`] and memoizes whole-query results keyed
@@ -72,10 +73,11 @@ use scoped_threadpool::Pool;
 
 use crate::arena::ArenaModel;
 use crate::cache::SharedCache;
-use crate::condition::condition;
+use crate::condition::condition_ctx;
 use crate::digest::{Fingerprint, ModelDigest};
 use crate::error::SpplError;
 use crate::event::Event;
+use crate::par::ParCtx;
 use crate::spe::{Factory, Spe};
 use crate::sync_map::ShardedMap;
 
@@ -444,7 +446,7 @@ impl QueryEngine {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`condition`].
+    /// Same conditions as [`condition`](crate::condition::condition).
     pub fn condition(&self, event: &Event) -> Result<Spe, SpplError> {
         self.condition_chain(std::slice::from_ref(event))
     }
@@ -457,10 +459,58 @@ impl QueryEngine {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`condition`]; in particular
+    /// Same conditions as [`condition`](crate::condition::condition); in particular
     /// [`SpplError::ZeroProbability`] if any prefix gives the next event
     /// probability zero.
     pub fn condition_chain(&self, events: &[Event]) -> Result<Spe, SpplError> {
+        self.condition_chain_ctx(events, ParCtx::env_default())
+    }
+
+    /// [`QueryEngine::condition`] with wide `Sum`/`Product` fan-outs
+    /// parallelized over the global pool. Bit-identical to the sequential
+    /// walk (see [`crate::condition::par_condition`]); must not be called
+    /// from inside a job running on the global pool.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`condition`](crate::condition::condition).
+    pub fn par_condition(&self, event: &Event) -> Result<Spe, SpplError> {
+        self.par_condition_chain(std::slice::from_ref(event))
+    }
+
+    /// [`QueryEngine::par_condition`] over a caller-supplied pool. A
+    /// single-worker pool degrades to the sequential walk.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`condition`](crate::condition::condition).
+    pub fn par_condition_in(&self, pool: &Pool, event: &Event) -> Result<Spe, SpplError> {
+        self.par_condition_chain_in(pool, std::slice::from_ref(event))
+    }
+
+    /// [`QueryEngine::condition_chain`] with each conditioning step's
+    /// wide fan-outs parallelized over the global pool. The chain itself
+    /// stays sequential — step *k+1* conditions step *k*'s posterior —
+    /// so parallelism lives inside each step, and every prefix posterior
+    /// is cached exactly as in the sequential chain.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QueryEngine::condition_chain`].
+    pub fn par_condition_chain(&self, events: &[Event]) -> Result<Spe, SpplError> {
+        self.condition_chain_ctx(events, ParCtx::with_pool(global_pool()))
+    }
+
+    /// [`QueryEngine::par_condition_chain`] over a caller-supplied pool.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QueryEngine::condition_chain`].
+    pub fn par_condition_chain_in(&self, pool: &Pool, events: &[Event]) -> Result<Spe, SpplError> {
+        self.condition_chain_ctx(events, ParCtx::with_pool(pool))
+    }
+
+    fn condition_chain_ctx(&self, events: &[Event], par: ParCtx<'_>) -> Result<Spe, SpplError> {
         self.sync_generation();
         let generation = self.factory.cache_generation();
         let mut current = self.root.clone();
@@ -475,7 +525,7 @@ impl QueryEngine {
                     continue;
                 }
             }
-            current = condition(&self.factory, &current, &canonical)?;
+            current = condition_ctx(&self.factory, &current, &canonical, par)?;
             self.misses.fetch_add(1, Ordering::Relaxed);
             self.cond_cache.insert(key, (generation, current.clone()));
         }

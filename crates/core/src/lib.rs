@@ -20,6 +20,8 @@
 //! * [`prob`] — the distribution semantics `P⟦S⟧ e` (Lst. 1f) with
 //!   memoization,
 //! * [`mod@condition`] — the `condition` algorithm (Lst. 6, Thm. 4.1),
+//! * [`par`] — the parallel fan-out scaffolding behind `par_condition`/
+//!   `par_constrain` and the `SPPL_PAR_SYMBOLIC` opt-in,
 //! * [`engine`] — the memoized [`QueryEngine`]:
 //!   batched `logprob`/`condition` over one compiled SPE with
 //!   canonicalized-event caching and cache statistics,
@@ -82,6 +84,7 @@ pub mod engine;
 pub mod error;
 pub mod event;
 pub mod model;
+pub mod par;
 pub mod prob;
 pub mod simulate;
 pub mod spe;
@@ -92,8 +95,8 @@ pub mod var;
 
 pub use arena::ArenaModel;
 pub use cache::SharedCache;
-pub use condition::condition;
-pub use density::{constrain, Assignment};
+pub use condition::{condition, par_condition, par_condition_in};
+pub use density::{constrain, par_constrain, par_constrain_in, Assignment};
 pub use digest::{Fingerprint, ModelDigest, DIGEST_VERSION};
 pub use engine::{default_threads, global_pool, CacheStats, QueryEngine};
 pub use error::SpplError;

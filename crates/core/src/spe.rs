@@ -302,6 +302,20 @@ pub struct Factory {
     pub(crate) prob_cache: ShardedMap<(usize, Fingerprint), (Spe, f64)>,
     #[allow(clippy::type_complexity)]
     pub(crate) cond_cache: ShardedMap<(usize, Fingerprint), (Spe, Result<Spe, SpplError>)>,
+    /// Content-addressed companion to `cond_cache`, probed on a pointer
+    /// miss: conditioning is a pure function of (node content, event), so
+    /// a posterior computed for one physical copy of a subgraph serves
+    /// every content-identical copy in this factory. With deduplication
+    /// on, equal content already *is* one pointer, so this layer only
+    /// pays off when `dedup` is disabled (the Table 1 ablation) or for
+    /// construction paths that bypass interning. Entries hold no pointer
+    /// keys, so nothing needs pinning. Cross-*factory* reuse is
+    /// deliberately out of scope: a posterior is an `Spe` interned in its
+    /// owning factory, and handing its nodes to another factory would
+    /// violate that factory's dedup invariant (two physical nodes for one
+    /// content), so sharing across factories goes through the digest-keyed
+    /// `SharedCache` value layer instead.
+    pub(crate) cond_digest_cache: ShardedMap<(ModelDigest, Fingerprint), Result<Spe, SpplError>>,
     pub(crate) prob_counters: CacheCounters,
     pub(crate) cond_counters: CacheCounters,
     generation: AtomicU64,
@@ -367,6 +381,7 @@ impl Factory {
             intern: ShardedMap::new(),
             prob_cache: ShardedMap::new(),
             cond_cache: ShardedMap::new(),
+            cond_digest_cache: ShardedMap::new(),
             prob_counters: CacheCounters::default(),
             cond_counters: CacheCounters::default(),
             generation: AtomicU64::new(0),
@@ -626,6 +641,7 @@ impl Factory {
         self.generation.fetch_add(1, Ordering::SeqCst);
         self.prob_cache.clear();
         self.cond_cache.clear();
+        self.cond_digest_cache.clear();
         self.prob_counters.reset();
         self.cond_counters.reset();
     }

@@ -67,6 +67,17 @@ impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
         write(self.shard(&key)).insert(key, value);
     }
 
+    /// First-write-wins insert: stores `value` only when `key` is absent
+    /// and returns a clone of the entry's winning value. The memo-fill
+    /// discipline for parallel symbolic operations: workers racing on
+    /// one subproblem all adopt whichever (bit-identical) result landed
+    /// first, so every caller observes a single stable cached value —
+    /// in particular one *physical* posterior node, not per-thread
+    /// clones of equal content.
+    pub(crate) fn get_or_insert(&self, key: K, value: V) -> V {
+        write(self.shard(&key)).entry(key).or_insert(value).clone()
+    }
+
     /// Runs `f` with exclusive access to the shard holding `key` — the
     /// atomic find-or-insert used by the intern table.
     pub(crate) fn with_shard_mut<R>(&self, key: &K, f: impl FnOnce(&mut HashMap<K, V>) -> R) -> R {
@@ -133,6 +144,16 @@ mod tests {
         });
         assert_eq!(v, vec![1]);
         assert_eq!(m.get(&7), Some(vec![1]));
+    }
+
+    #[test]
+    fn get_or_insert_is_first_write_wins() {
+        let m: ShardedMap<u64, String> = ShardedMap::new();
+        assert_eq!(m.get_or_insert(7, "first".into()), "first");
+        // A later writer does not overwrite; it adopts the winner.
+        assert_eq!(m.get_or_insert(7, "second".into()), "first");
+        assert_eq!(m.get(&7).as_deref(), Some("first"));
+        assert_eq!(m.len(), 1);
     }
 
     #[test]

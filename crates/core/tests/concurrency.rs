@@ -278,3 +278,160 @@ fn shared_cache_concurrent_engines_stay_consistent() {
         "later engines must be served from the shared cache"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Parallel symbolic conditioning (par_condition / par_constrain).
+// ---------------------------------------------------------------------------
+
+/// A mixture wide enough to cross the parallel fan-out cutoff (16), so
+/// these tests exercise the actual scoped fan-out, not the sequential
+/// degradation.
+fn wide_mixture(f: &Factory, n: usize) -> Spe {
+    let w = (1.0 / n as f64).ln();
+    let comps: Vec<(Spe, f64)> = (0..n)
+        .map(|i| {
+            let mu = i as f64 / 3.0 - 4.0;
+            let c = f
+                .product(vec![normal(f, "X", mu), normal(f, "Y", -mu)])
+                .unwrap();
+            (c, w)
+        })
+        .collect();
+    f.sum(comps).unwrap()
+}
+
+fn wide_evidence() -> Event {
+    let x = Transform::id(Var::new("X"));
+    let y = Transform::id(Var::new("Y"));
+    Event::or(vec![
+        Event::le(x.clone(), 0.25),
+        Event::and(vec![Event::gt(x, -1.0), Event::gt(y, 1.5)]),
+    ])
+}
+
+fn wide_probes() -> Vec<Event> {
+    let x = Transform::id(Var::new("X"));
+    let y = Transform::id(Var::new("Y"));
+    vec![
+        Event::le(x.clone(), 0.0),
+        Event::gt(y.clone(), 0.0),
+        Event::and(vec![Event::le(x.clone(), 1.0), Event::le(y.clone(), 1.0)]),
+        Event::or(vec![Event::gt(x, 2.0), Event::le(y, -2.0)]),
+    ]
+}
+
+#[test]
+fn par_condition_bit_identical_to_sequential_across_pool_sizes() {
+    use sppl_core::par_condition_in;
+
+    // Sequential reference in its own factory; each pool size gets a
+    // separately built copy so the parallel walk actually recomputes
+    // instead of being served from the cond cache.
+    let reference: Vec<u64> = {
+        let f = Factory::new();
+        let m = wide_mixture(&f, 24);
+        let post = condition(&f, &m, &wide_evidence()).unwrap();
+        wide_probes()
+            .iter()
+            .map(|q| f.logprob(&post, q).unwrap().to_bits())
+            .collect()
+    };
+    for threads in [1u32, 2, 4] {
+        let pool = Pool::new(threads);
+        let f = Factory::new();
+        let m = wide_mixture(&f, 24);
+        let post = par_condition_in(&f, &m, &wide_evidence(), &pool).unwrap();
+        for (q, want) in wide_probes().iter().zip(&reference) {
+            assert_eq!(
+                f.logprob(&post, q).unwrap().to_bits(),
+                *want,
+                "posterior answer diverged at {threads} threads on {q}"
+            );
+        }
+    }
+}
+
+#[test]
+fn par_constrain_bit_identical_to_sequential_across_pool_sizes() {
+    use sppl_core::par_constrain_in;
+
+    let assignment: Assignment = [(Var::new("Y"), Outcome::Real(0.3))].into_iter().collect();
+    let reference: Vec<u64> = {
+        let f = Factory::new();
+        let m = wide_mixture(&f, 24);
+        let post = constrain(&f, &m, &assignment).unwrap();
+        wide_probes()
+            .iter()
+            .map(|q| f.logprob(&post, q).unwrap().to_bits())
+            .collect()
+    };
+    for threads in [1u32, 2, 4] {
+        let pool = Pool::new(threads);
+        let f = Factory::new();
+        let m = wide_mixture(&f, 24);
+        let post = par_constrain_in(&f, &m, &assignment, &pool).unwrap();
+        for (q, want) in wide_probes().iter().zip(&reference) {
+            assert_eq!(
+                f.logprob(&post, q).unwrap().to_bits(),
+                *want,
+                "constrained answer diverged at {threads} threads on {q}"
+            );
+        }
+    }
+}
+
+/// `Factory::clear_caches` racing `par_condition` must neither deadlock
+/// nor perturb an answer: the memo tables are pure caches, so a clear
+/// mid-fan-out only costs recomputation. Every posterior must intern to
+/// the same physical node as the quiescent reference.
+#[test]
+fn factory_clear_racing_par_condition_stays_bit_identical() {
+    let f = Factory::new();
+    let m = wide_mixture(&f, 24);
+    let evidence = wide_evidence();
+    let reference = condition(&f, &m, &evidence).unwrap();
+    let probe = &wide_probes()[2];
+    let want = f.logprob(&reference, probe).unwrap().to_bits();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            let f = &f;
+            let m = &m;
+            let evidence = &evidence;
+            let reference = &reference;
+            let stop = &stop;
+            s.spawn(move || {
+                // One pool per thread: concurrent scopes on one pool are
+                // supported, but per-thread pools also exercise distinct
+                // worker sets hitting one factory's caches.
+                let pool = Pool::new(2);
+                while !stop.load(Ordering::Relaxed) {
+                    let post = sppl_core::par_condition_in(f, m, evidence, &pool).unwrap();
+                    assert!(
+                        post.same(reference),
+                        "posterior must intern to the reference node even \
+                         while caches are being cleared"
+                    );
+                    assert_eq!(f.logprob(&post, probe).unwrap().to_bits(), want);
+                }
+            });
+        }
+        let clearer = {
+            let f = &f;
+            let stop = &stop;
+            s.spawn(move || {
+                for _ in 0..150 {
+                    f.clear_caches();
+                    std::thread::yield_now();
+                }
+                stop.store(true, Ordering::Relaxed);
+            })
+        };
+        clearer.join().unwrap();
+    });
+
+    // Still answers correctly once quiet.
+    let again = condition(&f, &m, &evidence).unwrap();
+    assert!(again.same(&reference));
+}

@@ -16,6 +16,9 @@ use proptest::prelude::*;
 use sppl::models::{hmm, indian_gpa};
 use sppl::prelude::*;
 
+mod common;
+use common::{build_event, build_source, lit_specs, var_spec};
+
 /// Indian-GPA model digest (Fig. 2). Computed once from the frozen
 /// encoding; stable across processes, builds, and machines.
 const INDIAN_GPA_DIGEST: &str = "3f7093ab162ee137044f41836ab9986e";
@@ -60,104 +63,6 @@ fn golden_digests_are_reproduced_by_a_second_compile() {
 // ---------------------------------------------------------------------------
 // Random-model bit-stability property.
 // ---------------------------------------------------------------------------
-
-/// One generated variable: `(kind, a, b)` index a shape and a parameter
-/// grid (see [`build_source`]).
-type VarSpec = (usize, usize, usize);
-
-/// A literal pick: variable selector and polarity/threshold selector.
-type LitSpec = (usize, usize);
-
-fn grid(i: usize) -> f64 {
-    (i % 19 + 1) as f64 * 0.05 // 0.05..=0.95
-}
-
-/// Renders a generated spec as SPPL source mixing bernoulli chains with
-/// gated continuous leaves — the mixture shapes that exercise sum-child
-/// canonicalization hardest. Returns the source and, per variable,
-/// whether it is discrete.
-fn build_source(spec: &[VarSpec]) -> (String, Vec<bool>) {
-    let mut src = String::new();
-    let mut discrete = Vec::with_capacity(spec.len());
-    let mut last_discrete: Option<usize> = None;
-    for (i, &(kind, a, b)) in spec.iter().enumerate() {
-        let gate = last_discrete;
-        match (kind % 4, gate) {
-            (1, Some(j)) => {
-                src.push_str(&format!(
-                    "if (V{j} == 1) {{ V{i} ~ bernoulli(p={:.2}) }} \
-                     else {{ V{i} ~ bernoulli(p={:.2}) }}\n",
-                    grid(a),
-                    grid(b),
-                ));
-                discrete.push(true);
-            }
-            (2, _) => {
-                src.push_str(&format!(
-                    "V{i} ~ normal({:.2}, {:.2})\n",
-                    grid(a) * 10.0 - 5.0,
-                    0.5 + grid(b),
-                ));
-                discrete.push(false);
-            }
-            (3, Some(j)) => {
-                src.push_str(&format!(
-                    "if (V{j} == 1) {{ V{i} ~ normal({:.2}, {:.2}) }} \
-                     else {{ V{i} ~ uniform({:.2}, {:.2}) }}\n",
-                    grid(a) * 10.0 - 5.0,
-                    0.5 + grid(b),
-                    grid(b) * -4.0,
-                    grid(a) * 4.0 + 0.1,
-                ));
-                discrete.push(false);
-            }
-            _ => {
-                src.push_str(&format!("V{i} ~ bernoulli(p={:.2})\n", grid(a)));
-                discrete.push(true);
-            }
-        }
-        if discrete[i] {
-            last_discrete = Some(i);
-        }
-    }
-    (src, discrete)
-}
-
-fn literal(discrete: &[bool], &(pick, sel): &LitSpec) -> Event {
-    let i = pick % discrete.len();
-    let v = var(format!("V{i}"));
-    if discrete[i] {
-        v.eq(f64::from(u8::from(sel % 2 == 0)))
-    } else if sel % 2 == 0 {
-        v.le(grid(sel) * 8.0 - 4.0)
-    } else {
-        v.gt(grid(sel) * 8.0 - 4.0)
-    }
-}
-
-fn build_event(discrete: &[bool], shape: usize, lits: &[LitSpec]) -> Event {
-    let literals: Vec<Event> = lits.iter().map(|l| literal(discrete, l)).collect();
-    match shape % 3 {
-        0 => Event::and(literals),
-        1 => Event::or(literals),
-        _ => {
-            let (head, tail) = literals.split_first().expect("at least one literal");
-            if tail.is_empty() {
-                head.clone()
-            } else {
-                Event::and(vec![head.clone(), Event::or(tail.to_vec())])
-            }
-        }
-    }
-}
-
-fn var_spec() -> impl Strategy<Value = VarSpec> {
-    (0..4usize, 0..19usize, 0..19usize)
-}
-
-fn lit_specs() -> impl Strategy<Value = Vec<LitSpec>> {
-    prop::collection::vec((0..16usize, 0..19usize), 1..4)
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -31,6 +31,7 @@ const ROOT_SUITES: &[&str] = &[
 /// silently vanish from CI's smoke runs.
 const BENCH_BINS: &[&str] = &[
     "crates/bench/src/bin/arena_bench.rs",
+    "crates/bench/src/bin/condition_bench.rs",
     "crates/bench/src/bin/fig2_indian_gpa.rs",
     "crates/bench/src/bin/fig3_hmm.rs",
     "crates/bench/src/bin/fig4_transform.rs",
