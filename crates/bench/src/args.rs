@@ -1,5 +1,7 @@
-//! Shared flag parsing for the fig/table binaries that support smoke
-//! mode and machine-readable output (`fig3_hmm`, `fig8_rare_events`).
+//! Shared flag parsing for the bench binaries that support smoke mode
+//! and machine-readable output (`fig3_hmm`, `fig8_rare_events`,
+//! `arena_bench`, `condition_bench`, `serve_bench`). Binaries with extra
+//! flags layer them on via [`BenchArgs::parse_with`].
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -31,6 +33,22 @@ impl BenchArgs {
     /// Panics (with a usage hint) on an unknown flag or a malformed
     /// `--threads` value — these are developer-facing binaries.
     pub fn parse() -> BenchArgs {
+        BenchArgs::parse_with(|flag, _| {
+            panic!(
+                "unknown flag {flag} (expected --test, --json, --threads N, \
+                 --cache-snapshot PATH)"
+            )
+        })
+    }
+
+    /// Like [`parse`](BenchArgs::parse), but flags this parser does not
+    /// recognize are offered to `extra(flag, next_value)` — the hook a
+    /// binary with its own flags (e.g. `serve_bench`) uses to extend the
+    /// shared set. `next_value` pulls the flag's value off the argument
+    /// list; the hook should panic on flags it does not recognize either.
+    pub fn parse_with(
+        mut extra: impl FnMut(&str, &mut dyn FnMut() -> Option<String>),
+    ) -> BenchArgs {
         let mut args = BenchArgs {
             test: false,
             json: false,
@@ -54,10 +72,7 @@ impl BenchArgs {
                     let path = it.next().expect("--cache-snapshot takes a file path");
                     args.cache_snapshot = Some(PathBuf::from(path));
                 }
-                other => panic!(
-                    "unknown flag {other} (expected --test, --json, --threads N, \
-                     --cache-snapshot PATH)"
-                ),
+                other => extra(other, &mut || it.next()),
             }
         }
         args

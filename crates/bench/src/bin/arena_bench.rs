@@ -17,7 +17,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sppl_bench::cli::BenchArgs;
+use sppl_bench::args::BenchArgs;
 use sppl_bench::json::JsonObject;
 use sppl_bench::{bits_match, fmt_secs, timed, Table};
 use sppl_core::{Event, Model, Pool};

@@ -20,7 +20,7 @@
 
 use std::sync::Arc;
 
-use sppl_bench::cli::BenchArgs;
+use sppl_bench::args::BenchArgs;
 use sppl_bench::json::JsonObject;
 use sppl_bench::{bits_match, fmt_secs, timed, Table};
 use sppl_core::{condition, par_condition_in, Event, Factory, Model, Pool, Spe, Transform, Var};

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sppl_bench::cli::BenchArgs;
+use sppl_bench::args::BenchArgs;
 use sppl_bench::json::JsonObject;
 use sppl_bench::{bits_match, fmt_count, fmt_secs, timed, Table};
 use sppl_core::stats::graph_stats;

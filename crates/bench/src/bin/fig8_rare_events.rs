@@ -19,7 +19,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sppl_baseline::sampler::RejectionEstimator;
-use sppl_bench::cli::BenchArgs;
+use sppl_bench::args::BenchArgs;
 use sppl_bench::json::JsonObject;
 use sppl_bench::{bits_match, fmt_secs, timed};
 use sppl_core::event::Event;

@@ -1,0 +1,431 @@
+//! Load generator for `sppl-serve`: in-process client threads driving a
+//! real TCP server through contended (coalescing), throughput
+//! (batching), open-loop, and posterior workload phases, asserting every
+//! served answer bit-identical to the corresponding direct [`Model`]
+//! call — including queries against posterior digests after `condition`.
+//!
+//! By default the server runs in-process on an ephemeral loopback port;
+//! `--connect ADDR` drives an external `sppl-serve` instead (the CI
+//! smoke test does this). Results go to `BENCH_serve.json` with
+//! throughput, p50/p99 latency, the coalesce rate, and the server's
+//! batch-size histogram.
+//!
+//! Flags (shared set from [`sppl_bench::args`], plus):
+//!
+//! * `--connect ADDR` — drive an already-running server instead of an
+//!   in-process one (`--cache-snapshot` then applies to nothing and is
+//!   rejected; snapshots belong to the server process).
+//! * `--clients N` — concurrent client connections (default 8; smoke 4).
+//! * `--rounds N` — contended-phase rounds (default 200; smoke 25).
+//!
+//! `--threads` sizes the in-process server's worker pool;
+//! `--cache-snapshot PATH` gives the in-process server the full snapshot
+//! lifecycle (warm start from the newest rotated generation, final save
+//! on shutdown).
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use sppl_bench::args::BenchArgs;
+use sppl_bench::json::JsonObject;
+use sppl_bench::{fmt_count, timed, Table};
+use sppl_core::Model;
+use sppl_serve::client::Client;
+use sppl_serve::protocol::{StatsSnapshot, WireEvent, BATCH_HIST_BUCKETS};
+use sppl_serve::server::{ServeConfig, Server, SnapshotPolicy};
+
+/// The benchmark model: mixed continuous/discrete, cheap enough for
+/// high query rates, rich enough that distinct events exercise distinct
+/// cache keys.
+const SOURCE: &str = "
+Weight ~ normal(0, 1)
+Cls ~ choice({'spam': 0.4, 'ham': 0.6})
+if (Cls == 'spam') { Score ~ normal(2, 1) }
+else { Score ~ normal(-1, 2) }
+";
+
+struct ServeArgs {
+    base: BenchArgs,
+    connect: Option<String>,
+    clients: usize,
+    rounds: usize,
+}
+
+fn parse_args() -> ServeArgs {
+    let mut connect = None;
+    let mut clients = 0usize;
+    let mut rounds = 0usize;
+    let base = BenchArgs::parse_with(|flag, next| match flag {
+        "--connect" => connect = Some(next().expect("--connect takes HOST:PORT")),
+        "--clients" => {
+            clients = next()
+                .and_then(|v| v.parse().ok())
+                .expect("--clients takes a positive integer")
+        }
+        "--rounds" => {
+            rounds = next()
+                .and_then(|v| v.parse().ok())
+                .expect("--rounds takes a positive integer")
+        }
+        other => panic!(
+            "unknown flag {other} (expected the shared bench flags, \
+             --connect ADDR, --clients N, --rounds N)"
+        ),
+    });
+    if clients == 0 {
+        clients = if base.test { 4 } else { 8 };
+    }
+    if rounds == 0 {
+        rounds = if base.test { 25 } else { 200 };
+    }
+    assert!(
+        !(connect.is_some() && base.cache_snapshot.is_some()),
+        "--cache-snapshot configures the in-process server; \
+         with --connect the server process owns its snapshots"
+    );
+    ServeArgs {
+        base,
+        connect,
+        clients,
+        rounds,
+    }
+}
+
+/// A distinct per-(phase, index) query event with a fresh cache key.
+fn distinct_event(phase: u64, index: u64) -> WireEvent {
+    let t = -3.0 + ((phase.wrapping_mul(7919) + index) % 6000) as f64 / 1000.0;
+    match index % 3 {
+        0 => WireEvent::le("Weight", t),
+        1 => WireEvent::gt("Score", t),
+        _ => WireEvent::And(vec![
+            WireEvent::eq_str("Cls", "spam"),
+            WireEvent::le("Score", t),
+        ]),
+    }
+}
+
+/// Checks a served log-probability against the direct in-process call,
+/// bit for bit.
+fn assert_bits(direct: &Model, event: &WireEvent, served: f64) {
+    let want = direct
+        .logprob(&event.to_event().expect("wire event converts"))
+        .expect("direct call succeeds");
+    assert_eq!(
+        served.to_bits(),
+        want.to_bits(),
+        "served logprob {served} != direct {want} for {event:?}"
+    );
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Latencies (µs, sorted) → (p50, p99).
+fn p50_p99(mut latencies: Vec<f64>) -> (f64, f64) {
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    (percentile(&latencies, 0.50), percentile(&latencies, 0.99))
+}
+
+struct PhaseResult {
+    calls: u64,
+    elapsed_s: f64,
+    latencies_us: Vec<f64>,
+}
+
+impl PhaseResult {
+    fn throughput(&self) -> f64 {
+        self.calls as f64 / self.elapsed_s
+    }
+}
+
+/// Runs `per_client` calls on each of `clients` connections, all
+/// started together; `query(client_idx, call_idx, connection)` issues
+/// one call and returns its latency in microseconds. With `pace` set,
+/// call *i* on each connection is released no earlier than `i * pace`
+/// after the phase start (open-loop arrivals: the schedule does not
+/// wait for other clients' responses).
+fn run_clients(
+    addr: SocketAddr,
+    clients: usize,
+    per_client: u64,
+    pace: Option<Duration>,
+    query: impl Fn(usize, u64, &mut Client) -> f64 + Sync,
+) -> PhaseResult {
+    let barrier = Barrier::new(clients);
+    let (latencies, elapsed_s) = timed(|| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let barrier = &barrier;
+                    let query = &query;
+                    scope.spawn(move || {
+                        let mut conn = Client::connect(addr).expect("connect");
+                        let mut latencies = Vec::with_capacity(per_client as usize);
+                        barrier.wait();
+                        let phase_start = Instant::now();
+                        for i in 0..per_client {
+                            if let Some(pace) = pace {
+                                let due = pace * (i as u32);
+                                if let Some(wait) = due.checked_sub(phase_start.elapsed()) {
+                                    std::thread::sleep(wait);
+                                }
+                            }
+                            latencies.push(query(c, i, &mut conn));
+                        }
+                        latencies
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect::<Vec<f64>>()
+        })
+    });
+    PhaseResult {
+        calls: (clients as u64) * per_client,
+        elapsed_s,
+        latencies_us: latencies,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    // The in-process server (unless --connect): workers sized by
+    // --threads, snapshot lifecycle wired to --cache-snapshot.
+    let server = match &args.connect {
+        Some(_) => None,
+        None => {
+            let config = ServeConfig {
+                // One worker per client connection plus the control
+                // client, or the phases serialize and nothing coalesces.
+                workers: args.base.threads.max(args.clients + 2),
+                snapshot: args.base.cache_snapshot.clone().map(|base| SnapshotPolicy {
+                    base,
+                    interval: Duration::from_millis(500),
+                    keep: 3,
+                }),
+                ..ServeConfig::default()
+            };
+            Some(Server::start(config).expect("start in-process server"))
+        }
+    };
+    let addr: SocketAddr = match (&args.connect, &server) {
+        (Some(addr), _) => addr.parse().expect("--connect takes HOST:PORT"),
+        (None, Some(server)) => server.local_addr(),
+        (None, None) => unreachable!(),
+    };
+
+    let mut control = Client::connect(addr).expect("connect control client");
+    let (digest, vars, _) = control.register(SOURCE).expect("register");
+    assert_eq!(vars, ["Cls", "Score", "Weight"], "scope over the wire");
+    let direct = sppl_analyze::compile_model(SOURCE).expect("direct model");
+    assert_eq!(
+        direct.model_digest(),
+        digest,
+        "server digest must match the direct compile"
+    );
+    let stats_before = control.stats().expect("stats");
+
+    // Phase 1 — contended closed loop: every round, all clients race the
+    // SAME fresh query; concurrent arrivals coalesce onto one evaluation.
+    let direct_ref = &direct;
+    let bits_checked = AtomicU64::new(0);
+    let contended = run_clients(
+        addr,
+        args.clients,
+        args.rounds as u64,
+        None,
+        |_, round, conn| {
+            let event = distinct_event(1, round);
+            let start = Instant::now();
+            let served = conn.logprob(digest, &event).expect("contended logprob");
+            let us = start.elapsed().as_secs_f64() * 1e6;
+            assert_bits(direct_ref, &event, served);
+            bits_checked.fetch_add(1, Ordering::Relaxed);
+            us
+        },
+    );
+    let stats_contended = control.stats().expect("stats");
+    let coalesced = stats_contended.coalesced - stats_before.coalesced;
+
+    // Phase 2 — throughput closed loop: distinct queries per client, as
+    // fast as the closed loop allows; same-window arrivals batch.
+    let per_client = if args.base.test { 50 } else { 400 };
+    let throughput = run_clients(addr, args.clients, per_client, None, |c, i, conn| {
+        let event = distinct_event(2 + c as u64, i);
+        let start = Instant::now();
+        let served = conn.logprob(digest, &event).expect("throughput logprob");
+        let us = start.elapsed().as_secs_f64() * 1e6;
+        assert_bits(direct_ref, &event, served);
+        bits_checked.fetch_add(1, Ordering::Relaxed);
+        us
+    });
+
+    // Phase 3 — open loop: paced arrivals at a fixed target rate, the
+    // latency-under-load shape (arrival times don't wait for responses
+    // from other clients; each connection paces its own share).
+    let target_rate = if args.base.test { 800.0 } else { 4000.0 };
+    let open_calls = if args.base.test { 60 } else { 300 };
+    let pace = Duration::from_secs_f64(args.clients as f64 / target_rate);
+    let open = run_clients(addr, args.clients, open_calls, Some(pace), |c, i, conn| {
+        let event = distinct_event(100 + c as u64, i);
+        let start = Instant::now();
+        let served = conn.prob(digest, &event).expect("open-loop prob");
+        let us = start.elapsed().as_secs_f64() * 1e6;
+        let want = direct_ref
+            .prob(&event.to_event().expect("wire event"))
+            .expect("direct prob");
+        assert_eq!(served.to_bits(), want.to_bits(), "prob bit parity");
+        bits_checked.fetch_add(1, Ordering::Relaxed);
+        us
+    });
+
+    // Phase 4 — posterior flow: condition over the wire, check the
+    // posterior digest against the direct closure-theorem call, then
+    // assert bit parity for queries against the posterior digest.
+    let observe = WireEvent::eq_str("Cls", "spam");
+    let (posterior_digest, fresh) = control.condition(digest, &observe).expect("condition");
+    let direct_posterior = direct
+        .condition(&observe.to_event().expect("wire event"))
+        .expect("direct condition");
+    let posterior_digest_match = direct_posterior.model_digest() == posterior_digest;
+    assert!(
+        posterior_digest_match,
+        "posterior digests diverge: wire {posterior_digest} vs direct {}",
+        direct_posterior.model_digest()
+    );
+    assert!(fresh, "first conditioning registers a fresh posterior");
+    for i in 0..(if args.base.test { 20 } else { 100 }) {
+        let event = distinct_event(7, i);
+        let served = control
+            .logprob(posterior_digest, &event)
+            .expect("posterior logprob");
+        let want = direct_posterior
+            .logprob(&event.to_event().expect("wire event"))
+            .expect("direct posterior logprob");
+        assert_eq!(served.to_bits(), want.to_bits(), "posterior bit parity");
+        bits_checked.fetch_add(1, Ordering::Relaxed);
+    }
+    // Chained conditioning stays digest-stable too.
+    let chain = [observe.clone(), WireEvent::gt("Score", 1.0)];
+    let (chained_digest, _) = control
+        .condition_chain(digest, &chain)
+        .expect("condition_chain");
+    let direct_chain = direct
+        .condition_chain(&[
+            chain[0].to_event().expect("wire event"),
+            chain[1].to_event().expect("wire event"),
+        ])
+        .expect("direct chain");
+    assert_eq!(
+        direct_chain.model_digest(),
+        chained_digest,
+        "chained posterior digest parity"
+    );
+
+    let stats_after: StatsSnapshot = control.stats().expect("stats");
+    drop(control);
+    if let Some(server) = server {
+        server.shutdown(); // final snapshot generation, when configured
+    }
+
+    let total_calls = contended.calls + throughput.calls + open.calls;
+    let coalesce_rate = coalesced as f64 / contended.calls as f64;
+    assert!(
+        coalesced > 0,
+        "contended load must coalesce at least one query"
+    );
+    let (contended_p50, contended_p99) = p50_p99(contended.latencies_us.clone());
+    let (throughput_p50, throughput_p99) = p50_p99(throughput.latencies_us.clone());
+    let (open_p50, open_p99) = p50_p99(open.latencies_us.clone());
+    let batch_hist: Vec<String> = BATCH_HIST_BUCKETS
+        .iter()
+        .zip(stats_after.batch_hist.iter())
+        .map(|(label, count)| format!("{label}:{count}"))
+        .collect();
+    let batch_hist = batch_hist.join(" ");
+
+    let mut table = Table::new(["Phase", "Calls", "Elapsed", "q/s", "p50 µs", "p99 µs"]);
+    for (name, phase, p50, p99) in [
+        ("contended", &contended, contended_p50, contended_p99),
+        ("throughput", &throughput, throughput_p50, throughput_p99),
+        ("open-loop", &open, open_p50, open_p99),
+    ] {
+        table.row([
+            name.to_string(),
+            phase.calls.to_string(),
+            format!("{:.3} s", phase.elapsed_s),
+            fmt_count(phase.throughput()),
+            format!("{p50:.0}"),
+            format!("{p99:.0}"),
+        ]);
+    }
+    println!(
+        "serve_bench: {} clients against {} (bit-identical answers asserted)\n",
+        args.clients,
+        match &args.connect {
+            Some(addr) => format!("external server {addr}"),
+            None => "in-process server".to_string(),
+        }
+    );
+    table.print();
+    println!(
+        "\ncoalesced {coalesced}/{} contended calls ({:.1}%); \
+         {} batches over {} batched queries (max {}); hist {batch_hist}",
+        contended.calls,
+        coalesce_rate * 100.0,
+        stats_after.batches,
+        stats_after.batched_queries,
+        stats_after.max_batch,
+    );
+    println!(
+        "posterior digest parity: wire condition == direct condition ({posterior_digest}); \
+         {} answers bit-checked",
+        bits_checked.load(Ordering::Relaxed)
+    );
+
+    if args.base.json {
+        JsonObject::new()
+            .str("bench", "serve")
+            .str("mode", args.base.mode())
+            .int("clients", args.clients as u64)
+            .int(
+                "server_workers",
+                args.base.threads.max(args.clients + 2) as u64,
+            )
+            .int("total_calls", total_calls)
+            .num("contended_qps", contended.throughput())
+            .num("contended_p50_us", contended_p50)
+            .num("contended_p99_us", contended_p99)
+            .int("coalesced", coalesced)
+            .num("coalesce_rate", coalesce_rate)
+            .num("throughput_qps", throughput.throughput())
+            .num("throughput_p50_us", throughput_p50)
+            .num("throughput_p99_us", throughput_p99)
+            .num("open_target_qps", target_rate)
+            .num("open_qps", open.throughput())
+            .num("open_p50_us", open_p50)
+            .num("open_p99_us", open_p99)
+            .int("batches", stats_after.batches)
+            .int("batched_queries", stats_after.batched_queries)
+            .int("max_batch", stats_after.max_batch)
+            .str("batch_hist", &batch_hist)
+            .int("cache_entries", stats_after.cache_entries)
+            .int("models", stats_after.models)
+            .int("bits_checked", bits_checked.load(Ordering::Relaxed))
+            .bool("bits_identical", true)
+            .bool("posterior_digest_match", posterior_digest_match)
+            .write("BENCH_serve.json")
+            .expect("write BENCH_serve.json");
+        println!("\nwrote BENCH_serve.json");
+    }
+}

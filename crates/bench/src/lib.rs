@@ -132,6 +132,6 @@ mod tests {
     }
 }
 
-pub mod cli;
+pub mod args;
 pub mod json;
 pub mod suite;

@@ -294,6 +294,22 @@ impl SharedCache {
         }
     }
 
+    /// Like [`get`](SharedCache::get), except an *absent* key records no
+    /// miss (a found key still counts as a hit and refreshes recency).
+    ///
+    /// This is the serving fast path: a front-end probes before routing a
+    /// query into its coalescing/batching machinery, and the evaluation
+    /// that follows an empty probe records the miss itself — counting the
+    /// probe too would tally every cold query twice.
+    pub fn probe(&self, model_digest: ModelDigest, fingerprint: Fingerprint) -> Option<f64> {
+        let key = (model_digest, fingerprint);
+        let found = lock(self.shard(&key)).touch(&key);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
     /// Stores a log-probability, evicting least-recently-used entries
     /// (round-robin across shards) when the cache is full, and returns
     /// the value now authoritative for the key.

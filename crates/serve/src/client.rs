@@ -1,0 +1,275 @@
+//! A minimal blocking client for the wire protocol: one connection, one
+//! request in flight, typed helpers over [`Request`]/[`Response`].
+//!
+//! Used by `serve_bench`'s load-generator threads and the CI smoke test;
+//! also convenient in examples. Each call sends one line, reads one
+//! line, and checks the echoed correlation id.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use sppl_core::digest::ModelDigest;
+
+use crate::protocol::{Request, Response, StatsSnapshot, WireError, WireEvent, WireOutcome};
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+fn io_error(e: std::io::Error) -> WireError {
+    WireError::new("io", e.to_string())
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the connection attempt.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            reader,
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] for transport failures (`io` kind), undecodable
+    /// replies, or a mismatched correlation id. A *protocol*-level
+    /// failure is `Ok(Response::Error(..))`, not `Err` — use the typed
+    /// helpers to fold it in.
+    pub fn call(&mut self, request: &Request) -> Result<Response, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut line = request.encode(Some(id));
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(io_error)?;
+        let mut reply = String::new();
+        let read = self.reader.read_line(&mut reply).map_err(io_error)?;
+        if read == 0 {
+            return Err(WireError::new("io", "server closed the connection"));
+        }
+        let (echoed, response) = Response::decode(&reply)?;
+        if echoed != Some(id) {
+            return Err(WireError::new(
+                "io",
+                format!("response id {echoed:?} does not match request id {id}"),
+            ));
+        }
+        Ok(response)
+    }
+
+    fn expect<T>(
+        &mut self,
+        request: &Request,
+        take: impl FnOnce(Response) -> Option<T>,
+    ) -> Result<T, WireError> {
+        let response = self.call(request)?;
+        if let Response::Error(e) = response {
+            return Err(e);
+        }
+        take(response).ok_or_else(|| WireError::new("io", "unexpected response shape"))
+    }
+
+    /// `register`: compile + retain; returns (digest, vars, fresh).
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport [`WireError`].
+    pub fn register(
+        &mut self,
+        source: &str,
+    ) -> Result<(ModelDigest, Vec<String>, bool), WireError> {
+        self.expect(
+            &Request::Register {
+                source: source.to_string(),
+            },
+            |r| match r {
+                Response::Compiled {
+                    digest,
+                    vars,
+                    fresh,
+                } => Some((digest, vars, fresh.unwrap_or(false))),
+                _ => None,
+            },
+        )
+    }
+
+    /// `compile`: check only; returns (digest, vars).
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport [`WireError`].
+    pub fn compile(&mut self, source: &str) -> Result<(ModelDigest, Vec<String>), WireError> {
+        self.expect(
+            &Request::Compile {
+                source: source.to_string(),
+            },
+            |r| match r {
+                Response::Compiled { digest, vars, .. } => Some((digest, vars)),
+                _ => None,
+            },
+        )
+    }
+
+    /// `lookup`: returns the registered scope, or `None` when unknown.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport [`WireError`].
+    pub fn lookup(&mut self, model: ModelDigest) -> Result<Option<Vec<String>>, WireError> {
+        self.expect(&Request::Lookup { model }, |r| match r {
+            Response::Found { found: true, vars } => Some(Some(vars)),
+            Response::Found { found: false, .. } => Some(None),
+            _ => None,
+        })
+    }
+
+    fn query(
+        &mut self,
+        model: ModelDigest,
+        events: Vec<WireEvent>,
+        single: bool,
+        prob: bool,
+    ) -> Result<Vec<f64>, WireError> {
+        self.expect(
+            &Request::Query {
+                model,
+                events,
+                single,
+                prob,
+            },
+            |r| match r {
+                Response::Values { values, .. } => Some(values),
+                _ => None,
+            },
+        )
+    }
+
+    /// Single-event `logprob`; bit-exact over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport [`WireError`].
+    pub fn logprob(&mut self, model: ModelDigest, event: &WireEvent) -> Result<f64, WireError> {
+        Ok(self.query(model, vec![event.clone()], true, false)?[0])
+    }
+
+    /// Single-event `prob`; bit-exact over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport [`WireError`].
+    pub fn prob(&mut self, model: ModelDigest, event: &WireEvent) -> Result<f64, WireError> {
+        Ok(self.query(model, vec![event.clone()], true, true)?[0])
+    }
+
+    /// Batched `logprob`.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport [`WireError`].
+    pub fn logprob_many(
+        &mut self,
+        model: ModelDigest,
+        events: &[WireEvent],
+    ) -> Result<Vec<f64>, WireError> {
+        self.query(model, events.to_vec(), false, false)
+    }
+
+    /// Batched `prob`.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport [`WireError`].
+    pub fn prob_many(
+        &mut self,
+        model: ModelDigest,
+        events: &[WireEvent],
+    ) -> Result<Vec<f64>, WireError> {
+        self.query(model, events.to_vec(), false, true)
+    }
+
+    fn posterior(&mut self, request: &Request) -> Result<(ModelDigest, bool), WireError> {
+        self.expect(request, |r| match r {
+            Response::Posterior { digest, fresh } => Some((digest, fresh)),
+            _ => None,
+        })
+    }
+
+    /// `condition`: returns the registered posterior's digest and
+    /// whether it was fresh.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport [`WireError`] (`query` kind on
+    /// zero-probability events).
+    pub fn condition(
+        &mut self,
+        model: ModelDigest,
+        event: &WireEvent,
+    ) -> Result<(ModelDigest, bool), WireError> {
+        self.posterior(&Request::Condition {
+            model,
+            event: event.clone(),
+        })
+    }
+
+    /// `condition_chain`: posterior of the whole chain.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport [`WireError`].
+    pub fn condition_chain(
+        &mut self,
+        model: ModelDigest,
+        events: &[WireEvent],
+    ) -> Result<(ModelDigest, bool), WireError> {
+        self.posterior(&Request::ConditionChain {
+            model,
+            events: events.to_vec(),
+        })
+    }
+
+    /// `constrain`: posterior under measure-zero observations.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport [`WireError`].
+    pub fn constrain(
+        &mut self,
+        model: ModelDigest,
+        assignment: &BTreeMap<String, WireOutcome>,
+    ) -> Result<(ModelDigest, bool), WireError> {
+        self.posterior(&Request::Constrain {
+            model,
+            assignment: assignment.clone(),
+        })
+    }
+
+    /// `stats`: the server's counters.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport [`WireError`].
+    pub fn stats(&mut self) -> Result<StatsSnapshot, WireError> {
+        self.expect(&Request::Stats, |r| match r {
+            Response::Stats(s) => Some(s),
+            _ => None,
+        })
+    }
+}

@@ -1,0 +1,150 @@
+//! The model registry: digest → compiled [`Model`], the register-once /
+//! query-by-digest half of the protocol.
+//!
+//! Roots and posteriors live in the same map — `condition` registers the
+//! posterior it builds and hands back its digest, so a client can chain
+//! observations server-side without ever holding a `Model`. Every
+//! registered model shares the server's one
+//! [`SharedCache`](sppl_core::SharedCache), which is what makes
+//! digest-keyed caching and coalescing sound across clients.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use sppl_core::digest::ModelDigest;
+use sppl_core::Model;
+
+use crate::protocol::WireError;
+
+/// A bounded, thread-safe map from content digest to compiled model.
+///
+/// Registration is first-write-wins and idempotent: registering a model
+/// whose digest is already present returns the *existing* entry (the
+/// compiled forms are interchangeable — the digest is a deep content
+/// hash), reports `fresh = false`, and drops the new copy.
+///
+/// ```
+/// use sppl_analyze::compile_model;
+/// use sppl_serve::registry::ModelRegistry;
+///
+/// let registry = ModelRegistry::new(16);
+/// let model = compile_model("X ~ bernoulli(p=0.5)").unwrap();
+/// let digest = model.model_digest();
+/// let (_, fresh) = registry.register(model).unwrap();
+/// assert!(fresh);
+/// assert!(registry.get(digest).is_some());
+/// ```
+pub struct ModelRegistry {
+    capacity: usize,
+    models: Mutex<HashMap<ModelDigest, Arc<Model>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry holding at most `capacity` models (minimum 1).
+    pub fn new(capacity: usize) -> ModelRegistry {
+        ModelRegistry {
+            capacity: capacity.max(1),
+            models: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Registers `model` under its own digest, returning the retained
+    /// handle and whether the digest was new.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] (`registry_full`) when the registry is at capacity
+    /// and the digest is not already present.
+    pub fn register(&self, model: Model) -> Result<(Arc<Model>, bool), WireError> {
+        let digest = model.model_digest();
+        let mut models = self.lock();
+        if let Some(existing) = models.get(&digest) {
+            return Ok((Arc::clone(existing), false));
+        }
+        if models.len() >= self.capacity {
+            return Err(WireError::new(
+                "registry_full",
+                format!("registry holds its maximum of {} models", self.capacity),
+            ));
+        }
+        let model = Arc::new(model);
+        models.insert(digest, Arc::clone(&model));
+        Ok((model, true))
+    }
+
+    /// The model registered under `digest`, if any.
+    pub fn get(&self, digest: ModelDigest) -> Option<Arc<Model>> {
+        self.lock().get(&digest).map(Arc::clone)
+    }
+
+    /// How many models are registered.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The registry's capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<ModelDigest, Arc<Model>>> {
+        self.models.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The sorted variable names in `model`'s scope — the `vars` field of
+/// `compile`/`register`/`lookup` responses.
+pub fn scope_names(model: &Model) -> Vec<String> {
+    model
+        .root()
+        .scope()
+        .iter()
+        .map(|v| v.name().to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sppl_analyze::compile_model;
+
+    #[test]
+    fn register_is_idempotent() {
+        let registry = ModelRegistry::new(4);
+        let a = compile_model("X ~ normal(0, 1)").unwrap();
+        let digest = a.model_digest();
+        let (_, fresh) = registry.register(a).unwrap();
+        assert!(fresh);
+        let b = compile_model("X ~ normal(0, 1)").unwrap();
+        assert_eq!(b.model_digest(), digest);
+        let (_, fresh) = registry.register(b).unwrap();
+        assert!(!fresh);
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced_but_existing_digests_pass() {
+        let registry = ModelRegistry::new(1);
+        let a = compile_model("X ~ bernoulli(p=0.25)").unwrap();
+        registry.register(a).unwrap();
+        let err = registry
+            .register(compile_model("Y ~ bernoulli(p=0.75)").unwrap())
+            .unwrap_err();
+        assert_eq!(err.kind, "registry_full");
+        // Same digest still registers (idempotent path skips the bound).
+        let again = compile_model("X ~ bernoulli(p=0.25)").unwrap();
+        let (_, fresh) = registry.register(again).unwrap();
+        assert!(!fresh);
+    }
+
+    #[test]
+    fn scope_names_are_sorted() {
+        let m = compile_model("B ~ normal(0, 1)\nA ~ bernoulli(p=0.5)").unwrap();
+        assert_eq!(scope_names(&m), vec!["A".to_string(), "B".to_string()]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Snapshot rotation: generation-numbered cache snapshots with GC and a
+//! corruption-tolerant loader.
+//!
+//! The background saver never overwrites the snapshot it would fall back
+//! to. Each save goes to a fresh *generation* file — `<base>.gNNNNNN`,
+//! written through [`SharedCache::save_snapshot`]'s atomic
+//! tmp-then-rename path — and old generations are garbage-collected
+//! afterwards, keeping the newest few. A crash at any point (mid-write,
+//! between write and GC, mid-GC) therefore leaves at least one complete
+//! earlier generation on disk, and [`SnapshotRotation::load_newest`]
+//! walks generations newest-first past any corrupt or truncated file to
+//! the most recent loadable one. A plain (rotation-less) `<base>` file
+//! from an older run still loads, as the final fallback.
+
+use std::path::{Path, PathBuf};
+
+use sppl_core::{SharedCache, SpplError};
+
+/// Rotating snapshot files around one base path.
+///
+/// ```
+/// use sppl_core::SharedCache;
+/// use sppl_serve::snapshot::SnapshotRotation;
+///
+/// let dir = std::env::temp_dir().join("sppl-serve-rotation-doc");
+/// std::fs::create_dir_all(&dir).unwrap();
+/// let rotation = SnapshotRotation::new(dir.join("cache.snap"), 2);
+///
+/// let cache = SharedCache::new(64);
+/// let (gen1, _) = rotation.save(&cache).unwrap();
+/// let (gen2, _) = rotation.save(&cache).unwrap();
+/// assert!(gen2 > gen1);
+///
+/// let warm = SharedCache::new(64);
+/// let (path, _) = rotation.load_newest(&warm).unwrap();
+/// assert_eq!(path, rotation.generation_path(gen2));
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+#[derive(Debug, Clone)]
+pub struct SnapshotRotation {
+    base: PathBuf,
+    keep: usize,
+}
+
+impl SnapshotRotation {
+    /// Rotation around `base`, keeping the newest `keep` generations
+    /// (minimum 1).
+    pub fn new(base: impl Into<PathBuf>, keep: usize) -> SnapshotRotation {
+        SnapshotRotation {
+            base: base.into(),
+            keep: keep.max(1),
+        }
+    }
+
+    /// The base path generations are derived from.
+    pub fn base(&self) -> &Path {
+        &self.base
+    }
+
+    /// The path of generation `gen`: `<base>.gNNNNNN`.
+    pub fn generation_path(&self, gen: u64) -> PathBuf {
+        let name = self
+            .base
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        self.base.with_file_name(format!("{name}.g{gen:06}"))
+    }
+
+    /// Existing generation files, sorted oldest first.
+    pub fn generations(&self) -> Vec<(u64, PathBuf)> {
+        let Some(base_name) = self
+            .base
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+        else {
+            return Vec::new();
+        };
+        let parent = match self.base.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        let prefix = format!("{base_name}.g");
+        let mut found = Vec::new();
+        let Ok(entries) = std::fs::read_dir(parent) else {
+            return Vec::new();
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let Some(suffix) = name.strip_prefix(&prefix) else {
+                continue;
+            };
+            // Generation files end in digits only; `.tmp` staging files
+            // and anything else are not generations.
+            if !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit()) {
+                if let Ok(gen) = suffix.parse::<u64>() {
+                    found.push((gen, entry.path()));
+                }
+            }
+        }
+        found.sort();
+        found
+    }
+
+    /// Writes the next generation (atomically, via
+    /// [`SharedCache::save_snapshot`]) and garbage-collects old ones,
+    /// returning the new generation number and how many entries it holds.
+    /// GC failures are swallowed — an undeleted old generation is merely
+    /// disk, never a correctness problem.
+    ///
+    /// # Errors
+    ///
+    /// [`SpplError::Snapshot`] when the new generation cannot be written;
+    /// existing generations are untouched.
+    pub fn save(&self, cache: &SharedCache) -> Result<(u64, usize), SpplError> {
+        let next = self.generations().last().map_or(1, |(gen, _)| gen + 1);
+        let written = cache.save_snapshot(self.generation_path(next))?;
+        self.gc();
+        Ok((next, written))
+    }
+
+    /// Removes all but the newest `keep` generations, plus any stale
+    /// `.tmp` staging files a crashed saver left behind. Best-effort.
+    pub fn gc(&self) {
+        let generations = self.generations();
+        if generations.len() > self.keep {
+            for (_, path) in &generations[..generations.len() - self.keep] {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        for (_, path) in self.generations() {
+            let mut tmp = path.into_os_string();
+            tmp.push(".tmp");
+            let _ = std::fs::remove_file(PathBuf::from(tmp));
+        }
+        // A staging file for the *next* generation (crash mid-save).
+        let next = self.generations().last().map_or(1, |(gen, _)| gen + 1);
+        let mut tmp = self.generation_path(next).into_os_string();
+        tmp.push(".tmp");
+        let _ = std::fs::remove_file(PathBuf::from(tmp));
+    }
+
+    /// Loads the newest loadable snapshot into `cache`, walking
+    /// generations newest-first past corrupt or unreadable files, then
+    /// falling back to the bare `<base>` path. Returns the path loaded
+    /// and its entry count, or `None` when nothing loadable exists — a
+    /// cold start, never an error.
+    pub fn load_newest(&self, cache: &SharedCache) -> Option<(PathBuf, usize)> {
+        for (_, path) in self.generations().into_iter().rev() {
+            if let Ok(loaded) = cache.load_snapshot(&path) {
+                return Some((path, loaded));
+            }
+        }
+        if let Ok(loaded) = cache.load_snapshot(&self.base) {
+            return Some((self.base.clone(), loaded));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sppl_core::digest::{Fingerprint, ModelDigest};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sppl-serve-snapshot-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn seeded_cache(values: &[(u128, f64)]) -> SharedCache {
+        let cache = SharedCache::new(1024);
+        for (k, v) in values {
+            cache.insert(
+                ModelDigest::from_u128(*k),
+                Fingerprint::from_u128(*k ^ 7),
+                *v,
+            );
+        }
+        cache
+    }
+
+    #[test]
+    fn generations_rotate_and_gc() {
+        let dir = scratch_dir("rotate");
+        let rotation = SnapshotRotation::new(dir.join("cache.snap"), 2);
+        let cache = seeded_cache(&[(1, -0.5), (2, -1.5)]);
+        for expected in 1..=4u64 {
+            let (gen, written) = rotation.save(&cache).unwrap();
+            assert_eq!(gen, expected);
+            assert_eq!(written, 2);
+        }
+        let generations: Vec<u64> = rotation.generations().iter().map(|(g, _)| *g).collect();
+        assert_eq!(generations, vec![3, 4], "GC keeps the newest two");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_newest_skips_corrupt_generations() {
+        let dir = scratch_dir("corrupt");
+        let rotation = SnapshotRotation::new(dir.join("cache.snap"), 3);
+        let cache = seeded_cache(&[(9, -2.25)]);
+        rotation.save(&cache).unwrap(); // g1, complete
+                                        // g2 "crashed mid-write": truncated garbage at the final path.
+        std::fs::write(rotation.generation_path(2), b"SPPLSNAPgarbage").unwrap();
+        // g3 only reached its staging file.
+        std::fs::write(dir.join("cache.snap.g000003.tmp"), b"partial").unwrap();
+
+        let warm = SharedCache::new(1024);
+        let (path, loaded) = rotation.load_newest(&warm).unwrap();
+        assert_eq!(path, rotation.generation_path(1));
+        assert_eq!(loaded, 1);
+        assert_eq!(
+            warm.probe(ModelDigest::from_u128(9), Fingerprint::from_u128(9 ^ 7)),
+            Some(-2.25)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bare_base_is_the_final_fallback() {
+        let dir = scratch_dir("bare");
+        let rotation = SnapshotRotation::new(dir.join("cache.snap"), 2);
+        let cache = seeded_cache(&[(4, -0.75)]);
+        cache.save_snapshot(dir.join("cache.snap")).unwrap();
+        let warm = SharedCache::new(1024);
+        let (path, loaded) = rotation.load_newest(&warm).unwrap();
+        assert_eq!(path, dir.join("cache.snap"));
+        assert_eq!(loaded, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn nothing_loadable_is_a_cold_start() {
+        let dir = scratch_dir("cold");
+        let rotation = SnapshotRotation::new(dir.join("cache.snap"), 2);
+        let warm = SharedCache::new(64);
+        assert!(rotation.load_newest(&warm).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_removes_stale_tmp_files() {
+        let dir = scratch_dir("tmp");
+        let rotation = SnapshotRotation::new(dir.join("cache.snap"), 2);
+        let cache = seeded_cache(&[(5, -1.0)]);
+        rotation.save(&cache).unwrap();
+        let stale = dir.join("cache.snap.g000001.tmp");
+        std::fs::write(&stale, b"leftover").unwrap();
+        rotation.gc();
+        assert!(!stale.exists());
+        assert!(rotation.generation_path(1).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,308 @@
+//! End-to-end serving over real TCP sockets: every answer a client
+//! reads off the wire is bit-identical to the corresponding direct
+//! [`Model`] call in this process, racing clients coalesce into one
+//! underlying evaluation, protocol errors come back as structured
+//! error responses, and a restarted server warm-starts from its own
+//! rotated snapshots with pure cache hits.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use sppl_core::density::Assignment;
+use sppl_core::digest::ModelDigest;
+use sppl_core::prelude::{Outcome, Var};
+use sppl_serve::protocol::{WireEvent, WireOutcome};
+use sppl_serve::server::SnapshotPolicy;
+use sppl_serve::{Client, ServeConfig, Server};
+
+/// The model served in every test: one continuous and one nominal
+/// variable, so comparisons, equality, and posteriors all have bite.
+const SOURCE: &str = "X ~ normal(0, 1)\nN ~ choice({'a': 0.25, 'b': 0.75})\n";
+
+fn start(config: ServeConfig) -> Server {
+    Server::start(config).expect("server binds on loopback")
+}
+
+#[test]
+fn served_answers_match_direct_calls_bit_for_bit() {
+    let server = start(ServeConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let direct = sppl_analyze::compile_model(SOURCE).expect("direct compile");
+
+    // register: digest equals the direct compile's content digest (that
+    // is the whole query-by-digest contract), scope comes back sorted.
+    let (digest, vars, fresh) = client.register(SOURCE).expect("register");
+    assert_eq!(digest, direct.model_digest());
+    assert_eq!(vars, ["N", "X"]);
+    assert!(fresh, "first registration is fresh");
+    let (_, _, fresh) = client.register(SOURCE).expect("re-register");
+    assert!(!fresh, "same digest re-registered is not fresh");
+
+    // lookup: hit and miss.
+    assert_eq!(
+        client.lookup(digest).expect("lookup"),
+        Some(vec!["N".to_string(), "X".to_string()])
+    );
+    assert_eq!(client.lookup(ModelDigest::from_u128(42)).unwrap(), None);
+
+    // compile retains nothing: the digest answers, but is not queryable.
+    let other = "Y ~ uniform(0, 2)\n";
+    let (compiled, _) = client.compile(other).expect("compile");
+    let direct_other = sppl_analyze::compile_model(other).expect("direct");
+    assert_eq!(compiled, direct_other.model_digest());
+    assert_eq!(client.lookup(compiled).unwrap(), None);
+
+    // Single and batch queries, logprob and prob: bit parity throughout.
+    let events = [
+        WireEvent::le("X", 0.0),
+        WireEvent::gt("X", 1.5),
+        WireEvent::eq_str("N", "a"),
+        WireEvent::And(vec![WireEvent::ge("X", -1.0), WireEvent::eq_str("N", "b")]),
+        WireEvent::Not(Box::new(WireEvent::lt("X", -0.5))),
+    ];
+    for we in &events {
+        let event = we.to_event().unwrap();
+        let served = client.logprob(digest, we).expect("logprob");
+        assert_eq!(served.to_bits(), direct.logprob(&event).unwrap().to_bits());
+        let served = client.prob(digest, we).expect("prob");
+        assert_eq!(served.to_bits(), direct.prob(&event).unwrap().to_bits());
+    }
+    let served = client.logprob_many(digest, &events).expect("batch");
+    let direct_events: Vec<_> = events.iter().map(|we| we.to_event().unwrap()).collect();
+    let reference = direct.logprob_many(&direct_events).unwrap();
+    assert_eq!(served.len(), reference.len());
+    for (s, r) in served.iter().zip(&reference) {
+        assert_eq!(s.to_bits(), r.to_bits(), "batch answers must be exact");
+    }
+
+    // condition: the posterior digest equals the direct posterior's —
+    // content-addressing crosses the wire — and posterior queries stay
+    // bit-identical.
+    let evidence = WireEvent::gt("X", 0.0);
+    let (posterior, fresh) = client.condition(digest, &evidence).expect("condition");
+    let direct_posterior = direct.condition(&evidence.to_event().unwrap()).unwrap();
+    assert_eq!(posterior, direct_posterior.model_digest());
+    assert!(fresh, "first conditioning registers the posterior");
+    let (again, fresh) = client.condition(digest, &evidence).expect("re-condition");
+    assert_eq!(again, posterior);
+    assert!(!fresh, "same posterior is already registered");
+    for we in &events {
+        let served = client.logprob(posterior, we).expect("posterior query");
+        let reference = direct_posterior.logprob(&we.to_event().unwrap()).unwrap();
+        assert_eq!(served.to_bits(), reference.to_bits());
+    }
+
+    // condition_chain ≡ repeated condition, digest for digest.
+    let chain = [WireEvent::gt("X", -1.0), WireEvent::lt("X", 1.0)];
+    let (chained, _) = client.condition_chain(digest, &chain).expect("chain");
+    let stepwise = direct
+        .condition(&chain[0].to_event().unwrap())
+        .unwrap()
+        .condition(&chain[1].to_event().unwrap())
+        .unwrap();
+    assert_eq!(chained, stepwise.model_digest());
+
+    // constrain: measure-zero observation, digest parity, then a
+    // bit-identical query against the constrained posterior.
+    let mut wire_obs = BTreeMap::new();
+    wire_obs.insert("X".to_string(), WireOutcome::Real(0.5));
+    let (constrained, _) = client.constrain(digest, &wire_obs).expect("constrain");
+    let mut obs = Assignment::new();
+    obs.insert(Var::new("X"), Outcome::Real(0.5));
+    let direct_constrained = direct.constrain(&obs).unwrap();
+    assert_eq!(constrained, direct_constrained.model_digest());
+    let we = WireEvent::eq_str("N", "a");
+    assert_eq!(
+        client.logprob(constrained, &we).unwrap().to_bits(),
+        direct_constrained
+            .logprob(&we.to_event().unwrap())
+            .unwrap()
+            .to_bits()
+    );
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.requests > 0);
+    assert_eq!(stats.errors, 0, "this session made no bad requests");
+    assert!(stats.models >= 4, "root + three posteriors registered");
+    server.shutdown();
+}
+
+#[test]
+fn racing_clients_coalesce_into_one_evaluation() {
+    let n = 6;
+    let server = start(ServeConfig {
+        // Every racing connection needs a live handler or the race
+        // serializes; a long window gives stragglers time to coalesce.
+        workers: n + 2,
+        batch_window: Duration::from_millis(100),
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    let mut control = Client::connect(addr).expect("connect");
+    let (digest, _, _) = control.register(SOURCE).expect("register");
+
+    let event = WireEvent::le("X", 0.25);
+    let barrier = Arc::new(Barrier::new(n));
+    let answers: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let event = event.clone();
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect racer");
+                    barrier.wait();
+                    client.logprob(digest, &event).expect("raced query")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let direct = sppl_analyze::compile_model(SOURCE).expect("direct compile");
+    let reference = direct.logprob(&event.to_event().unwrap()).unwrap();
+    for (i, answer) in answers.iter().enumerate() {
+        assert_eq!(
+            answer.to_bits(),
+            reference.to_bits(),
+            "racer {i} got a different answer"
+        );
+    }
+
+    let stats = control.stats().expect("stats");
+    assert_eq!(
+        stats.cache_misses, 1,
+        "n identical racing queries must evaluate exactly once ({stats:?})"
+    );
+    assert!(
+        stats.coalesced >= 1,
+        "concurrent in-flight duplicates must coalesce ({stats:?})"
+    );
+    // The other n-1 racers coalesced or hit the cache; a racer that
+    // probes before the insert but reaches the slot map after the
+    // owner's cleanup re-evaluates against the warm engine memo instead,
+    // so the split is bounded, not exact.
+    assert!(
+        stats.coalesced + stats.cache_hits <= n as u64 - 1,
+        "more coalesces/hits than racers ({stats:?})"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn protocol_errors_come_back_structured() {
+    let server = start(ServeConfig::default());
+    let addr = server.local_addr();
+
+    // Typed client errors carry machine-readable kinds.
+    let mut client = Client::connect(addr).expect("connect");
+    let missing = ModelDigest::from_u128(0xdead);
+    let err = client
+        .logprob(missing, &WireEvent::le("X", 0.0))
+        .expect_err("unregistered digest");
+    assert_eq!(err.kind, "unknown_model");
+    let err = client.compile("X ~ ~ nonsense").expect_err("bad source");
+    assert_eq!(err.kind, "compile");
+    let (digest, _, _) = client.register(SOURCE).expect("register");
+    let err = client
+        .logprob(digest, &WireEvent::le("Nope", 0.0))
+        .expect_err("unknown variable");
+    assert_eq!(err.kind, "query");
+
+    // Raw wire garbage: the server answers (it never hangs up on a bad
+    // line), flags ok=false, names the kind, and echoes the id.
+    let mut raw = TcpStream::connect(addr).expect("raw connect");
+    let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+    let mut line = String::new();
+    for (sent, expect) in [
+        ("this is not json\n", "\"kind\":\"bad_request\""),
+        ("{\"id\":31,\"op\":\"warble\"}\n", "\"id\":31"),
+        ("{\"op\":\"logprob\"}\n", "\"ok\":false"),
+    ] {
+        raw.write_all(sent.as_bytes()).expect("send");
+        line.clear();
+        reader.read_line(&mut line).expect("reply");
+        assert!(line.contains("\"ok\":false"), "{sent:?} -> {line:?}");
+        assert!(line.contains(expect), "{sent:?} -> {line:?}");
+    }
+
+    // The connection survives all of that: a good request still works.
+    let stats = client.stats().expect("stats after errors");
+    assert!(stats.errors >= 6, "every failure above was counted");
+    server.shutdown();
+}
+
+#[test]
+fn restarted_server_warm_starts_from_rotated_snapshots() {
+    let dir = std::env::temp_dir().join(format!("sppl-serve-e2e-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let policy = SnapshotPolicy {
+        base: dir.join("cache.snap"),
+        interval: Duration::from_millis(50),
+        keep: 2,
+    };
+    let events = [
+        WireEvent::le("X", 0.0),
+        WireEvent::gt("X", 1.0),
+        WireEvent::eq_str("N", "b"),
+    ];
+
+    // First life: answer the working set, let the background saver run
+    // at least once, then shut down (which saves a final generation).
+    let server = start(ServeConfig {
+        snapshot: Some(policy.clone()),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let (digest, _, _) = client.register(SOURCE).expect("register");
+    let first_life: Vec<f64> = events
+        .iter()
+        .map(|we| client.logprob(digest, we).expect("query"))
+        .collect();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = client.stats().expect("stats");
+        if stats.snapshot_saves >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "background saver never ran"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+    assert!(
+        !policy.base.exists(),
+        "rotation writes generations, not the bare base path"
+    );
+
+    // Second life: same snapshot policy, fresh process state. The same
+    // working set must be answered from the loaded snapshot alone.
+    let server = start(ServeConfig {
+        snapshot: Some(policy.clone()),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let (digest2, _, _) = client.register(SOURCE).expect("re-register");
+    assert_eq!(digest2, digest, "content digest is stable across lives");
+    for (we, first) in events.iter().zip(&first_life) {
+        let warm = client.logprob(digest, we).expect("warm query");
+        assert_eq!(
+            warm.to_bits(),
+            first.to_bits(),
+            "restart must not change an answer"
+        );
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.cache_misses, 0,
+        "warm restart serves the working set without evaluating ({stats:?})"
+    );
+    assert_eq!(stats.cache_hits, events.len() as u64);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -98,6 +98,7 @@
 //! | [`sppl_num`] | special functions, polynomials, root isolation |
 //! | [`sppl_models`] | every benchmark model from the paper's evaluation |
 //! | [`sppl_baseline`] | PSI/BLOG/VeriFair/FairSquare behavioural substitutes |
+//! | [`sppl_serve`] | line-delimited-JSON TCP query server + client (coalescing, batching, snapshots) |
 
 pub use sppl_analyze as analyze;
 pub use sppl_baseline as baseline;
@@ -106,6 +107,7 @@ pub use sppl_dists as dists;
 pub use sppl_lang as lang;
 pub use sppl_models as models;
 pub use sppl_num as num;
+pub use sppl_serve as serve;
 pub use sppl_sets as sets;
 
 pub use sppl_analyze::{check, compile_model, CompileModel};
@@ -118,4 +120,5 @@ pub mod prelude {
     pub use sppl_core::prelude::*;
     pub use sppl_core::stats::{graph_stats, physical_node_count, tree_node_count};
     pub use sppl_lang::{compile, parse, translate, untranslate};
+    pub use sppl_serve::{Client as ServeClient, ServeConfig, Server};
 }

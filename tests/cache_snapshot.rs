@@ -128,6 +128,65 @@ fn failed_save_leaves_prior_snapshot_loadable() {
 }
 
 #[test]
+fn interrupted_rotation_still_warm_starts_from_newest_complete_generation() {
+    // The serving snapshot lifecycle rotates generations (`<base>.gNNNNNN`)
+    // instead of overwriting one file, precisely so an interrupted
+    // background saver can never cost the warm start. Simulate a saver
+    // that died mid-rotation — a truncated newest generation plus an
+    // orphaned staging file — and assert the restart loads the newest
+    // *complete* generation and serves pure hits from it.
+    use sppl::serve::snapshot::SnapshotRotation;
+
+    let dir = std::env::temp_dir().join(format!("sppl-rotation-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let rotation = SnapshotRotation::new(dir.join("cache.snap"), 3);
+
+    let cache = Arc::new(SharedCache::new(1024));
+    let model = open_session(&cache);
+    let warm_answers = model.logprob_many(&queries()).expect("queries");
+    let (gen1, written) = rotation.save(&cache).expect("first rotation save");
+    assert_eq!(written, queries().len());
+
+    // The crash: generation 2 was torn mid-write (non-atomic copy of a
+    // prefix), generation 3 never got past its staging file.
+    let good = std::fs::read(rotation.generation_path(gen1)).expect("g1 bytes");
+    std::fs::write(rotation.generation_path(gen1 + 1), &good[..good.len() / 2])
+        .expect("torn generation");
+    let mut staging = rotation
+        .generation_path(gen1 + 2)
+        .into_os_string()
+        .into_string()
+        .expect("utf-8 path");
+    staging.push_str(".tmp");
+    std::fs::write(&staging, b"partial write").expect("orphaned staging file");
+
+    // Restart: newest-first walk skips the torn file, lands on g1, and
+    // the working set is answered without a single evaluation.
+    let restarted = Arc::new(SharedCache::new(1024));
+    let (loaded_from, loaded) = rotation
+        .load_newest(&restarted)
+        .expect("a complete generation survives the crash");
+    assert_eq!(loaded_from, rotation.generation_path(gen1));
+    assert_eq!(loaded, queries().len());
+    let model = open_session(&restarted);
+    let recovered = model.logprob_many(&queries()).expect("warm queries");
+    let stats = restarted.stats();
+    assert_eq!(stats.misses, 0, "recovery must be pure hits ({stats:?})");
+    for (w, r) in warm_answers.iter().zip(&recovered) {
+        assert_eq!(w.to_bits(), r.to_bits());
+    }
+
+    // The next successful save leaves no crash debris behind.
+    rotation.save(&restarted).expect("post-crash save");
+    assert!(
+        !std::path::Path::new(&staging).exists(),
+        "the staging orphan must not outlive the next save"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn rejected_snapshot_degrades_to_cold_answers_not_wrong_ones() {
     // A corrupt snapshot file surfaces an error, loads nothing, and the
     // session simply computes cold — probabilities are never wrong.

@@ -53,6 +53,9 @@ const SNAPSHOT: &[&str] = &[
     "prelude::RealSet",
     "prelude::Sample",
     "prelude::Scalar",
+    "prelude::ServeClient",
+    "prelude::ServeConfig",
+    "prelude::Server",
     "prelude::SharedCache",
     "prelude::Spe",
     "prelude::SpplError",
@@ -73,6 +76,7 @@ const SNAPSHOT: &[&str] = &[
     "prelude::tree_node_count",
     "prelude::untranslate",
     "prelude::var",
+    "serve",
     "sets",
     "var",
 ];
@@ -115,9 +119,9 @@ fn exported_names(source: &str, core_prelude: Option<&str>) -> Vec<String> {
             !spec.ends_with("::*"),
             "unrecognized glob re-export `{spec}`: teach tests/public_api.rs to resolve it"
         );
-        if let Some((_, alias)) = spec.split_once(" as ") {
-            names.push(alias.trim().to_string());
-        } else if let Some((_, list)) = spec.split_once('{') {
+        // The braced-list check must come first: a list item may itself
+        // carry an `as` alias (handled per item below).
+        if let Some((_, list)) = spec.split_once('{') {
             let list = list.trim_end_matches('}');
             for item in list.split(',') {
                 let item = item.trim();
@@ -127,6 +131,8 @@ fn exported_names(source: &str, core_prelude: Option<&str>) -> Vec<String> {
                 let name = item.split_once(" as ").map_or(item, |(_, a)| a.trim());
                 names.push(name.to_string());
             }
+        } else if let Some((_, alias)) = spec.split_once(" as ") {
+            names.push(alias.trim().to_string());
         } else {
             let name = spec.rsplit("::").next().unwrap_or(spec);
             names.push(name.to_string());

@@ -36,6 +36,7 @@ const BENCH_BINS: &[&str] = &[
     "crates/bench/src/bin/fig3_hmm.rs",
     "crates/bench/src/bin/fig4_transform.rs",
     "crates/bench/src/bin/fig8_rare_events.rs",
+    "crates/bench/src/bin/serve_bench.rs",
     "crates/bench/src/bin/sppl_lint.rs",
     "crates/bench/src/bin/table1_compression.rs",
     "crates/bench/src/bin/table2_fairness.rs",
@@ -51,6 +52,8 @@ const CRATE_SUITES: &[&str] = &[
     "crates/core/tests/engine_cache.rs",
     "crates/core/tests/transform_soundness.rs",
     "crates/lang/tests/translate_tests.rs",
+    "crates/serve/tests/protocol_roundtrip.rs",
+    "crates/serve/tests/serve_e2e.rs",
 ];
 
 #[test]
@@ -107,6 +110,7 @@ fn auto_discovery_is_not_disabled() {
         "crates/models/Cargo.toml",
         "crates/baseline/Cargo.toml",
         "crates/bench/Cargo.toml",
+        "crates/serve/Cargo.toml",
     ] {
         let src = fs::read_to_string(root().join(manifest)).expect("manifest readable");
         for key in ["autotests", "autoexamples", "autobins"] {
