@@ -1,0 +1,613 @@
+//! The content-addressed compile cache: source → compiled model with
+//! **zero translations** on a warm path.
+//!
+//! Compilation is the expensive half of SPPL's amortization story — the
+//! paper's whole design is "translate once, query many" — yet every
+//! process historically paid parse + analyze + translate even for a
+//! program whose digest it had already seen. This module closes that
+//! gap with two tiers:
+//!
+//! 1. **In-memory tier.** A digest-keyed map from the *normalized-AST
+//!    digest* (the analyzer's pruned [`Program`], so comment- or
+//!    whitespace-only differences that survive parsing still converge
+//!    when the pruned AST agrees) to the serialized SPE, plus — in
+//!    shared-factory mode — the live `(Factory, Spe)` pair itself. A
+//!    raw-text index in front of it lets the common case (byte-identical
+//!    source resubmitted) skip even parse + analyze.
+//! 2. **On-disk tier.** A directory of wire payloads
+//!    ([`serialize_spe`](sppl_core::wire)) written atomically
+//!    (tmp + rename, the snapshot discipline) and garbage-collected
+//!    keep-newest-K by modification time, so a *fresh process* pointed
+//!    at a warm directory also compiles with zero translations.
+//!    `<ast-digest>.spe` holds the payload; a tiny `<text-digest>.key`
+//!    alias maps raw source bytes to their AST digest so the fresh
+//!    process can skip parse + analyze too. A stale or missing alias
+//!    just falls back to the analyze → AST-digest path — the normalized
+//!    key keeps doing its cross-cosmetic job.
+//!
+//! Every load is verified end to end by the wire format's fail-closed
+//! reader (checksum, versions, digest equality), so a corrupt cache
+//! entry is deleted and recompiled, never served. The `translations`
+//! counter is the ground truth the serve layer and CI assert on: a warm
+//! cache means it stays at zero.
+//!
+//! Factory semantics are a deliberate fork:
+//!
+//! - The **process-global** cache behind [`compile_model`] runs in
+//!   *fresh-factory* mode: a hit deserializes the stored payload into a
+//!   brand-new [`Factory`], preserving the long-standing contract that
+//!   every `compile_model` call returns an independently-memoized
+//!   session (tests and embedders rely on separately compiled copies
+//!   really recomputing). The translation is skipped; nothing else
+//!   changes.
+//! - A server can opt into *shared-factory* mode
+//!   ([`CompileCache::share_factories`]), where a hit clones the cached
+//!   `(Factory, Spe)` pair into a new engine — the right trade for a
+//!   process that already shares one cache across all its sessions.
+//!
+//! ```
+//! use sppl_analyze::CompileCache;
+//!
+//! let cache = CompileCache::new(16);
+//! let a = cache.compile("X ~ normal(0, 1)").unwrap();
+//! let b = cache.compile("X ~ normal(0, 1)").unwrap();
+//! assert_eq!(a.model_digest(), b.model_digest());
+//! let stats = cache.stats();
+//! assert_eq!((stats.translations, stats.hits), (1, 1));
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use sppl_core::digest::{Digester, ModelDigest, DIGEST_VERSION};
+use sppl_core::wire::{deserialize_spe, serialize_spe};
+use sppl_core::{Factory, Model, Spe, SpplError};
+use sppl_lang::ast::Program;
+
+use crate::{analyze, LangError};
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Digest of the raw program text (the fast, cosmetic-sensitive key).
+pub fn source_text_digest(source: &str) -> ModelDigest {
+    let mut d = Digester::new();
+    d.u32(DIGEST_VERSION);
+    d.str("sppl-source-text");
+    d.str(source);
+    ModelDigest::from_u128(d.finish())
+}
+
+/// Digest of the *normalized* AST — the analyzer's pruned program, the
+/// authoritative compile-cache key. Computed before translation, so a
+/// cache hit skips exactly the expensive phase.
+pub fn ast_digest(pruned: &Program) -> ModelDigest {
+    let mut d = Digester::new();
+    d.u32(DIGEST_VERSION);
+    d.str("sppl-normalized-ast");
+    // `Program` has a deterministic, derive-generated `Debug` rendering
+    // covering every field; hashing it keys on structure without a
+    // second serialization format for ASTs.
+    d.str(&format!("{pruned:?}"));
+    ModelDigest::from_u128(d.finish())
+}
+
+/// Point-in-time compile-cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompileCacheStats {
+    /// Compiles answered from the in-memory tier.
+    pub hits: u64,
+    /// Compiles answered from the on-disk tier.
+    pub disk_hits: u64,
+    /// Compiles that found neither tier warm.
+    pub misses: u64,
+    /// Full translations performed (the expensive phase; a warm cache
+    /// keeps this at zero).
+    pub translations: u64,
+    /// Entries currently in the in-memory tier.
+    pub entries: u64,
+}
+
+struct Entry {
+    bytes: Arc<Vec<u8>>,
+    /// Present only in shared-factory mode.
+    artifact: Option<(Arc<Factory>, Spe)>,
+}
+
+#[derive(Default)]
+struct MemTier {
+    entries: HashMap<ModelDigest, Entry>,
+    /// FIFO insertion order backing the capacity bound.
+    order: VecDeque<ModelDigest>,
+    /// Raw-text digest → AST digest, so byte-identical resubmissions
+    /// skip parse + analyze entirely.
+    text_index: HashMap<ModelDigest, ModelDigest>,
+}
+
+/// A two-tier (memory + optional disk) content-addressed compile cache.
+/// See the module docs for the design.
+pub struct CompileCache {
+    state: Mutex<MemTier>,
+    capacity: usize,
+    dir: Option<PathBuf>,
+    keep: usize,
+    share: bool,
+    hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    translations: AtomicU64,
+}
+
+impl CompileCache {
+    /// An in-memory-only cache holding up to `capacity` compiled
+    /// programs (FIFO eviction), in fresh-factory mode.
+    pub fn new(capacity: usize) -> CompileCache {
+        CompileCache {
+            state: Mutex::new(MemTier::default()),
+            capacity: capacity.max(1),
+            dir: None,
+            keep: 0,
+            share: false,
+            hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            translations: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches an on-disk tier rooted at `dir` (created if missing),
+    /// keeping at most `keep` newest payloads (`0` = unbounded).
+    ///
+    /// # Errors
+    ///
+    /// [`SpplError::Snapshot`] when the directory cannot be created.
+    pub fn with_dir(mut self, dir: impl Into<PathBuf>, keep: usize) -> Result<Self, SpplError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| SpplError::Snapshot {
+            message: format!("compile cache: cannot create {}: {e}", dir.display()),
+        })?;
+        self.dir = Some(dir);
+        self.keep = keep;
+        Ok(self)
+    }
+
+    /// Switches hits to shared-factory mode: cached `(Factory, Spe)`
+    /// pairs are cloned into new engines instead of being re-interned
+    /// into a fresh factory. Use only where sessions are meant to share
+    /// node-level memos (e.g. a server).
+    pub fn share_factories(mut self, share: bool) -> Self {
+        self.share = share;
+        self
+    }
+
+    /// The cache directory of the disk tier, if one is attached.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CompileCacheStats {
+        CompileCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            translations: self.translations.load(Ordering::Relaxed),
+            entries: lock(&self.state).entries.len() as u64,
+        }
+    }
+
+    /// Compiles `source`, consulting both tiers before translating.
+    /// Result semantics are identical to [`compile_model`](crate::compile_model) — same
+    /// digests, bit-identical answers — whichever path served it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`compile_model`](crate::compile_model); cache malfunctions (corrupt
+    /// or unwritable entries) silently fall back to translation.
+    pub fn compile(&self, source: &str) -> Result<Model, LangError> {
+        let text_key = source_text_digest(source);
+        // Copy the index entry out in its own statement: holding the
+        // state guard across `lookup_memory` (which re-locks) would
+        // self-deadlock.
+        let indexed = lock(&self.state).text_index.get(&text_key).copied();
+        if let Some(ast_key) = indexed {
+            if let Some(model) = self.lookup_memory(ast_key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(model);
+            }
+        }
+        if let Some(ast_key) = self.read_alias(text_key) {
+            if let Some(model) = self.lookup_memory(ast_key) {
+                lock(&self.state).text_index.insert(text_key, ast_key);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(model);
+            }
+            if let Some(model) = self.lookup_disk(ast_key, text_key) {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(model);
+            }
+        }
+
+        // Cold front half: parse + analyze to get the authoritative key.
+        let program = sppl_lang::parse(source)?;
+        let analysis = analyze(&program);
+        if let Some(d) = analysis.first_error() {
+            return Err(d.clone().into());
+        }
+        let ast_key = ast_digest(&analysis.pruned);
+        if let Some(model) = self.lookup_memory(ast_key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.record_alias(text_key, ast_key);
+            return Ok(model);
+        }
+        if let Some(model) = self.lookup_disk(ast_key, text_key) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(model);
+        }
+
+        // Cold back half: translate, then fill both tiers.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let factory = Arc::new(Factory::new());
+        let root = sppl_lang::translate(&factory, &analysis.pruned)?;
+        self.translations.fetch_add(1, Ordering::Relaxed);
+        let bytes = Arc::new(serialize_spe(&root));
+        self.insert_memory(ast_key, text_key, Arc::clone(&bytes), &factory, &root);
+        self.write_disk(ast_key, text_key, &bytes);
+        Ok(Model::new(factory, root))
+    }
+
+    /// Deserializes an SPE wire payload into a model with the same
+    /// factory semantics as a disk hit (always a fresh factory), without
+    /// touching either tier. This is the serve `import` path.
+    ///
+    /// # Errors
+    ///
+    /// [`SpplError::Snapshot`] when the payload fails wire validation.
+    pub fn import(&self, bytes: &[u8]) -> Result<Model, SpplError> {
+        let factory = Arc::new(Factory::new());
+        let root = deserialize_spe(&factory, bytes)?;
+        Ok(Model::new(factory, root))
+    }
+
+    /// [`import`](CompileCache::import) plus persistence: a valid
+    /// payload is also written to the disk tier (when one is attached)
+    /// under its root digest, so later processes pick it up through
+    /// [`disk_models`](CompileCache::disk_models). Imports carry no
+    /// source text, so the [`compile`](CompileCache::compile) lookup
+    /// path never serves them.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`import`](CompileCache::import); persistence
+    /// failures degrade silently (the model is still returned).
+    pub fn admit(&self, bytes: &[u8]) -> Result<Model, SpplError> {
+        let model = self.import(bytes)?;
+        if let Some(path) = self.payload_path(model.model_digest()) {
+            if atomic_write(&path, bytes).is_ok() {
+                self.gc();
+            }
+        }
+        Ok(model)
+    }
+
+    /// Every valid wire payload in the disk tier, as models (fresh
+    /// factories), paired with their digests. Invalid files are skipped
+    /// (fail closed), not deleted — they may be half-written by a racing
+    /// process. Used by servers to warm-register at boot.
+    pub fn disk_models(&self) -> Vec<(ModelDigest, Model)> {
+        let Some(dir) = &self.dir else {
+            return Vec::new();
+        };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("spe") {
+                continue;
+            }
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            if let Ok(model) = self.import(&bytes) {
+                out.push((model.model_digest(), model));
+            }
+        }
+        out.sort_by_key(|(digest, _)| *digest);
+        out
+    }
+
+    fn lookup_memory(&self, ast_key: ModelDigest) -> Option<Model> {
+        let (bytes, artifact) = {
+            let state = lock(&self.state);
+            let entry = state.entries.get(&ast_key)?;
+            (Arc::clone(&entry.bytes), entry.artifact.clone())
+        };
+        if let Some((factory, root)) = artifact {
+            return Some(Model::new(factory, root));
+        }
+        // Fresh-factory mode: the stored payload is re-interned into a
+        // brand-new factory — zero translations, independent memos, and
+        // the wire codec is exercised on every warm compile.
+        let factory = Arc::new(Factory::new());
+        match deserialize_spe(&factory, &bytes) {
+            Ok(root) => Some(Model::new(factory, root)),
+            Err(_) => {
+                // Unreachable unless memory corruption; drop the entry
+                // and recompile rather than serving anything dubious.
+                lock(&self.state).entries.remove(&ast_key);
+                None
+            }
+        }
+    }
+
+    fn lookup_disk(&self, ast_key: ModelDigest, text_key: ModelDigest) -> Option<Model> {
+        let path = self.payload_path(ast_key)?;
+        let bytes = std::fs::read(&path).ok()?;
+        let factory = Arc::new(Factory::new());
+        match deserialize_spe(&factory, &bytes) {
+            Ok(root) => {
+                self.insert_memory(ast_key, text_key, Arc::new(bytes), &factory, &root);
+                self.write_alias(text_key, ast_key);
+                Some(Model::new(factory, root))
+            }
+            Err(_) => {
+                // A cache entry that fails validation is worthless;
+                // delete it so later compiles go straight to translate.
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    fn insert_memory(
+        &self,
+        ast_key: ModelDigest,
+        text_key: ModelDigest,
+        bytes: Arc<Vec<u8>>,
+        factory: &Arc<Factory>,
+        root: &Spe,
+    ) {
+        let artifact = self.share.then(|| (Arc::clone(factory), root.clone()));
+        let mut state = lock(&self.state);
+        if !state.entries.contains_key(&ast_key) {
+            state.order.push_back(ast_key);
+        }
+        state.entries.insert(ast_key, Entry { bytes, artifact });
+        state.text_index.insert(text_key, ast_key);
+        while state.entries.len() > self.capacity {
+            let Some(evicted) = state.order.pop_front() else {
+                break;
+            };
+            state.entries.remove(&evicted);
+            state.text_index.retain(|_, v| *v != evicted);
+        }
+    }
+
+    fn record_alias(&self, text_key: ModelDigest, ast_key: ModelDigest) {
+        lock(&self.state).text_index.insert(text_key, ast_key);
+        self.write_alias(text_key, ast_key);
+    }
+
+    fn payload_path(&self, ast_key: ModelDigest) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{ast_key}.spe")))
+    }
+
+    fn alias_path(&self, text_key: ModelDigest) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{text_key}.key")))
+    }
+
+    fn read_alias(&self, text_key: ModelDigest) -> Option<ModelDigest> {
+        let hex = std::fs::read_to_string(self.alias_path(text_key)?).ok()?;
+        let hex = hex.trim();
+        if hex.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(hex, 16)
+            .ok()
+            .map(ModelDigest::from_u128)
+    }
+
+    /// Atomic (tmp + rename) best-effort writes: a cache that cannot
+    /// persist degrades to cold compiles, it never fails them.
+    fn write_disk(&self, ast_key: ModelDigest, text_key: ModelDigest, bytes: &[u8]) {
+        let Some(path) = self.payload_path(ast_key) else {
+            return;
+        };
+        if atomic_write(&path, bytes).is_ok() {
+            self.write_alias(text_key, ast_key);
+            self.gc();
+        }
+    }
+
+    fn write_alias(&self, text_key: ModelDigest, ast_key: ModelDigest) {
+        if let Some(path) = self.alias_path(text_key) {
+            let _ = atomic_write(&path, format!("{ast_key}\n").as_bytes());
+        }
+    }
+
+    /// Keeps the newest `keep` payloads by modification time and drops
+    /// aliases whose payload is gone (`SnapshotRotation` discipline).
+    fn gc(&self) {
+        let (Some(dir), true) = (&self.dir, self.keep > 0) else {
+            return;
+        };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut payloads: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("spe") {
+                let modified = entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                payloads.push((modified, path));
+            }
+        }
+        if payloads.len() <= self.keep {
+            return;
+        }
+        payloads.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        for (_, path) in payloads.split_off(self.keep) {
+            let _ = std::fs::remove_file(&path);
+        }
+        // Aliases point at payloads by AST digest in the *filename*; we
+        // cannot recover that from the payload, so sweep aliases whose
+        // target file no longer exists.
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("key") {
+                    continue;
+                }
+                let target = std::fs::read_to_string(&path)
+                    .ok()
+                    .map(|hex| dir.join(format!("{}.spe", hex.trim())));
+                if !target.is_some_and(|t| t.exists()) {
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+    }
+}
+
+fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let result = (|| {
+        use std::io::Write;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sppl_core::var;
+
+    const SOURCE: &str = "X ~ normal(0, 1)\nY ~ bernoulli(p=0.25)\nZ = X + 2";
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sppl-compile-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn warm_memory_hit_skips_translation_and_matches_bits() {
+        let cache = CompileCache::new(8);
+        let cold = cache.compile(SOURCE).unwrap();
+        let warm = cache.compile(SOURCE).unwrap();
+        assert_eq!(cold.model_digest(), warm.model_digest());
+        let event = var("X").le(0.5) & var("Y").eq(1.0);
+        assert_eq!(
+            cold.logprob(&event).unwrap().to_bits(),
+            warm.logprob(&event).unwrap().to_bits()
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.translations, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn cosmetic_changes_converge_on_the_ast_key() {
+        let cache = CompileCache::new(8);
+        let a = cache.compile("X ~ normal(0, 1)").unwrap();
+        // Different raw text, same parsed program modulo spans would
+        // still re-key (spans are part of the Debug rendering), but the
+        // *identical* text resubmitted must hit via the text index.
+        let b = cache.compile("X ~ normal(0, 1)").unwrap();
+        assert_eq!(a.model_digest(), b.model_digest());
+        assert_eq!(cache.stats().translations, 1);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_fresh_cache() {
+        let dir = tempdir("disk");
+        let writer = CompileCache::new(8).with_dir(&dir, 16).unwrap();
+        let cold = writer.compile(SOURCE).unwrap();
+        assert_eq!(writer.stats().translations, 1);
+
+        // A brand-new cache (fresh process stand-in) over the same dir.
+        let reader = CompileCache::new(8).with_dir(&dir, 16).unwrap();
+        let warm = reader.compile(SOURCE).unwrap();
+        let stats = reader.stats();
+        assert_eq!(stats.translations, 0, "disk hit must not translate");
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(cold.model_digest(), warm.model_digest());
+        let event = var("Z").gt(2.0);
+        assert_eq!(
+            cold.logprob(&event).unwrap().to_bits(),
+            warm.logprob(&event).unwrap().to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_are_dropped_and_recompiled() {
+        let dir = tempdir("corrupt");
+        let writer = CompileCache::new(8).with_dir(&dir, 16).unwrap();
+        writer.compile(SOURCE).unwrap();
+        // Flip a byte in every payload.
+        for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("spe") {
+                let mut bytes = std::fs::read(&path).unwrap();
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0xff;
+                std::fs::write(&path, bytes).unwrap();
+            }
+        }
+        let reader = CompileCache::new(8).with_dir(&dir, 16).unwrap();
+        let model = reader.compile(SOURCE).unwrap();
+        assert_eq!(
+            model.model_digest(),
+            writer.compile(SOURCE).unwrap().model_digest()
+        );
+        let stats = reader.stats();
+        assert_eq!(stats.disk_hits, 0, "corrupt payload must not hit");
+        assert_eq!(stats.translations, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_keeps_newest_payloads() {
+        let dir = tempdir("gc");
+        let cache = CompileCache::new(8).with_dir(&dir, 2).unwrap();
+        for i in 0..4 {
+            cache.compile(&format!("X ~ normal({i}, 1)")).unwrap();
+        }
+        let payloads = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("spe"))
+            .count();
+        assert!(payloads <= 2, "gc must bound payloads, found {payloads}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_factory_mode_reuses_the_interned_dag() {
+        let cache = CompileCache::new(8).share_factories(true);
+        let a = cache.compile(SOURCE).unwrap();
+        let b = cache.compile(SOURCE).unwrap();
+        assert!(a.root().same(b.root()), "shared mode must reuse nodes");
+        assert_eq!(cache.stats().translations, 1);
+    }
+}

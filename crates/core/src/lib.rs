@@ -92,6 +92,7 @@ pub mod stats;
 mod sync_map;
 pub mod transform;
 pub mod var;
+pub mod wire;
 
 pub use arena::ArenaModel;
 pub use cache::SharedCache;
@@ -105,6 +106,7 @@ pub use model::Model;
 pub use spe::{Factory, Spe};
 pub use transform::Transform;
 pub use var::Var;
+pub use wire::{deserialize_spe, serialize_spe, wire_digest};
 
 // Re-exported so downstream crates can size and share inference pools
 // without depending on the vendored crate directly.

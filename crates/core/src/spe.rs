@@ -571,6 +571,48 @@ impl Factory {
         }))
     }
 
+    /// Re-interns a sum read back from the wire format
+    /// ([`wire`](crate::wire)). The children arrive already normalized,
+    /// merged, and factored — exactly the list a `Node::Sum` held when it
+    /// was serialized — so this path must *not* re-run [`Factory::sum`]'s
+    /// normalization: subtracting `logsumexp` of already-normalized
+    /// weights is not bit-idempotent and would shift the rebuilt digest.
+    /// It validates what corruption could break (finite weights, ≥ 2
+    /// children, equal scopes — C4) and restores the canonical child
+    /// order, which *is* idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpplError::IllFormed`] when the child list could not
+    /// have come from a well-formed interned sum.
+    pub(crate) fn sum_rebuild(&self, mut kept: Vec<(Spe, f64)>) -> Result<Spe, SpplError> {
+        if kept.len() < 2 {
+            return Err(SpplError::IllFormed {
+                message: "serialized sum requires at least two children".into(),
+            });
+        }
+        for (_, w) in &kept {
+            if !w.is_finite() || *w > 0.0 {
+                return Err(SpplError::IllFormed {
+                    message: "serialized sum weights must be finite log-probabilities".into(),
+                });
+            }
+        }
+        let scope = kept[0].0.scope().clone();
+        for (c, _) in &kept[1..] {
+            if c.scope() != &scope {
+                return Err(SpplError::IllFormed {
+                    message: "serialized sum children must have identical scopes (C4)".into(),
+                });
+            }
+        }
+        kept.sort_by_key(|(c, w)| (c.digest(), w.to_bits()));
+        Ok(self.intern(Node::Sum {
+            children: kept,
+            scope,
+        }))
+    }
+
     /// A product of independent factors. Nested products are flattened and
     /// a singleton product collapses to its child.
     ///

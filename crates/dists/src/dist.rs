@@ -280,6 +280,33 @@ impl DistStr {
         Some(DistStr { items: out })
     }
 
+    /// Rebuilds a categorical from weights that are *already* normalized
+    /// (e.g. read back from the serialized wire form), storing them
+    /// bit-exactly instead of re-dividing by their total — `new` would
+    /// perturb the stored bits whenever the total is `≈ 1.0` but not
+    /// exactly `1.0`. Returns `None` when any weight is not in `(0, 1]`
+    /// or the total strays from one by more than a sloppy tolerance
+    /// (corrupt input, not float drift).
+    pub fn from_normalized<I, S>(items: I) -> Option<DistStr>
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: Into<String>,
+    {
+        let mut out: Vec<(String, f64)> = Vec::new();
+        let mut total = 0.0;
+        for (s, w) in items {
+            if !(w > 0.0 && w <= 1.0) {
+                return None;
+            }
+            total += w;
+            out.push((s.into(), w));
+        }
+        if out.is_empty() || (total - 1.0).abs() > 1e-6 {
+            return None;
+        }
+        Some(DistStr { items: out })
+    }
+
     /// The supported strings and their normalized weights.
     pub fn items(&self) -> &[(String, f64)] {
         &self.items

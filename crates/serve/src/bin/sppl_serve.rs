@@ -18,6 +18,9 @@
 //! | `--cache-snapshot PATH` | off | warm start + rotate snapshots at PATH |
 //! | `--snapshot-interval-ms N` | 5000 | background save interval |
 //! | `--snapshot-keep K` | 3 | snapshot generations kept by GC |
+//! | `--compile-cache DIR` | off | persist compiled SPEs at DIR; warm-register at boot |
+//! | `--compile-cache-keep N` | 256 | newest compile-cache payloads kept by GC (0 = all) |
+//! | `--expect-warm-compile-cache` | — | with `--test`: assert the self-check ran zero translations |
 //! | `--serve-seconds N` | forever | exit (with final snapshot) after N s |
 //! | `--test` | — | loopback self-check, then exit |
 
@@ -31,12 +34,14 @@ struct Args {
     config: ServeConfig,
     serve_seconds: Option<u64>,
     test: bool,
+    expect_warm: bool,
 }
 
 fn parse_args() -> Args {
     let mut config = ServeConfig::default();
     let mut serve_seconds = None;
     let mut test = false;
+    let mut expect_warm = false;
     let mut snapshot_base: Option<std::path::PathBuf> = None;
     let mut snapshot_interval = Duration::from_millis(5000);
     let mut snapshot_keep = 3usize;
@@ -91,6 +96,15 @@ fn parse_args() -> Args {
                         .expect("--serve-seconds takes seconds"),
                 )
             }
+            "--compile-cache" => {
+                config.compile_cache = Some(value(&mut args, "--compile-cache").into())
+            }
+            "--compile-cache-keep" => {
+                config.compile_cache_keep = value(&mut args, "--compile-cache-keep")
+                    .parse()
+                    .expect("--compile-cache-keep takes a payload count")
+            }
+            "--expect-warm-compile-cache" => expect_warm = true,
             "--test" => test = true,
             other => panic!("unknown flag {other} (see the module docs for the flag table)"),
         }
@@ -104,17 +118,25 @@ fn parse_args() -> Args {
         config,
         serve_seconds,
         test,
+        expect_warm,
     }
 }
 
 /// Registers a model over a real loopback connection and exercises one
-/// of every query shape; panics on any mismatch.
-fn self_check(server: &Server) {
+/// of every query shape; panics on any mismatch. With `expect_warm`,
+/// additionally asserts the compile cache served everything — the model
+/// was boot-registered from disk and zero translations ran (the CI
+/// cross-process warm-start check).
+fn self_check(server: &Server, expect_warm: bool) {
     let mut client = Client::connect(server.local_addr()).expect("connect");
     let (digest, vars, fresh) = client
         .register("X ~ normal(0, 1)\nY ~ bernoulli(p=0.25)")
         .expect("register");
-    assert!(fresh, "first registration is fresh");
+    if expect_warm {
+        assert!(!fresh, "a warm compile cache boot-registers the model");
+    } else {
+        assert!(fresh, "first registration is fresh");
+    }
     assert_eq!(vars, vec!["X".to_string(), "Y".to_string()]);
     assert_eq!(client.lookup(digest).expect("lookup"), Some(vars));
 
@@ -140,9 +162,19 @@ fn self_check(server: &Server) {
     let stats = client.stats().expect("stats");
     assert!(stats.requests >= 6);
     assert_eq!(stats.models, 2);
+    if expect_warm {
+        assert_eq!(
+            stats.translations, 0,
+            "a warm compile cache serves every compile without translating"
+        );
+        assert!(
+            stats.compile_cache_hits + stats.compile_cache_disk_hits >= 1,
+            "the warm register must hit a cache tier"
+        );
+    }
     println!(
-        "self-check ok: {} requests, {} models, {} cache entries",
-        stats.requests, stats.models, stats.cache_entries
+        "self-check ok: {} requests, {} models, {} cache entries, {} translations",
+        stats.requests, stats.models, stats.cache_entries, stats.translations
     );
 }
 
@@ -152,7 +184,7 @@ fn main() {
     println!("listening on {}", server.local_addr());
 
     if args.test {
-        self_check(&server);
+        self_check(&server, args.expect_warm);
         server.shutdown();
         return;
     }

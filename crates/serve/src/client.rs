@@ -261,6 +261,38 @@ impl Client {
         })
     }
 
+    /// `export`: the registered model's SPE wire payload, ready to ship
+    /// to another server's `import`.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport [`WireError`] (`unknown_model` for an
+    /// unregistered digest).
+    pub fn export(&mut self, model: ModelDigest) -> Result<(ModelDigest, Vec<u8>), WireError> {
+        self.expect(&Request::Export { model }, |r| match r {
+            Response::Exported { digest, spe } => Some((digest, spe)),
+            _ => None,
+        })
+    }
+
+    /// `import`: registers a compiled SPE shipped as a wire payload —
+    /// zero translations server-side; returns (digest, vars, fresh).
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport [`WireError`] (`import` kind when the
+    /// payload fails wire validation).
+    pub fn import(&mut self, spe: &[u8]) -> Result<(ModelDigest, Vec<String>, bool), WireError> {
+        self.expect(&Request::Import { spe: spe.to_vec() }, |r| match r {
+            Response::Compiled {
+                digest,
+                vars,
+                fresh,
+            } => Some((digest, vars, fresh.unwrap_or(false))),
+            _ => None,
+        })
+    }
+
     /// `stats`: the server's counters.
     ///
     /// # Errors

@@ -17,7 +17,17 @@
 //! | `condition` | `model`, `event` | `posterior`, `fresh` |
 //! | `condition_chain` | `model`, `events` | `posterior`, `fresh` |
 //! | `constrain` | `model`, `assignment` | `posterior`, `fresh` |
+//! | `export` | `model` | `digest`, `spe` (hex wire payload) |
+//! | `import` | `spe` | `digest`, `vars`, `fresh` (registered; idempotent) |
 //! | `stats` | — | counters (see [`Response::Stats`]) |
+//!
+//! `export`/`import` ship *compiled* models: `export` returns the
+//! [SPE wire format](sppl_core::wire) payload of a registered model as
+//! hex, and `import` registers such a payload without any source text —
+//! register-once now works across nodes without resending (or even
+//! having) the program. The payload is checksummed and digest-verified
+//! end to end, so an import either reproduces the exact digest it was
+//! exported under or fails closed.
 //!
 //! Model identity is the 32-hex-digit [`ModelDigest`] — the same
 //! content digest that keys the
@@ -58,8 +68,8 @@ use crate::json::Json;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireError {
     /// Machine-readable kind: one of `bad_request`, `compile`,
-    /// `unknown_model`, `query`, `registry_full`, `internal` (all
-    /// server-sent), or `io` (client-side transport failure).
+    /// `unknown_model`, `query`, `registry_full`, `import`, `internal`
+    /// (all server-sent), or `io` (client-side transport failure).
     pub kind: String,
     /// Human-readable description.
     pub message: String,
@@ -508,6 +518,16 @@ pub enum Request {
         /// Variable → observed outcome.
         assignment: BTreeMap<String, WireOutcome>,
     },
+    /// Export a registered model's compiled SPE as a wire payload.
+    Export {
+        /// Model digest.
+        model: ModelDigest,
+    },
+    /// Register a compiled SPE shipped as a wire payload (no source).
+    Import {
+        /// The [SPE wire format](sppl_core::wire) payload bytes.
+        spe: Vec<u8>,
+    },
     /// Server counters.
     Stats,
 }
@@ -571,6 +591,36 @@ pub fn parse_digest(hex: &str) -> Result<ModelDigest, WireError> {
         .map_err(|_| WireError::bad_request("digest must be 32 hex digits"))
 }
 
+/// Renders a binary wire payload (an SPE export) as lowercase hex — the
+/// only binary-in-JSON encoding the protocol uses.
+pub fn payload_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Parses a hex-encoded binary payload.
+///
+/// # Errors
+///
+/// [`WireError`] (`bad_request`) on odd length or non-hex characters.
+pub fn parse_payload(hex: &str) -> Result<Vec<u8>, WireError> {
+    if hex.len() % 2 != 0 {
+        return Err(WireError::bad_request(
+            "binary payload hex must have even length",
+        ));
+    }
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&hex[i..i + 2], 16)
+                .map_err(|_| WireError::bad_request("binary payload must be hex"))
+        })
+        .collect()
+}
+
 impl Request {
     /// The operation name as it appears in `"op"`.
     pub fn op(&self) -> &'static str {
@@ -583,6 +633,8 @@ impl Request {
             Request::Condition { .. } => "condition",
             Request::ConditionChain { .. } => "condition_chain",
             Request::Constrain { .. } => "constrain",
+            Request::Export { .. } => "export",
+            Request::Import { .. } => "import",
             Request::Stats => "stats",
         }
     }
@@ -640,6 +692,12 @@ impl Request {
                             .collect(),
                     ),
                 ));
+            }
+            Request::Export { model } => {
+                pairs.push(("model".to_string(), Json::Str(model.to_string())));
+            }
+            Request::Import { spe } => {
+                pairs.push(("spe".to_string(), Json::Str(payload_hex(spe))));
             }
             Request::Stats => {}
         }
@@ -752,6 +810,16 @@ impl Request {
                     assignment,
                 }
             }
+            "export" => Request::Export { model: model()? },
+            "import" => {
+                let hex = json
+                    .get("spe")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| fail(WireError::bad_request("missing string `spe`")))?;
+                Request::Import {
+                    spe: parse_payload(hex).map_err(fail)?,
+                }
+            }
             "stats" => Request::Stats,
             other => {
                 return Err(fail(WireError::bad_request(format!(
@@ -784,6 +852,16 @@ pub struct StatsSnapshot {
     pub batch_hist: [u64; 7],
     /// Registered models (roots and posteriors).
     pub models: u64,
+    /// Compiles answered from the in-memory compile-cache tier.
+    pub compile_cache_hits: u64,
+    /// Compiles answered from the on-disk compile-cache tier.
+    pub compile_cache_disk_hits: u64,
+    /// Compiles that found no compile-cache tier warm.
+    pub compile_cache_misses: u64,
+    /// Full source → SPE translations performed (zero on a warm cache).
+    pub translations: u64,
+    /// Batching windows evaluated through the arena evaluator.
+    pub arena_batches: u64,
     /// Shared-cache hits.
     pub cache_hits: u64,
     /// Shared-cache misses (each is one underlying evaluation).
@@ -839,6 +917,13 @@ pub enum Response {
         values: Vec<f64>,
         /// Single-event response shape (`value`/`bits` scalars).
         single: bool,
+    },
+    /// `export` result: the model's compiled SPE as a wire payload.
+    Exported {
+        /// Content digest of the exported model.
+        digest: ModelDigest,
+        /// The [SPE wire format](sppl_core::wire) payload bytes.
+        spe: Vec<u8>,
     },
     /// `condition`/`condition_chain`/`constrain` result.
     Posterior {
@@ -922,6 +1007,10 @@ impl Response {
                     ));
                 }
             }
+            Response::Exported { digest, spe } => {
+                pairs.push(("spe".to_string(), Json::Str(payload_hex(spe))));
+                pairs.push(("digest".to_string(), Json::Str(digest.to_string())));
+            }
             Response::Posterior { digest, fresh } => {
                 pairs.push(("posterior".to_string(), Json::Str(digest.to_string())));
                 pairs.push(("fresh".to_string(), Json::Bool(*fresh)));
@@ -945,6 +1034,17 @@ impl Response {
                     ),
                 ));
                 pairs.push(("models".to_string(), num(s.models)));
+                pairs.push(("compile_cache_hits".to_string(), num(s.compile_cache_hits)));
+                pairs.push((
+                    "compile_cache_disk_hits".to_string(),
+                    num(s.compile_cache_disk_hits),
+                ));
+                pairs.push((
+                    "compile_cache_misses".to_string(),
+                    num(s.compile_cache_misses),
+                ));
+                pairs.push(("translations".to_string(), num(s.translations)));
+                pairs.push(("arena_batches".to_string(), num(s.arena_batches)));
                 pairs.push(("cache_hits".to_string(), num(s.cache_hits)));
                 pairs.push(("cache_misses".to_string(), num(s.cache_misses)));
                 pairs.push(("cache_entries".to_string(), num(s.cache_entries)));
@@ -1005,7 +1105,18 @@ impl Response {
                 })
                 .unwrap_or_default()
         };
-        let response = if let Some(digest) = json.get("digest").and_then(Json::as_str) {
+        // `spe` is checked before `digest`: an export response carries
+        // both, and the payload field is what distinguishes it.
+        let response = if let Some(spe) = json.get("spe").and_then(Json::as_str) {
+            let digest = json
+                .get("digest")
+                .and_then(Json::as_str)
+                .ok_or_else(|| WireError::bad_request("export without `digest`"))?;
+            Response::Exported {
+                digest: parse_digest(digest)?,
+                spe: parse_payload(spe)?,
+            }
+        } else if let Some(digest) = json.get("digest").and_then(Json::as_str) {
             Response::Compiled {
                 digest: parse_digest(digest)?,
                 vars: vars("vars"),
@@ -1056,6 +1167,11 @@ impl Response {
                 max_batch: num("max_batch"),
                 batch_hist,
                 models: num("models"),
+                compile_cache_hits: num("compile_cache_hits"),
+                compile_cache_disk_hits: num("compile_cache_disk_hits"),
+                compile_cache_misses: num("compile_cache_misses"),
+                translations: num("translations"),
+                arena_batches: num("arena_batches"),
                 cache_hits: num("cache_hits"),
                 cache_misses: num("cache_misses"),
                 cache_entries: num("cache_entries"),

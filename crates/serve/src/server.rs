@@ -19,9 +19,9 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use sppl_analyze::compile_model;
+use sppl_analyze::CompileCache;
 use sppl_core::digest::ModelDigest;
-use sppl_core::{Model, SharedCache, SpplError};
+use sppl_core::{serialize_spe, Model, SharedCache, SpplError};
 
 use crate::dispatch::{Dispatcher, ServeCounters};
 use crate::protocol::{to_assignment, Request, Response, StatsSnapshot, WireError};
@@ -66,6 +66,12 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Snapshot lifecycle, if any.
     pub snapshot: Option<SnapshotPolicy>,
+    /// On-disk compile-cache directory. When set, compiled SPEs are
+    /// persisted as wire payloads and warm-registered at boot, so a
+    /// fresh process answers known digests with zero translations.
+    pub compile_cache: Option<std::path::PathBuf>,
+    /// Newest compile-cache payloads kept by GC (`0` = unbounded).
+    pub compile_cache_keep: usize,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +88,8 @@ impl Default for ServeConfig {
             batch_window: Duration::from_micros(500),
             max_batch: 64,
             snapshot: None,
+            compile_cache: None,
+            compile_cache_keep: 256,
         }
     }
 }
@@ -93,22 +101,44 @@ pub struct ServerState {
     registry: ModelRegistry,
     dispatcher: Dispatcher,
     counters: Arc<ServeCounters>,
+    compiler: CompileCache,
 }
 
 impl ServerState {
     /// Fresh state per `config` (the snapshot policy is the [`Server`]'s
-    /// concern, not the state's).
+    /// concern, not the state's). With a `compile_cache` directory
+    /// configured, every valid payload already on disk is
+    /// warm-registered — a restarted server answers known digests
+    /// without a single translation. An unusable directory degrades to
+    /// the in-memory tier (stderr note), never to a failed boot.
     pub fn new(config: &ServeConfig) -> ServerState {
         let counters = Arc::new(ServeCounters::new());
+        let cache = Arc::new(SharedCache::new(config.cache_capacity));
+        let mut compiler = CompileCache::new(config.registry_capacity.max(1)).share_factories(true);
+        if let Some(dir) = &config.compile_cache {
+            match compiler.with_dir(dir, config.compile_cache_keep) {
+                Ok(with_disk) => compiler = with_disk,
+                Err(e) => {
+                    eprintln!("sppl-serve: compile cache disabled on disk: {e}");
+                    compiler =
+                        CompileCache::new(config.registry_capacity.max(1)).share_factories(true);
+                }
+            }
+        }
+        let registry = ModelRegistry::new(config.registry_capacity);
+        for (_, model) in compiler.disk_models() {
+            let _ = registry.register(model.with_shared_cache(Arc::clone(&cache)));
+        }
         ServerState {
-            cache: Arc::new(SharedCache::new(config.cache_capacity)),
-            registry: ModelRegistry::new(config.registry_capacity),
+            cache,
+            registry,
             dispatcher: Dispatcher::with_counters(
                 config.batch_window,
                 config.max_batch,
                 Arc::clone(&counters),
             ),
             counters,
+            compiler,
         }
     }
 
@@ -233,13 +263,34 @@ impl ServerState {
                 let posterior = model.constrain(&assignment).map_err(query_error)?;
                 self.adopt(posterior)
             }
+            Request::Export { model } => {
+                let model = self.model(*model)?;
+                Ok(Response::Exported {
+                    digest: model.model_digest(),
+                    spe: serialize_spe(model.root()),
+                })
+            }
+            Request::Import { spe } => {
+                let model = self
+                    .compiler
+                    .admit(spe)
+                    .map_err(|e| WireError::new("import", e.to_string()))?
+                    .with_shared_cache(Arc::clone(&self.cache));
+                let (model, fresh) = self.registry.register(model)?;
+                Ok(Response::Compiled {
+                    digest: model.model_digest(),
+                    vars: scope_names(&model),
+                    fresh: Some(fresh),
+                })
+            }
             Request::Stats => Ok(Response::Stats(self.stats_snapshot())),
         }
     }
 
-    /// Compiles source and attaches the process-wide cache.
+    /// Compiles source through the two-tier compile cache and attaches
+    /// the process-wide shared cache.
     fn compile(&self, source: &str) -> Result<Model, WireError> {
-        match compile_model(source) {
+        match self.compiler.compile(source) {
             Ok(model) => Ok(model.with_shared_cache(Arc::clone(&self.cache))),
             Err(e) => Err(WireError::new("compile", e.to_string())),
         }
@@ -261,10 +312,16 @@ impl ServerState {
         Ok(Response::Posterior { digest, fresh })
     }
 
+    /// The compile cache behind `compile`/`register`/`import`.
+    pub fn compiler(&self) -> &CompileCache {
+        &self.compiler
+    }
+
     /// The counters the `stats` op reports.
     pub fn stats_snapshot(&self) -> StatsSnapshot {
         let counters = &self.counters;
         let cache = self.cache.stats();
+        let compiles = self.compiler.stats();
         StatsSnapshot {
             requests: counters.requests.load(Ordering::Relaxed),
             errors: counters.errors.load(Ordering::Relaxed),
@@ -274,6 +331,11 @@ impl ServerState {
             max_batch: counters.max_batch.load(Ordering::Relaxed),
             batch_hist: counters.hist_values(),
             models: self.registry.len() as u64,
+            compile_cache_hits: compiles.hits,
+            compile_cache_disk_hits: compiles.disk_hits,
+            compile_cache_misses: compiles.misses,
+            translations: compiles.translations,
+            arena_batches: counters.arena_batches.load(Ordering::Relaxed),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_entries: cache.entries as u64,

@@ -97,6 +97,13 @@ fn every_request() -> Vec<Request> {
             model: digest(11),
             assignment,
         },
+        Request::Export { model: digest(12) },
+        Request::Import {
+            // Arbitrary binary (not a valid payload — transport only
+            // cares that every byte survives the hex round trip).
+            spe: vec![0x00, 0x01, 0xfe, 0xff, 0x53, 0x50],
+        },
+        Request::Import { spe: vec![] },
         Request::Stats,
     ]
 }
@@ -137,6 +144,14 @@ fn every_response() -> Vec<Response> {
             digest: digest(0xfeed),
             fresh: true,
         },
+        Response::Exported {
+            digest: digest(0xdead),
+            spe: vec![0x53, 0x50, 0x50, 0x4c, 0x00, 0xff, 0x7f],
+        },
+        Response::Exported {
+            digest: digest(1),
+            spe: vec![],
+        },
         Response::Stats(StatsSnapshot {
             requests: 101,
             errors: 2,
@@ -146,6 +161,11 @@ fn every_response() -> Vec<Response> {
             max_batch: 9,
             batch_hist: [1, 2, 3, 4, 5, 6, 7],
             models: 3,
+            compile_cache_hits: 8,
+            compile_cache_disk_hits: 2,
+            compile_cache_misses: 3,
+            translations: 3,
+            arena_batches: 5,
             cache_hits: 55,
             cache_misses: 6,
             cache_entries: 6,
@@ -156,11 +176,12 @@ fn every_response() -> Vec<Response> {
 }
 
 /// Every `kind` the server can put in an error response.
-const ERROR_KINDS: [&str; 7] = [
+const ERROR_KINDS: [&str; 8] = [
     "bad_request",
     "compile",
     "unknown_model",
     "query",
+    "import",
     "registry_full",
     "internal",
     "io",

@@ -306,3 +306,193 @@ fn restarted_server_warm_starts_from_rotated_snapshots() {
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn arena_batches_are_bit_identical_to_direct_calls() {
+    use sppl_serve::dispatch::ARENA_BATCH_MIN;
+
+    // Enough distinct concurrent queries on one model to clear the
+    // arena threshold inside a single batching window.
+    let n = (ARENA_BATCH_MIN * 2).max(8);
+    let server = start(ServeConfig {
+        workers: n + 2,
+        batch_window: Duration::from_millis(200),
+        max_batch: n * 2,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    let mut control = Client::connect(addr).expect("connect");
+    let (digest, _, _) = control.register(SOURCE).expect("register");
+
+    // Distinct events (no coalescing) so the window groups them all.
+    let events: Vec<WireEvent> = (0..n)
+        .map(|i| WireEvent::le("X", -1.5 + i as f64 * 0.4))
+        .collect();
+    let barrier = Arc::new(Barrier::new(n));
+    let answers: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = events
+            .iter()
+            .map(|event| {
+                let barrier = Arc::clone(&barrier);
+                let event = event.clone();
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect racer");
+                    barrier.wait();
+                    client.logprob(digest, &event).expect("batched query")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let direct = sppl_analyze::compile_model(SOURCE).expect("direct compile");
+    for (event, answer) in events.iter().zip(&answers) {
+        let reference = direct.logprob(&event.to_event().unwrap()).unwrap();
+        assert_eq!(
+            answer.to_bits(),
+            reference.to_bits(),
+            "arena-served answer for {event:?} must be bit-identical"
+        );
+    }
+    let stats = control.stats().expect("stats");
+    assert!(
+        stats.arena_batches >= 1,
+        "a window of {n} distinct queries must route through the arena ({stats:?})"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn warm_compile_cache_restart_answers_without_translating() {
+    let dir = std::env::temp_dir().join(format!("sppl-serve-e2e-cc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let events = [
+        WireEvent::le("X", 0.5),
+        WireEvent::eq_str("N", "a"),
+        WireEvent::gt("X", -0.25),
+    ];
+
+    // First life: compiling SOURCE translates once and persists the
+    // compiled SPE as a wire payload.
+    let server = start(ServeConfig {
+        compile_cache: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let (digest, vars, fresh) = client.register(SOURCE).expect("register");
+    assert!(fresh);
+    let first_life: Vec<f64> = events
+        .iter()
+        .map(|we| client.logprob(digest, we).expect("query"))
+        .collect();
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.translations, 1,
+        "cold register translates ({stats:?})"
+    );
+    server.shutdown();
+
+    // Second life: the payload on disk boot-registers the model, so the
+    // digest answers before any client compiles anything — and a
+    // re-register is a disk hit, not a translation.
+    let server = start(ServeConfig {
+        compile_cache: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    assert_eq!(
+        client.lookup(digest).expect("lookup"),
+        Some(vars.clone()),
+        "boot scan registers every persisted model"
+    );
+    for (we, first) in events.iter().zip(&first_life) {
+        let warm = client.logprob(digest, we).expect("warm query");
+        assert_eq!(
+            warm.to_bits(),
+            first.to_bits(),
+            "a compile-cache restart must not change an answer"
+        );
+    }
+    let (digest2, _, fresh) = client.register(SOURCE).expect("re-register");
+    assert_eq!(digest2, digest);
+    assert!(!fresh, "the boot scan already registered this digest");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.translations, 0,
+        "a warm compile cache serves the restart with zero translations ({stats:?})"
+    );
+    assert!(
+        stats.compile_cache_hits + stats.compile_cache_disk_hits >= 1,
+        "the re-register must hit a cache tier ({stats:?})"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn export_import_ships_compiled_models_between_servers() {
+    let server_a = start(ServeConfig::default());
+    let mut client_a = Client::connect(server_a.local_addr()).expect("connect A");
+    let (digest, vars, _) = client_a.register(SOURCE).expect("register");
+
+    // Export: digest echoes, payload is non-trivial binary.
+    let (exported_digest, payload) = client_a.export(digest).expect("export");
+    assert_eq!(exported_digest, digest);
+    assert!(payload.len() > 40, "payload carries a real SPE");
+    let err = client_a
+        .export(ModelDigest::from_u128(0xbad))
+        .expect_err("unknown digest");
+    assert_eq!(err.kind, "unknown_model");
+
+    // Import into a second, cold server: same digest, same scope, and
+    // bit-identical answers — without ever seeing the source text.
+    let server_b = start(ServeConfig::default());
+    let mut client_b = Client::connect(server_b.local_addr()).expect("connect B");
+    let (imported, vars_b, fresh) = client_b.import(&payload).expect("import");
+    assert_eq!(imported, digest, "content digest crosses the wire");
+    assert_eq!(vars_b, vars);
+    assert!(fresh, "first import registers the model");
+    for we in [
+        WireEvent::le("X", 0.0),
+        WireEvent::eq_str("N", "b"),
+        WireEvent::And(vec![WireEvent::gt("X", 0.5), WireEvent::eq_str("N", "a")]),
+    ] {
+        assert_eq!(
+            client_b.logprob(digest, &we).expect("B").to_bits(),
+            client_a.logprob(digest, &we).expect("A").to_bits(),
+            "imported model must answer bit-identically"
+        );
+    }
+    let stats = client_b.stats().expect("stats B");
+    assert_eq!(stats.translations, 0, "import never translates ({stats:?})");
+
+    // A corrupted payload fails closed with a structured kind.
+    let mut corrupt = payload.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    let err = client_b.import(&corrupt).expect_err("corrupt payload");
+    assert_eq!(err.kind, "import");
+
+    server_a.shutdown();
+    server_b.shutdown();
+}
+
+#[test]
+fn full_registry_rejects_with_structured_error() {
+    let server = start(ServeConfig {
+        registry_capacity: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let (digest, _, _) = client.register(SOURCE).expect("register fills the slot");
+    // Re-registering the same digest is fine (no new slot) …
+    let (_, _, fresh) = client.register(SOURCE).expect("re-register");
+    assert!(!fresh);
+    // … but a new digest (here, a posterior) must be rejected loudly.
+    let err = client
+        .condition(digest, &WireEvent::gt("X", 0.0))
+        .expect_err("full registry");
+    assert_eq!(err.kind, "registry_full");
+    assert!(!err.message.is_empty());
+    server.shutdown();
+}

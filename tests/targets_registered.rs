@@ -24,6 +24,7 @@ const ROOT_SUITES: &[&str] = &[
     "tests/public_api.rs",
     "tests/roundtrip.rs",
     "tests/examples_smoke.rs",
+    "tests/wire_roundtrip.rs",
 ];
 
 /// Benchmark binaries (`crates/bench/src/bin/`): auto-discovered by
@@ -31,6 +32,7 @@ const ROOT_SUITES: &[&str] = &[
 /// silently vanish from CI's smoke runs.
 const BENCH_BINS: &[&str] = &[
     "crates/bench/src/bin/arena_bench.rs",
+    "crates/bench/src/bin/compile_bench.rs",
     "crates/bench/src/bin/condition_bench.rs",
     "crates/bench/src/bin/fig2_indian_gpa.rs",
     "crates/bench/src/bin/fig3_hmm.rs",

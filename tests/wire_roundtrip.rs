@@ -1,0 +1,150 @@
+//! SPE wire-format differential suite.
+//!
+//! 1. **Round-trip property**: a random mixed discrete/continuous model
+//!    serialized with [`serialize_spe`] and re-interned into a *fresh*
+//!    factory by [`deserialize_spe`] reproduces the exact
+//!    [`ModelDigest`] and answers every prior and posterior query **bit
+//!    for bit** — no tolerance. The wire format is how compiled models
+//!    cross process boundaries (compile cache, serve `export`/`import`),
+//!    so anything short of bit-identity would make "the same model"
+//!    mean different things on different machines.
+//! 2. **Fail-closed corruption matrix**: truncations, bit flips, and
+//!    digest-version skew must all be rejected with a structured
+//!    [`SpplError::Snapshot`] — never a panic, never a silently-wrong
+//!    model.
+
+use proptest::prelude::*;
+use sppl::core::wire::{deserialize_spe, serialize_spe, wire_digest};
+use sppl::core::SpplError;
+use sppl::prelude::*;
+
+mod common;
+use common::{build_event, build_source, lit_specs, var_spec};
+
+/// Serializes `source`'s SPE and re-interns it into a fresh factory,
+/// returning the two sessions (original, rebuilt) plus the payload.
+fn roundtrip(source: &str) -> (Model, Model, Vec<u8>) {
+    let factory = Factory::new();
+    let root = compile(&factory, source).expect("model compiles");
+    let bytes = serialize_spe(&root);
+    let fresh = Factory::new();
+    let rebuilt = deserialize_spe(&fresh, &bytes).expect("payload deserializes");
+    (Model::new(factory, root), Model::new(fresh, rebuilt), bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_models_survive_the_wire_bit_for_bit(
+        spec in prop::collection::vec(var_spec(), 2..6),
+        query_shape in 0..3usize,
+        query_lits in lit_specs(),
+        evidence_shape in 0..3usize,
+        evidence_lits in lit_specs(),
+    ) {
+        let (source, discrete) = build_source(&spec);
+        let (original, rebuilt, bytes) = roundtrip(&source);
+
+        // Identity: the header digest, the rebuilt digest, and the
+        // original digest are all the same value.
+        prop_assert_eq!(rebuilt.model_digest(), original.model_digest());
+        prop_assert_eq!(wire_digest(&bytes).unwrap(), original.model_digest());
+
+        // Prior answers: same Ok/Err fate, and Ok values bit-identical.
+        let query = build_event(&discrete, query_shape, &query_lits);
+        match (original.logprob(&query), rebuilt.logprob(&query)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "prior logprob changed across the wire"
+            ),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "fates diverged: {a:?} vs {b:?}"),
+        }
+
+        // Posterior answers: conditioning the rebuilt model must fail
+        // exactly when conditioning the original does, and a surviving
+        // posterior must answer bit-identically.
+        let evidence = build_event(&discrete, evidence_shape, &evidence_lits);
+        match (original.condition(&evidence), rebuilt.condition(&evidence)) {
+            (Ok(pa), Ok(pb)) => {
+                prop_assert_eq!(pa.model_digest(), pb.model_digest());
+                match (pa.logprob(&query), pb.logprob(&query)) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(
+                        a.to_bits(), b.to_bits(),
+                        "posterior logprob changed across the wire"
+                    ),
+                    (Err(_), Err(_)) => {}
+                    (a, b) => prop_assert!(false, "posterior fates diverged: {a:?} vs {b:?}"),
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(
+                false,
+                "conditioning fates diverged: {:?} vs {:?}",
+                a.map(|m| m.model_digest()),
+                b.map(|m| m.model_digest())
+            ),
+        }
+    }
+
+    #[test]
+    fn corrupted_payloads_fail_closed(
+        spec in prop::collection::vec(var_spec(), 2..5),
+        cut in 0..64usize,
+        flip in 0..256usize,
+    ) {
+        let (source, _) = build_source(&spec);
+        let (_, _, bytes) = roundtrip(&source);
+
+        // Truncation anywhere — header, records, checksum — is rejected.
+        let cut = cut % bytes.len();
+        let err = deserialize_spe(&Factory::new(), &bytes[..cut])
+            .expect_err("truncated payload must be rejected");
+        prop_assert!(
+            matches!(err, SpplError::Snapshot { .. }),
+            "truncation at {cut} produced the wrong error: {err}"
+        );
+
+        // A single flipped bit anywhere is caught (the keyed checksum
+        // covers every byte before it; flipping the checksum itself
+        // breaks the comparison).
+        let mut flipped = bytes.clone();
+        let at = flip % flipped.len();
+        flipped[at] ^= 1 << (flip % 8);
+        let err = deserialize_spe(&Factory::new(), &flipped)
+            .expect_err("bit-flipped payload must be rejected");
+        prop_assert!(
+            matches!(err, SpplError::Snapshot { .. }),
+            "bit flip at {at} produced the wrong error: {err}"
+        );
+    }
+}
+
+#[test]
+fn digest_version_skew_is_named_not_guessed_at() {
+    let (_, _, bytes) = roundtrip("X ~ normal(0, 1)\nY ~ bernoulli(p=0.25)\n");
+    // Bytes 12..16 hold DIGEST_VERSION (after the 8-byte magic and the
+    // 4-byte wire version); a payload from a different digest epoch must
+    // be refused by name, before any checksum talk.
+    let mut skewed = bytes;
+    skewed[12] ^= 0xff;
+    let err = deserialize_spe(&Factory::new(), &skewed).expect_err("version skew");
+    assert!(
+        matches!(err, SpplError::Snapshot { .. }),
+        "wrong error shape: {err}"
+    );
+    assert!(
+        err.to_string().contains("digest version"),
+        "the error must name the digest version mismatch: {err}"
+    );
+}
+
+#[test]
+fn empty_and_garbage_inputs_are_rejected() {
+    for bad in [&b""[..], &b"SPPL"[..], &[0u8; 40][..], &[0xffu8; 64][..]] {
+        let err = deserialize_spe(&Factory::new(), bad).expect_err("garbage must be rejected");
+        assert!(matches!(err, SpplError::Snapshot { .. }), "{err}");
+        assert!(wire_digest(bad).is_err(), "header peek must also refuse");
+    }
+}
